@@ -1,0 +1,178 @@
+// Command wrhtsim regenerates the paper's evaluation: each subcommand
+// reproduces one table or figure of
+// "WRHT: Efficient All-reduce for Distributed DNN Training in Optical
+// Interconnect Systems" (ICPP 2023) on the in-repo optical and
+// electrical simulators.
+//
+// Usage:
+//
+//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|hybrid|extras|stragglers|schedule|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/exp"
+	"wrht/internal/metrics"
+	"wrht/internal/optical"
+	"wrht/internal/parallel"
+	"wrht/internal/trace"
+	"wrht/internal/workload"
+)
+
+func main() {
+	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
+	jsonOut := flag.String("json", "", "write raw figure series to this JSON file")
+	schedN := flag.Int("n", 64, "schedule subcommand: ring size")
+	schedW := flag.Int("w", 8, "schedule subcommand: wavelengths")
+	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|hybrid|extras|stragglers|schedule|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	o := exp.Defaults()
+	switch *gran {
+	case "fused":
+		o.Granularity = exp.Fused
+	case "bucketed":
+		o.Granularity = exp.Bucketed
+	default:
+		fmt.Fprintf(os.Stderr, "wrhtsim: unknown granularity %q\n", *gran)
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	ran := false
+	var rec trace.Recorder
+	if cmd == "schedule" {
+		// Dump the WRHT schedule for -n/-w/-m as JSON (loadable by a
+		// control plane or core.ReadSchedule).
+		s, err := core.BuildWRHT(core.Config{N: *schedN, Wavelengths: *schedW, GroupSize: *schedM})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := s.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "table1" || cmd == "all" {
+		fmt.Println(exp.Table1())
+		ran = true
+	}
+	if cmd == "fig4" || cmd == "all" {
+		fig := exp.Fig4(o)
+		fmt.Println(fig)
+		rec.Record(exp.FigureRun("fig4", fig))
+		ran = true
+	}
+	if cmd == "fig5" || cmd == "all" {
+		r := exp.Fig5(o)
+		for i, f := range r.Figures {
+			fmt.Println(f)
+			rec.Record(exp.FigureRun(fmt.Sprintf("fig5-%d", i), f))
+		}
+		fmt.Printf("Fig 5 mean reductions (%s): WRHT vs Ring %s (paper 13.74%%), vs H-Ring %s (paper 9.29%%), vs BT %s (paper 75%%)\n\n",
+			o.Granularity, metrics.Pct(r.VsRing), metrics.Pct(r.VsHRing), metrics.Pct(r.VsBT))
+		ran = true
+	}
+	if cmd == "fig6" || cmd == "all" {
+		r := exp.Fig6(o)
+		for i, f := range r.Figures {
+			fmt.Println(f)
+			rec.Record(exp.FigureRun(fmt.Sprintf("fig6-%d", i), f))
+		}
+		fmt.Printf("Fig 6 mean reductions (%s): WRHT vs Ring %s (paper 65.23%%), vs H-Ring %s (paper 43.81%%), vs BT %s (paper 82.22%%)\n\n",
+			o.Granularity, metrics.Pct(r.VsRing), metrics.Pct(r.VsHRing), metrics.Pct(r.VsBT))
+		ran = true
+	}
+	if cmd == "fig7" || cmd == "all" {
+		r := exp.Fig7(o)
+		for i, f := range r.Figures {
+			fmt.Println(f)
+			rec.Record(exp.FigureRun(fmt.Sprintf("fig7-%d", i), f))
+		}
+		fmt.Printf("Fig 7 mean reductions (%s): O-Ring vs E-Ring %s (paper 48.74%%), WRHT vs E-Ring %s (paper 61.23%%), WRHT vs E-RD %s (paper 55.51%%)\n\n",
+			o.Granularity, metrics.Pct(r.ORingVsERing), metrics.Pct(r.WRHTVsERing), metrics.Pct(r.WRHTVsERD))
+		ran = true
+	}
+	if cmd == "constraints" || cmd == "all" {
+		fmt.Println(exp.Constraints())
+		ran = true
+	}
+	if cmd == "stragglers" || cmd == "all" {
+		fmt.Println(exp.Stragglers(o, dnn.ResNet50(), 256, 64, 0.2, 20, 1))
+		ran = true
+	}
+	if cmd == "extras" || cmd == "all" {
+		fmt.Println(exp.Extras(o, dnn.ResNet50(), 1024, 64))
+		fmt.Println(exp.Extras(o, dnn.BEiTLarge(), 1024, 64))
+		ran = true
+	}
+	if cmd == "hybrid" || cmd == "all" {
+		const nodes = 64
+		model := dnn.BEiTLarge()
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("§6.2 hybrid parallelism: %s on %d nodes (GPipe, 8×2 microbatches)", model.Name, nodes),
+			Headers: []string{"P x D", "pipeline (ms)", "bubble (ms)", "all-reduce (ms)", "iteration (ms)"},
+		}
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			sim := parallel.Sim{
+				Model:          model,
+				Strat:          parallel.Strategy{Stages: p, Replicas: nodes / p},
+				Microbatches:   8,
+				MicrobatchSize: 2,
+				GPU:            workload.TitanXP(),
+				Optical:        optical.DefaultParams(),
+			}
+			res, err := sim.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wrhtsim: hybrid: %v\n", err)
+				os.Exit(1)
+			}
+			t.AddRow(fmt.Sprintf("%d x %d", p, nodes/p),
+				fmt.Sprintf("%.1f", res.PipelineSec*1e3),
+				fmt.Sprintf("%.1f", res.BubbleSec*1e3),
+				fmt.Sprintf("%.1f", res.AllReduceSec*1e3),
+				fmt.Sprintf("%.1f", res.TotalSec*1e3))
+		}
+		fmt.Println(t)
+		ran = true
+	}
+	if cmd == "crossover" || cmd == "all" {
+		tp := o.Optical.TimeParams()
+		t := &metrics.Table{
+			Title:   "Analytic crossover: smallest N where fused WRHT beats optical Ring (w=64)",
+			Headers: []string{"Workload", "grad (MB)", "crossover N"},
+		}
+		for _, m := range dnn.Workloads() {
+			n := tp.RingCrossoverN(64, float64(m.GradBytes()), 1<<22)
+			t.AddRow(m.Name, fmt.Sprintf("%.1f", float64(m.GradBytes())/1e6), fmt.Sprint(n))
+		}
+		fmt.Println(t)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "wrhtsim: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *jsonOut != "" && len(rec.Runs) > 0 {
+		if err := rec.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("raw series written to %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,69 @@
+// llm_pipeline: the paper's §6.2 outlook, made concrete.
+//
+// Large models that do not fit one accelerator train with hybrid
+// pipeline × data parallelism; §6.2 notes WRHT "can also be employed
+// during LLM training ... when using model-parallel, pipeline-parallel
+// or hybrid-parallel methods". This example sweeps strategies
+// (P stages × D replicas, P·D = 64) for BEiT-L on the optical ring:
+// every stage's data-parallel group runs a segment-confined WRHT on its
+// own shard, all groups concurrently with full wavelength reuse, and
+// the GPipe-style pipeline supplies the compute timeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wrht/internal/dnn"
+	"wrht/internal/metrics"
+	"wrht/internal/optical"
+	"wrht/internal/parallel"
+	"wrht/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const nodes = 64
+	model := dnn.BEiTLarge()
+
+	table := &metrics.Table{
+		Title: fmt.Sprintf("Hybrid-parallel %s on %d optical-ring nodes (GPipe, 8 microbatches × 2 samples)",
+			model.Name, nodes),
+		Headers: []string{"P×D", "pipeline (ms)", "bubble (ms)", "all-reduce (ms)", "iteration (ms)", "shard (MB)"},
+	}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		sim := parallel.Sim{
+			Model:          model,
+			Strat:          parallel.Strategy{Stages: p, Replicas: nodes / p},
+			Microbatches:   8,
+			MicrobatchSize: 2,
+			GPU:            workload.TitanXP(),
+			Optical:        optical.DefaultParams(),
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(
+			fmt.Sprintf("%d x %d", p, nodes/p),
+			fmt.Sprintf("%.1f", res.PipelineSec*1e3),
+			fmt.Sprintf("%.1f", res.BubbleSec*1e3),
+			fmt.Sprintf("%.1f", res.AllReduceSec*1e3),
+			fmt.Sprintf("%.1f", res.TotalSec*1e3),
+			fmt.Sprintf("%.0f", res.MaxStageGradBytes/1e6),
+		)
+	}
+	fmt.Println(table)
+
+	// Show the concurrency: the 4×16 gradient sync is one schedule whose
+	// steps carry all four groups at once, conflict-free.
+	st := parallel.Strategy{Stages: 4, Replicas: 16}
+	sync, err := parallel.BuildGradientSync(st, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4x16 gradient sync: %d steps, %d wavelengths, %d transfers in step 1 (all four groups together)\n",
+		sync.NumSteps(), sync.WavelengthsNeeded(), len(sync.Steps[0].Transfers))
+	fmt.Println("pipelining shrinks each group's all-reduce payload (shard) while WRHT keeps the step count flat,")
+	fmt.Println("so gradient sync stops scaling with model size — the §6.2 promise.")
+}

@@ -1,0 +1,75 @@
+// wavelength_sweep: how much WDM does each all-reduce exploit?
+//
+// Sweeps the available wavelength count on a 1024-node optical ring and
+// reports communication time per algorithm for a VGG16 gradient — the
+// per-DNN slice of the paper's Figure 5. Ring and BT stay flat (they use
+// a single wavelength), H-Ring gains a little, WRHT's step count shrinks
+// with m = 2w+1 until the wavelengths stop helping. The raw series are
+// also written to wavelength_sweep.json.
+//
+// Uses only the public wrht API plus the trace exporter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wrht"
+	"wrht/internal/metrics"
+	"wrht/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	const n = 1024
+	model := wrht.VGG16()
+	d := float64(model.GradBytes())
+	waves := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+	table := &metrics.Table{
+		Title:   fmt.Sprintf("Communication time (ms) for %s (%.0f MB) on a %d-node optical ring", model.Name, d/1e6, n),
+		Headers: []string{"wavelengths", "Ring", "H-Ring", "BT", "WRHT", "WRHT steps"},
+	}
+	series := map[string][]float64{"Ring": nil, "H-Ring": nil, "BT": nil, "WRHT": nil}
+	var xticks []string
+
+	for _, w := range waves {
+		p := wrht.DefaultOpticalParams()
+		p.Wavelengths = w
+		time := func(pr wrht.Profile) float64 {
+			res, err := wrht.SimulateOpticalProfile(p, pr, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.Time
+		}
+		wrhtProf, err := wrht.WRHTProfile(wrht.Config{N: n, Wavelengths: w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := time(wrht.RingProfile(n))
+		th := time(wrht.HRingProfile(n, 5, w))
+		tb := time(wrht.BTProfile(n))
+		tw := time(wrhtProf)
+		table.AddRow(fmt.Sprint(w),
+			fmt.Sprintf("%.2f", tr*1e3), fmt.Sprintf("%.2f", th*1e3),
+			fmt.Sprintf("%.2f", tb*1e3), fmt.Sprintf("%.2f", tw*1e3),
+			fmt.Sprint(wrhtProf.NumSteps()))
+		series["Ring"] = append(series["Ring"], tr)
+		series["H-Ring"] = append(series["H-Ring"], th)
+		series["BT"] = append(series["BT"], tb)
+		series["WRHT"] = append(series["WRHT"], tw)
+		xticks = append(xticks, fmt.Sprint(w))
+	}
+	fmt.Println(table)
+
+	var rec trace.Recorder
+	rec.Record(trace.NewRun("wavelength_sweep", xticks, series, map[string]float64{
+		"nodes":      n,
+		"grad_bytes": d,
+	}))
+	if err := rec.WriteFile("wavelength_sweep.json"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("raw series written to wavelength_sweep.json")
+}

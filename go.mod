@@ -1,0 +1,3 @@
+module wrht
+
+go 1.22

@@ -1,0 +1,210 @@
+// Package cluster executes collective schedules on real data: N worker
+// goroutines, one per ring node, exchange float32 payloads through
+// per-node mailboxes following the schedule's steps. It is the
+// correctness backstop for every schedule constructor — after an
+// all-reduce schedule runs, every worker must hold the elementwise sum
+// (or average) of all initial vectors — and the gradient-synchronisation
+// engine of the numeric training substrate (internal/train).
+//
+// Semantics mirror the circuit-switched optical system: steps are bulk
+// synchronous; within a step every payload is read from pre-step state,
+// and reductions apply before the next step begins (§4.2). Incoming
+// payloads at a node are reduced in sender order so floating-point sums
+// are deterministic across runs.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+)
+
+// Cluster holds the per-node vector state.
+type Cluster struct {
+	n    int
+	vecs []tensor.Vector
+}
+
+// New creates a cluster of n workers, each owning a copy of the
+// corresponding input vector. All inputs must share one length.
+func New(inputs []tensor.Vector) (*Cluster, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("cluster: no inputs")
+	}
+	l := len(inputs[0])
+	vecs := make([]tensor.Vector, len(inputs))
+	for i, v := range inputs {
+		if len(v) != l {
+			return nil, fmt.Errorf("cluster: input %d has length %d, want %d", i, len(v), l)
+		}
+		vecs[i] = v.Clone()
+	}
+	return &Cluster{n: len(inputs), vecs: vecs}, nil
+}
+
+// Vector returns node i's current vector (aliased, not copied).
+func (c *Cluster) Vector(i int) tensor.Vector { return c.vecs[i] }
+
+// Vectors returns all node vectors (aliased).
+func (c *Cluster) Vectors() []tensor.Vector { return c.vecs }
+
+// message is one delivered payload.
+type message struct {
+	src   int
+	chunk tensor.Chunk
+	op    tensor.ReduceOp
+	data  tensor.Vector
+}
+
+// Execute runs the schedule to completion. Each step spawns the sending
+// work across worker goroutines, barriers, then applies the received
+// payloads. It returns an error if the schedule references nodes outside
+// the cluster.
+func (c *Cluster) Execute(s *core.Schedule) error {
+	if s.Ring.N != c.n {
+		return fmt.Errorf("cluster: schedule is for %d nodes, cluster has %d", s.Ring.N, c.n)
+	}
+	for si, st := range s.Steps {
+		if err := c.executeStep(st); err != nil {
+			return fmt.Errorf("cluster: step %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) executeStep(st core.Step) error {
+	// Group incoming transfers by destination.
+	inbox := make(map[int][]message, c.n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(st.Transfers))
+	// Send phase: every worker snapshots its outgoing payloads from
+	// pre-step state concurrently.
+	for _, t := range st.Transfers {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if t.Src < 0 || t.Src >= c.n || t.Dst < 0 || t.Dst >= c.n {
+				errs <- fmt.Errorf("transfer %v out of range", t)
+				return
+			}
+			payload := t.Chunk.Slice(c.vecs[t.Src]).Clone()
+			mu.Lock()
+			inbox[t.Dst] = append(inbox[t.Dst], message{src: t.Src, chunk: t.Chunk, op: t.Op, data: payload})
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	// Apply phase: every destination reduces its inbox in sender order.
+	var awg sync.WaitGroup
+	for dst, msgs := range inbox {
+		dst, msgs := dst, msgs
+		awg.Add(1)
+		go func() {
+			defer awg.Done()
+			sort.Slice(msgs, func(i, j int) bool { return msgs[i].src < msgs[j].src })
+			c.applyInbox(dst, msgs)
+		}()
+	}
+	awg.Wait()
+	return nil
+}
+
+// applyInbox reduces the sorted messages into dst's vector. When a node
+// receives several sum payloads over one identical chunk (the all-to-all
+// exchange), the reduction is computed in global node-index order with
+// the node's own contribution slotted at its own index, so every node of
+// an all-to-all obtains the bit-identical float32 sum regardless of its
+// ring position — the determinism guarantee real collectives (e.g.
+// NCCL) provide. Mixed or single payloads apply sequentially.
+func (c *Cluster) applyInbox(dst int, msgs []message) {
+	uniformSum := len(msgs) > 1
+	for _, m := range msgs {
+		if m.op != tensor.OpSum || m.chunk != msgs[0].chunk || m.chunk.Sub != nil {
+			uniformSum = false
+			break
+		}
+	}
+	if !uniformSum {
+		for _, m := range msgs {
+			m.op.Apply(m.chunk.Slice(c.vecs[dst]), m.data)
+		}
+		return
+	}
+	target := msgs[0].chunk.Slice(c.vecs[dst])
+	acc := tensor.New(len(target))
+	selfApplied := false
+	addSelf := func() {
+		tensor.Add(acc, target)
+		selfApplied = true
+	}
+	for _, m := range msgs {
+		if !selfApplied && dst < m.src {
+			addSelf()
+		}
+		tensor.Add(acc, m.data)
+	}
+	if !selfApplied {
+		addSelf()
+	}
+	copy(target, acc)
+}
+
+// AllReduce is the high-level entry point: it executes the schedule and,
+// if average is true, divides every vector by the node count afterwards
+// (Eq 5's 1/n factor).
+func (c *Cluster) AllReduce(s *core.Schedule, average bool) error {
+	if err := c.Execute(s); err != nil {
+		return err
+	}
+	if average {
+		// Divide rather than multiply by the reciprocal: IEEE division is
+		// correctly rounded, so exact cases (e.g. 105/15) stay exact.
+		n := float32(c.n)
+		for _, v := range c.vecs {
+			for i := range v {
+				v[i] /= n
+			}
+		}
+	}
+	return nil
+}
+
+// ExpectedSum returns the elementwise float64 sum of the inputs, the
+// ground truth an all-reduce must reach on every node.
+func ExpectedSum(inputs []tensor.Vector) []float64 {
+	if len(inputs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(inputs[0]))
+	for _, v := range inputs {
+		for i, x := range v {
+			out[i] += float64(x)
+		}
+	}
+	return out
+}
+
+// VerifyAllReduced checks that every node's vector matches the expected
+// sums within tol, returning a descriptive error on the first mismatch.
+func (c *Cluster) VerifyAllReduced(expected []float64, tol float64) error {
+	for node, v := range c.vecs {
+		if len(v) != len(expected) {
+			return fmt.Errorf("cluster: node %d length %d != %d", node, len(v), len(expected))
+		}
+		for i, x := range v {
+			if d := float64(x) - expected[i]; d > tol || d < -tol {
+				return fmt.Errorf("cluster: node %d element %d = %g, want %g (±%g)", node, i, x, expected[i], tol)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrht/internal/cluster"
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// intInputs builds n vectors of small integer-valued floats so that
+// float32 summation is exact and all-reduce results can be compared
+// exactly against the float64 ground truth.
+func intInputs(rng *rand.Rand, n, l int) []tensor.Vector {
+	in := make([]tensor.Vector, n)
+	for i := range in {
+		in[i] = tensor.New(l)
+		for j := range in[i] {
+			in[i][j] = float32(rng.Intn(201) - 100)
+		}
+	}
+	return in
+}
+
+func runAndVerify(t *testing.T, s *core.Schedule, n, l int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in := intInputs(rng, n, l)
+	want := cluster.ExpectedSum(in)
+	c, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute(s); err != nil {
+		t.Fatalf("%s N=%d: %v", s.Algorithm, n, err)
+	}
+	if err := c.VerifyAllReduced(want, 0); err != nil {
+		t.Fatalf("%s N=%d l=%d: %v", s.Algorithm, n, l, err)
+	}
+}
+
+func TestWRHTAllReduceCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 15, 16, 17, 31, 32, 33, 64, 100, 129, 200} {
+		for _, w := range []int{1, 2, 4, 8, 64} {
+			s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w})
+			if err != nil {
+				t.Fatalf("N=%d w=%d: %v", n, w, err)
+			}
+			runAndVerify(t, s, n, 50, int64(n*1000+w))
+		}
+	}
+}
+
+func TestWRHTAllReduceNoA2ACorrect(t *testing.T) {
+	for _, n := range []int{2, 15, 64, 100} {
+		s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: 4, DisableAllToAll: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAndVerify(t, s, n, 33, int64(n))
+	}
+}
+
+func TestWRHTExplicitGroupSizes(t *testing.T) {
+	// Fig-4 style group sizes on a smaller ring.
+	for _, m := range []int{3, 5, 9, 17, 33} {
+		s, err := core.BuildWRHT(core.Config{N: 128, Wavelengths: 64, GroupSize: m})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		runAndVerify(t, s, 128, 40, int64(m))
+	}
+}
+
+func TestRingAllReduceCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33, 64} {
+		runAndVerify(t, collective.BuildRing(n), n, 64, int64(n))
+	}
+}
+
+func TestRingAllReduceUnevenVector(t *testing.T) {
+	// Vector length not divisible by N exercises chunk rounding.
+	runAndVerify(t, collective.BuildRing(16), 16, 37, 99)
+	runAndVerify(t, collective.BuildRing(7), 7, 5, 98)
+}
+
+func TestBTAllReduceCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 15, 16, 17, 31, 32, 100} {
+		runAndVerify(t, collective.BuildBT(n), n, 48, int64(n))
+	}
+}
+
+func TestRDAllReduceCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		s, err := collective.BuildRD(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAndVerify(t, s, n, 64, int64(n))
+	}
+}
+
+func TestRDRejectsNonPow2(t *testing.T) {
+	if _, err := collective.BuildRD(12); err == nil {
+		t.Fatal("BuildRD(12) should fail")
+	}
+}
+
+func TestHRingAllReduceCorrect(t *testing.T) {
+	cases := []struct{ n, m, w int }{
+		{4, 2, 4}, {8, 4, 4}, {12, 3, 4}, {20, 5, 8}, {100, 5, 64},
+		{100, 10, 64}, {64, 8, 8}, {30, 5, 2}, // scarce wavelengths
+	}
+	for _, c := range cases {
+		s, err := collective.BuildHRing(c.n, c.m, c.w)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", c.n, c.m, err)
+		}
+		// Element count divisible by n avoids the documented band-rounding
+		// caveat — use a multiple.
+		runAndVerify(t, s, c.n, 3*c.n, int64(c.n*c.m))
+	}
+}
+
+func TestHRingUnevenVectorStillCorrect(t *testing.T) {
+	// Nested chunks keep H-Ring exact even when n does not divide the
+	// vector length.
+	s, err := collective.BuildHRing(20, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAndVerify(t, s, 20, 53, 7)
+}
+
+func TestHRingRejectsBadConfig(t *testing.T) {
+	if _, err := collective.BuildHRing(10, 3, 4); err == nil {
+		t.Fatal("m must divide n")
+	}
+	if _, err := collective.BuildHRing(10, 1, 4); err == nil {
+		t.Fatal("m=1 invalid")
+	}
+	if _, err := collective.BuildHRing(10, 5, 0); err == nil {
+		t.Fatal("w=0 invalid")
+	}
+}
+
+func TestAllReduceAverage(t *testing.T) {
+	in := []tensor.Vector{{2, 4}, {6, 8}}
+	c, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := core.BuildWRHT(core.Config{N: 2, Wavelengths: 1})
+	if err := c.AllReduce(s, true); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 2; node++ {
+		v := c.Vector(node)
+		if v[0] != 4 || v[1] != 6 {
+			t.Fatalf("node %d = %v, want [4 6]", node, v)
+		}
+	}
+}
+
+func TestClusterRejectsMismatchedSchedule(t *testing.T) {
+	c, err := cluster.New(intInputs(rand.New(rand.NewSource(1)), 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute(collective.BuildRing(8)); err == nil {
+		t.Fatal("schedule/cluster size mismatch accepted")
+	}
+}
+
+func TestClusterRejectsEmptyAndRagged(t *testing.T) {
+	if _, err := cluster.New(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := cluster.New([]tensor.Vector{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestQuickWRHTAllReduceProperty(t *testing.T) {
+	// Property: for random N, w, vector length, WRHT all-reduce equals
+	// the elementwise sum on every node, exactly (integer-valued data).
+	f := func(nRaw, wRaw, lRaw uint16, seed int64) bool {
+		n := int(nRaw%120) + 1
+		w := int(wRaw%16) + 1
+		l := int(lRaw%200) + 1
+		s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		in := intInputs(rng, n, l)
+		want := cluster.ExpectedSum(in)
+		c, err := cluster.New(in)
+		if err != nil {
+			return false
+		}
+		if err := c.Execute(s); err != nil {
+			return false
+		}
+		return c.VerifyAllReduced(want, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRingAllReduceProperty(t *testing.T) {
+	f := func(nRaw, lRaw uint16, seed int64) bool {
+		n := int(nRaw%64) + 1
+		l := int(lRaw%300) + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := intInputs(rng, n, l)
+		want := cluster.ExpectedSum(in)
+		c, err := cluster.New(in)
+		if err != nil {
+			return false
+		}
+		if err := c.Execute(collective.BuildRing(n)); err != nil {
+			return false
+		}
+		return c.VerifyAllReduced(want, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusWRHTAllReduceCorrect(t *testing.T) {
+	for _, c := range []struct{ r, cl, w int }{{4, 4, 2}, {3, 15, 2}, {8, 8, 4}, {1, 9, 2}, {9, 1, 2}} {
+		tor := topo.NewTorus(c.r, c.cl)
+		s, err := core.BuildWRHTTorus(tor, c.w, 0)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", c.r, c.cl, err)
+		}
+		runAndVerify(t, s, tor.N(), 30, int64(c.r*100+c.cl))
+	}
+}
+
+func TestMeshWRHTAllReduceCorrect(t *testing.T) {
+	for _, c := range []struct{ r, cl, w int }{{4, 4, 2}, {3, 15, 2}, {8, 8, 4}} {
+		m := topo.NewMesh(c.r, c.cl)
+		s, err := core.BuildWRHTMesh(m, c.w, 0)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", c.r, c.cl, err)
+		}
+		runAndVerify(t, s, m.N(), 25, int64(c.r*31+c.cl))
+	}
+}
+
+func TestLineWRHTAllReduceCorrect(t *testing.T) {
+	for _, n := range []int{2, 9, 15, 64, 100} {
+		s, err := core.BuildWRHTLine(core.Config{N: n, Wavelengths: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAndVerify(t, s, n, 21, int64(n*7))
+	}
+}

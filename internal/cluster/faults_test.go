@@ -1,0 +1,140 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/cluster"
+	"wrht/internal/core"
+	"wrht/internal/optical"
+	"wrht/internal/tensor"
+)
+
+// Fault-injection suite: the repository's three verification layers
+// (numeric all-reduce verification, rwa arc validation, MRR light
+// propagation) must each catch the class of corruption it is
+// responsible for. A schedule bug that slips through all three would be
+// a hole in the safety net, so these tests deliberately break schedules
+// and assert detection.
+
+func deepCopy(s *core.Schedule) *core.Schedule {
+	out := &core.Schedule{Algorithm: s.Algorithm, Ring: s.Ring}
+	for _, st := range s.Steps {
+		ns := core.Step{Phase: st.Phase, Transfers: append([]core.Transfer(nil), st.Transfers...)}
+		out.Steps = append(out.Steps, ns)
+	}
+	return out
+}
+
+func buildWRHT(t *testing.T, n, w int) *core.Schedule {
+	t.Helper()
+	s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func detectNumeric(t *testing.T, s *core.Schedule, n int) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	in := intInputs(rng, n, 32)
+	want := cluster.ExpectedSum(in)
+	c, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute(s); err != nil {
+		return true // structural failure also counts as detection
+	}
+	return c.VerifyAllReduced(want, 0) != nil
+}
+
+func TestDroppedTransferDetected(t *testing.T) {
+	const n = 30
+	for _, stepIdx := range []int{0, 1, 2} {
+		s := deepCopy(buildWRHT(t, n, 4))
+		if stepIdx >= len(s.Steps) || len(s.Steps[stepIdx].Transfers) == 0 {
+			continue
+		}
+		s.Steps[stepIdx].Transfers = s.Steps[stepIdx].Transfers[1:]
+		if !detectNumeric(t, s, n) {
+			t.Errorf("dropping a transfer from step %d went undetected", stepIdx)
+		}
+	}
+}
+
+func TestDroppedStepDetected(t *testing.T) {
+	const n = 30
+	s := deepCopy(buildWRHT(t, n, 4))
+	s.Steps = s.Steps[:len(s.Steps)-1]
+	if !detectNumeric(t, s, n) {
+		t.Error("dropping the final broadcast step went undetected")
+	}
+}
+
+func TestDuplicatedTransferDetected(t *testing.T) {
+	const n = 30
+	s := deepCopy(buildWRHT(t, n, 4))
+	// Double-count one gather contribution.
+	tr := s.Steps[0].Transfers[0]
+	s.Steps[0].Transfers = append(s.Steps[0].Transfers, tr)
+	if !detectNumeric(t, s, n) {
+		t.Error("duplicated sum transfer went undetected")
+	}
+}
+
+func TestWrongOpDetected(t *testing.T) {
+	const n = 30
+	s := deepCopy(buildWRHT(t, n, 4))
+	// Turn one reduce payload into an overwrite.
+	s.Steps[0].Transfers[0].Op = tensor.OpCopy
+	if !detectNumeric(t, s, n) {
+		t.Error("sum->copy corruption went undetected")
+	}
+}
+
+func TestWavelengthCorruptionCaughtByValidators(t *testing.T) {
+	const n = 30
+	s := deepCopy(buildWRHT(t, n, 4))
+	// Force two same-direction overlapping gather circuits onto one
+	// wavelength: take two transfers towards the same representative and
+	// equalize their wavelengths.
+	st := &s.Steps[0]
+	var i, j = -1, -1
+	for a := range st.Transfers {
+		for b := a + 1; b < len(st.Transfers); b++ {
+			ta, tb := st.Transfers[a], st.Transfers[b]
+			if ta.Dst == tb.Dst && ta.Dir == tb.Dir && ta.Wavelength != tb.Wavelength {
+				i, j = a, b
+				break
+			}
+		}
+		if i >= 0 {
+			break
+		}
+	}
+	if i < 0 {
+		t.Fatal("no suitable transfer pair found")
+	}
+	st.Transfers[j].Wavelength = st.Transfers[i].Wavelength
+	if err := s.Validate(0); err == nil {
+		t.Error("rwa validation missed the wavelength collision")
+	}
+	if err := optical.VerifySchedule(s); err == nil {
+		t.Error("MRR verification missed the wavelength collision")
+	}
+	// Note: the data-plane executor is wavelength-oblivious by design
+	// (it models ideal delivery), which is exactly why the validators
+	// must catch this class.
+}
+
+func TestMisroutedTransferDetected(t *testing.T) {
+	const n = 30
+	s := deepCopy(buildWRHT(t, n, 4))
+	// Send a gather payload to the wrong representative.
+	s.Steps[0].Transfers[0].Dst = (s.Steps[0].Transfers[0].Dst + 1) % n
+	if !detectNumeric(t, s, n) {
+		t.Error("misrouted transfer went undetected")
+	}
+}

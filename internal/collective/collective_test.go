@@ -1,0 +1,216 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/core"
+)
+
+func TestRingStepCount(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 100, 1024} {
+		s := BuildRing(n)
+		if got, want := s.NumSteps(), core.StepsRing(n); got != want {
+			t.Errorf("Ring(%d) steps = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRingSingleWavelengthAndValid(t *testing.T) {
+	for _, n := range []int{2, 3, 16, 65} {
+		s := BuildRing(n)
+		if s.WavelengthsNeeded() > 1 {
+			t.Errorf("Ring(%d) uses %d wavelengths, want 1", n, s.WavelengthsNeeded())
+		}
+		if err := s.Validate(1); err != nil {
+			t.Errorf("Ring(%d): %v", n, err)
+		}
+	}
+}
+
+func TestBTStepCountAndFig2(t *testing.T) {
+	// Paper Fig 2a: BT needs 8 steps on 15 nodes.
+	if got := BuildBT(15).NumSteps(); got != 8 {
+		t.Errorf("BT(15) steps = %d, want 8", got)
+	}
+	for _, n := range []int{2, 15, 16, 100, 1024} {
+		if got, want := BuildBT(n).NumSteps(), core.StepsBT(n); got != want {
+			t.Errorf("BT(%d) steps = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBTSingleWavelengthAndValid(t *testing.T) {
+	for _, n := range []int{2, 15, 64, 100} {
+		s := BuildBT(n)
+		if s.WavelengthsNeeded() > 1 {
+			t.Errorf("BT(%d) uses %d wavelengths", n, s.WavelengthsNeeded())
+		}
+		if err := s.Validate(1); err != nil {
+			t.Errorf("BT(%d): %v", n, err)
+		}
+	}
+}
+
+func TestRDStepCountAndValidity(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64} {
+		s, err := BuildRD(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * core.CeilLog(2, n)
+		if s.NumSteps() != want {
+			t.Errorf("RD(%d) steps = %d, want %d", n, s.NumSteps(), want)
+		}
+		// RD is an electrical algorithm but its optical expression must
+		// still be conflict-free (unbounded wavelength budget).
+		if err := s.Validate(0); err != nil {
+			t.Errorf("RD(%d): %v", n, err)
+		}
+	}
+}
+
+func TestHRingStepCountNearPaperFormula(t *testing.T) {
+	// Constructed H-Ring: 2(m−1) + 2(G−1) steps; the paper's closed form
+	// is one step higher at its Table-1 setting.
+	s, err := BuildHRing(1000, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.NumSteps(), HRingSteps(1000, 5, 64); got != want {
+		t.Errorf("HRing(1000,5) steps = %d, want %d", got, want)
+	}
+	paper := core.StepsHRingPaper(1000, 5, 64)
+	if diff := paper - s.NumSteps(); diff < 0 || diff > 2 {
+		t.Errorf("constructed %d vs paper formula %d differ by %d", s.NumSteps(), paper, diff)
+	}
+}
+
+func TestHRingScarceWavelengthsSerializes(t *testing.T) {
+	rich, err := BuildHRing(100, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := BuildHRing(100, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor.NumSteps() <= rich.NumSteps() {
+		t.Errorf("w=2 steps %d should exceed w=64 steps %d", poor.NumSteps(), rich.NumSteps())
+	}
+	if err := poor.Validate(2); err != nil {
+		t.Errorf("poor-wavelength H-Ring invalid: %v", err)
+	}
+	if err := rich.Validate(64); err != nil {
+		t.Errorf("rich-wavelength H-Ring invalid: %v", err)
+	}
+}
+
+func TestHRingWavelengthUse(t *testing.T) {
+	s, err := BuildHRing(100, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WavelengthsNeeded(); got != 10 {
+		t.Errorf("HRing(m=10) uses %d wavelengths, want m=10", got)
+	}
+}
+
+func TestProfilesMatchSchedules(t *testing.T) {
+	params := core.TimeParams{BytesPerSec: 5e9, StepOverheadSec: 25e-6}
+	d := 64e6 // divisible by all chunk counts used here
+	type pair struct {
+		name     string
+		schedule *core.Schedule
+		profile  core.Profile
+	}
+	rd64, err := BuildRD(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdProf, err := RDProfile(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := BuildHRing(100, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := core.Config{N: 100, Wavelengths: 8}
+	ws, err := core.BuildWRHT(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wProf, err := WRHTProfile(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []pair{
+		{"ring", BuildRing(64), RingProfile(64)},
+		{"bt", BuildBT(64), BTProfile(64)},
+		{"rd", rd64, rdProf},
+		{"hring", hr, HRingProfile(100, 5, 64)},
+		{"wrht", ws, wProf},
+	}
+	for _, p := range pairs {
+		fromSched := params.ProfileTime(core.ProfileOf(p.schedule), d)
+		fromProf := params.ProfileTime(p.profile, d)
+		if rel := math.Abs(fromSched-fromProf) / fromSched; rel > 1e-6 {
+			t.Errorf("%s: schedule-derived time %g != analytic profile time %g (rel %g)",
+				p.name, fromSched, fromProf, rel)
+		}
+		if p.schedule.NumSteps() != p.profile.NumSteps() {
+			t.Errorf("%s: schedule steps %d != profile steps %d",
+				p.name, p.schedule.NumSteps(), p.profile.NumSteps())
+		}
+	}
+}
+
+func TestProfileStepCountsAtPaperScale(t *testing.T) {
+	// Profiles must scale to Fig-6 sizes without building schedules.
+	if got := RingProfile(4096).NumSteps(); got != 8190 {
+		t.Errorf("Ring profile steps = %d, want 8190", got)
+	}
+	if got := BTProfile(4096).NumSteps(); got != 24 {
+		t.Errorf("BT profile steps = %d, want 24", got)
+	}
+	p, err := WRHTProfile(core.Config{N: 4096, Wavelengths: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumSteps(); got != 4 {
+		t.Errorf("WRHT profile steps = %d, want 4 (no all-to-all at m*=32)", got)
+	}
+	p2, err := WRHTProfile(core.Config{N: 2048, Wavelengths: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.NumSteps(); got != 3 {
+		t.Errorf("WRHT(2048) profile steps = %d, want 3 (all-to-all at m*=16)", got)
+	}
+}
+
+func TestRDProfileRejectsNonPow2(t *testing.T) {
+	if _, err := RDProfile(100); err == nil {
+		t.Fatal("RDProfile(100) should fail")
+	}
+}
+
+func TestTrivialSchedules(t *testing.T) {
+	for _, s := range []*core.Schedule{BuildRing(1), BuildBT(1)} {
+		if s.NumSteps() != 0 {
+			t.Errorf("%s(1) should be empty", s.Algorithm)
+		}
+	}
+	s, err := BuildRD(1)
+	if err != nil || s.NumSteps() != 0 {
+		t.Errorf("RD(1) should be empty, got %v %v", s.NumSteps(), err)
+	}
+	hs, err := BuildHRing(1, 2, 4)
+	if err != nil || hs.NumSteps() != 0 {
+		t.Errorf("HRing(1) should be empty, got %v", err)
+	}
+	if HRingProfile(1, 5, 4).NumSteps() != 0 || RingProfile(1).NumSteps() != 0 || BTProfile(1).NumSteps() != 0 {
+		t.Error("single-node profiles should be empty")
+	}
+}

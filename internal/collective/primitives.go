@@ -1,0 +1,163 @@
+package collective
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// Standalone collective primitives. All-reduce is reduce + broadcast
+// (§3.3) or reduce-scatter + all-gather; a downstream user composing
+// training systems needs the pieces individually (e.g. broadcast for
+// initial weight distribution, reduce-scatter for ZeRO-style sharded
+// optimizers), so they are exported with the same schedule/step
+// vocabulary as the full all-reduce algorithms.
+
+// rotate relabels every node id by +k (mod n), exploiting the ring's
+// rotational symmetry to re-root hierarchical schedules.
+func rotate(s *core.Schedule, k int) *core.Schedule {
+	n := s.Ring.N
+	out := &core.Schedule{Algorithm: s.Algorithm, Ring: s.Ring}
+	for _, st := range s.Steps {
+		ns := core.Step{Phase: st.Phase, Transfers: make([]core.Transfer, len(st.Transfers))}
+		for i, t := range st.Transfers {
+			t.Src = ((t.Src+k)%n + n) % n
+			t.Dst = ((t.Dst+k)%n + n) % n
+			ns.Transfers[i] = t
+		}
+		out.Steps = append(out.Steps, ns)
+	}
+	return out
+}
+
+// BuildReduce constructs a WRHT-style reduction of every node's vector
+// to the given root in ⌈log_m N⌉ grouped-gather steps (the reduce stage
+// of §4.1 without the final all-to-all). Non-root nodes' buffers hold
+// partial sums afterwards (like MPI_Reduce, their contents are
+// unspecified).
+func BuildReduce(n, wavelengths, root int) (*core.Schedule, error) {
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: reduce root %d out of range [0,%d)", root, n)
+	}
+	full, err := core.BuildWRHT(core.Config{N: n, Wavelengths: wavelengths, DisableAllToAll: true})
+	if err != nil {
+		return nil, err
+	}
+	reduceSteps := full.NumSteps() / 2
+	s := &core.Schedule{Algorithm: "reduce", Ring: full.Ring, Steps: full.Steps[:reduceSteps]}
+	// The gather-only WRHT converges on a deterministic position; rotate
+	// so that position becomes the requested root.
+	if reduceSteps > 0 {
+		natural := s.Steps[reduceSteps-1].Transfers[0].Dst
+		s = rotate(s, root-natural)
+	}
+	s.Algorithm = "reduce"
+	return s, nil
+}
+
+// BuildBroadcast constructs a WRHT-style broadcast from root to every
+// node in ⌈log_m N⌉ steps (the broadcast stage of §4.1).
+func BuildBroadcast(n, wavelengths, root int) (*core.Schedule, error) {
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: broadcast root %d out of range [0,%d)", root, n)
+	}
+	full, err := core.BuildWRHT(core.Config{N: n, Wavelengths: wavelengths, DisableAllToAll: true})
+	if err != nil {
+		return nil, err
+	}
+	reduceSteps := full.NumSteps() / 2
+	s := &core.Schedule{Algorithm: "broadcast", Ring: full.Ring, Steps: full.Steps[reduceSteps:]}
+	if reduceSteps > 0 {
+		natural := s.Steps[0].Transfers[0].Src
+		s = rotate(s, root-natural)
+	}
+	s.Algorithm = "broadcast"
+	return s, nil
+}
+
+// BuildReduceScatter constructs the ring reduce-scatter: after n−1
+// steps, node i holds the fully reduced chunk OwnedChunk(n, i) of the
+// n-way division.
+func BuildReduceScatter(n int) *core.Schedule {
+	full := BuildRing(n)
+	half := len(full.Steps) / 2
+	return &core.Schedule{Algorithm: "reduce-scatter", Ring: full.Ring, Steps: full.Steps[:half]}
+}
+
+// OwnedChunk returns the chunk node i owns after BuildReduceScatter.
+func OwnedChunk(n, i int) tensor.Chunk {
+	if n <= 1 {
+		return tensor.Whole
+	}
+	return tensor.Chunk{Index: (i + 1) % n, Of: n}
+}
+
+// BuildAllGather constructs the ring all-gather: node i starts with
+// valid data in chunk {i, n} of its vector and after n−1 steps every
+// node holds every chunk.
+func BuildAllGather(n int) *core.Schedule {
+	s := &core.Schedule{Algorithm: "all-gather", Ring: topo.NewRing(n)}
+	if n <= 1 {
+		return s
+	}
+	for t := 0; t < n-1; t++ {
+		st := core.Step{Phase: core.PhaseBroadcast}
+		for i := 0; i < n; i++ {
+			c := ((i-t)%n + n) % n
+			st.Transfers = append(st.Transfers, core.Transfer{
+				Src: i, Dst: (i + 1) % n,
+				Chunk: tensor.Chunk{Index: c, Of: n},
+				Op:    tensor.OpCopy,
+				Dir:   topo.CW, Wavelength: 0,
+			})
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s
+}
+
+// BuildDBTree constructs the double-binary-tree all-reduce of [25]
+// (the NCCL algorithm the paper's related work cites): two binary trees
+// whose node sets are shifted by one position each carry half of the
+// vector, doubling link utilisation relative to a single tree; the step
+// count stays 2⌈log₂N⌉ but every step moves d/2 on two wavelengths.
+func BuildDBTree(n int) *core.Schedule {
+	s := &core.Schedule{Algorithm: "dbtree", Ring: topo.NewRing(n)}
+	if n <= 1 {
+		return s
+	}
+	t1 := BuildBT(n)
+	t2 := rotate(BuildBT(n), 1)
+	for si := range t1.Steps {
+		st := core.Step{Phase: t1.Steps[si].Phase}
+		for _, tr := range t1.Steps[si].Transfers {
+			tr.Chunk = tensor.Chunk{Index: 0, Of: 2}
+			tr.Wavelength = 0
+			st.Transfers = append(st.Transfers, tr)
+		}
+		for _, tr := range t2.Steps[si].Transfers {
+			tr.Chunk = tensor.Chunk{Index: 1, Of: 2}
+			tr.Wavelength = 1
+			st.Transfers = append(st.Transfers, tr)
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s
+}
+
+// DBTreeProfile returns the analytic profile of the double binary tree:
+// 2⌈log₂N⌉ steps of d/2 bytes on two wavelengths.
+func DBTreeProfile(n int) core.Profile {
+	p := core.Profile{Algorithm: "dbtree"}
+	if n <= 1 {
+		return p
+	}
+	p.Groups = []core.ProfileGroup{{
+		Steps:       core.StepsBT(n),
+		FracOfD:     0.5,
+		Wavelengths: 2,
+	}}
+	return p
+}

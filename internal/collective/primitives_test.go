@@ -1,0 +1,218 @@
+package collective_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/cluster"
+	"wrht/internal/collective"
+	"wrht/internal/tensor"
+)
+
+func randInputs(rng *rand.Rand, n, l int) []tensor.Vector {
+	in := make([]tensor.Vector, n)
+	for i := range in {
+		in[i] = tensor.New(l)
+		for j := range in[i] {
+			in[i][j] = float32(rng.Intn(101) - 50)
+		}
+	}
+	return in
+}
+
+func TestBroadcastDeliversRootVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 5, 15, 16, 64, 100} {
+		for _, root := range []int{0, 1, n / 2, n - 1} {
+			s, err := collective.BuildBroadcast(n, 4, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(4); err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			in := randInputs(rng, n, 17)
+			want := in[root].Clone()
+			cl, err := cluster.New(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Execute(s); err != nil {
+				t.Fatal(err)
+			}
+			for node := 0; node < n; node++ {
+				if !tensor.Equal(cl.Vector(node), want, 0) {
+					t.Fatalf("n=%d root=%d: node %d did not receive the root vector", n, root, node)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSumsToRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{2, 5, 16, 100} {
+		for _, root := range []int{0, n - 1, n / 3} {
+			s, err := collective.BuildReduce(n, 4, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(4); err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			in := randInputs(rng, n, 9)
+			want := cluster.ExpectedSum(in)
+			cl, err := cluster.New(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Execute(s); err != nil {
+				t.Fatal(err)
+			}
+			v := cl.Vector(root)
+			for i := range v {
+				if float64(v[i]) != want[i] {
+					t.Fatalf("n=%d root=%d: root[%d] = %g, want %g", n, root, i, v[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReducePlusBroadcastEqualsAllReduce(t *testing.T) {
+	const n, root = 20, 7
+	rng := rand.New(rand.NewSource(5))
+	in := randInputs(rng, n, 24)
+	want := cluster.ExpectedSum(in)
+	red, err := collective.BuildReduce(n, 4, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := collective.BuildBroadcast(n, 4, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(red); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(bc); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.VerifyAllReduced(want, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 4, 7, 16} {
+		s := collective.BuildReduceScatter(n)
+		in := randInputs(rng, n, 4*n)
+		want := cluster.ExpectedSum(in)
+		cl, err := cluster.New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			c := collective.OwnedChunk(n, i)
+			lo, hi := c.Range(4 * n)
+			v := cl.Vector(i)
+			for e := lo; e < hi; e++ {
+				if float64(v[e]) != want[e] {
+					t.Fatalf("n=%d: node %d chunk element %d = %g, want %g", n, i, e, v[e], want[e])
+				}
+			}
+		}
+	}
+}
+
+func TestAllGatherDistributesChunks(t *testing.T) {
+	for _, n := range []int{2, 5, 16} {
+		s := collective.BuildAllGather(n)
+		l := 3 * n
+		in := make([]tensor.Vector, n)
+		for i := range in {
+			in[i] = tensor.New(l)
+			c := tensor.Chunk{Index: i, Of: n}
+			seg := c.Slice(in[i])
+			for j := range seg {
+				seg[j] = float32(i + 1)
+			}
+		}
+		cl, err := cluster.New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+		for node := 0; node < n; node++ {
+			v := cl.Vector(node)
+			for owner := 0; owner < n; owner++ {
+				c := tensor.Chunk{Index: owner, Of: n}
+				for _, x := range c.Slice(v) {
+					if x != float32(owner+1) {
+						t.Fatalf("n=%d node %d: chunk %d has %g, want %d", n, node, owner, x, owner+1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDBTreeAllReduceCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{2, 3, 4, 8, 15, 16, 33, 64} {
+		s := collective.BuildDBTree(n)
+		if err := s.Validate(2); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		in := randInputs(rng, n, 40)
+		want := cluster.ExpectedSum(in)
+		cl, err := cluster.New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.VerifyAllReduced(want, 0); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDBTreeHalvesBTTime(t *testing.T) {
+	// Same step count as BT but half the payload per step.
+	n := 64
+	db := collective.DBTreeProfile(n)
+	bt := collective.BTProfile(n)
+	if db.NumSteps() != bt.NumSteps() {
+		t.Fatalf("dbtree steps %d != bt steps %d", db.NumSteps(), bt.NumSteps())
+	}
+	if db.Groups[0].FracOfD != 0.5 || bt.Groups[0].FracOfD != 1 {
+		t.Fatal("payload fractions wrong")
+	}
+	sched := collective.BuildDBTree(n)
+	if sched.WavelengthsNeeded() != 2 {
+		t.Fatalf("dbtree wavelengths = %d, want 2", sched.WavelengthsNeeded())
+	}
+}
+
+func TestBadRoots(t *testing.T) {
+	if _, err := collective.BuildReduce(8, 4, 8); err == nil {
+		t.Fatal("root out of range accepted")
+	}
+	if _, err := collective.BuildBroadcast(8, 4, -1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,154 @@
+package collective
+
+import (
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// BuildRD constructs recursive halving/doubling all-reduce (the paper's
+// "Recursive Doubling" electrical baseline, §5.2): a reduce-scatter by
+// recursive vector halving followed by an all-gather by recursive
+// doubling, 2·log₂N steps total with per-step volume d/2, d/4, ….
+// N must be a power of two (all Fig-7 configurations are).
+//
+// The schedule is expressed over ring positions like every other
+// collective; the electrical simulator only uses the (src, dst, chunk)
+// triples and the fat-tree routes them itself. For optical execution the
+// transfers take the shortest ring direction; wavelength indices are
+// chosen per distance so the validator accepts the schedule, though RD
+// is not wavelength-efficient (it is an electrical-system algorithm).
+func BuildRD(n int) (*core.Schedule, error) {
+	s := &core.Schedule{Algorithm: "rd", Ring: topo.NewRing(n)}
+	if n <= 1 {
+		return s, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, errNotPow2(n)
+	}
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	ring := topo.NewRing(n)
+	// Halving phase, steps t = 0..k-1: node i pairs with p = i XOR 2^(k-1-t)
+	// and sends the half of its live block owned by p's side: the chunk
+	// block (p >> (k-t-1)) of 2^(t+1) blocks.
+	mk := func(t int, op tensor.ReduceOp) core.Step {
+		phase := core.PhaseReduce
+		if op == tensor.OpCopy {
+			phase = core.PhaseBroadcast
+		}
+		st := core.Step{Phase: phase}
+		bit := k - 1 - t
+		for i := 0; i < n; i++ {
+			p := i ^ (1 << bit)
+			var c tensor.Chunk
+			if op == tensor.OpSum {
+				c = nestedBlock(p>>bit, k-bit)
+			} else {
+				// Doubling: send the block the sender completed, which the
+				// partner lacks: the sender's own side.
+				c = nestedBlock(i>>bit, k-bit)
+			}
+			dir, dist := ring.ShortestDir(i, p)
+			st.Transfers = append(st.Transfers, core.Transfer{
+				Src: i, Dst: p,
+				Chunk: c, Op: op,
+				Dir: dir, Wavelength: wavelengthForPair(i, dist),
+			})
+		}
+		return st
+	}
+	for t := 0; t < k; t++ {
+		s.Steps = append(s.Steps, mk(t, tensor.OpSum))
+	}
+	for t := k - 1; t >= 0; t-- {
+		s.Steps = append(s.Steps, mk(t, tensor.OpCopy))
+	}
+	return s, nil
+}
+
+// nestedBlock returns the chunk selecting block q among 2^depth blocks
+// built by repeated halving, one bit of q per level. Expressing blocks
+// as nested halvings (rather than flat Chunk{q, 2^depth} divisions)
+// keeps a coarse block exactly equal to the union of its two children
+// even when the vector length is not divisible by the block count —
+// flat divisions place the rounding slack differently at different
+// granularities and would make the halving exchange ship stale ranges.
+func nestedBlock(q, depth int) tensor.Chunk {
+	if depth <= 0 {
+		return tensor.Whole
+	}
+	root := tensor.Chunk{Index: (q >> (depth - 1)) & 1, Of: 2}
+	cur := &root
+	for lvl := depth - 2; lvl >= 0; lvl-- {
+		sub := &tensor.Chunk{Index: (q >> lvl) & 1, Of: 2}
+		cur.Sub = sub
+		cur = sub
+	}
+	return root
+}
+
+// wavelengthForPair spreads same-direction equal-distance pairwise
+// exchanges over wavelengths: pairs at distance dist tile the ring in
+// runs, and giving the run index modulo dist distinct wavelengths keeps
+// overlapping arcs apart. (For XOR partners at distance 2^b the arcs of
+// consecutive sources overlap; sources i and i+dist use disjoint arcs.)
+func wavelengthForPair(src, dist int) int {
+	if dist <= 0 {
+		return 0
+	}
+	return src % dist
+}
+
+type errNotPow2 int
+
+func (e errNotPow2) Error() string {
+	return "collective: recursive halving/doubling requires power-of-two node count, got " + itoa(int(e))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// RDProfile returns the analytic step profile of recursive
+// halving/doubling: steps t = 0..k−1 move d/2^(t+1) then the reverse.
+func RDProfile(n int) (core.Profile, error) {
+	p := core.Profile{Algorithm: "rd"}
+	if n <= 1 {
+		return p, nil
+	}
+	if n&(n-1) != 0 {
+		return core.Profile{}, errNotPow2(n)
+	}
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	for t := 0; t < k; t++ {
+		p.Groups = append(p.Groups, core.ProfileGroup{Steps: 1, FracOfD: 1 / float64(int64(2)<<t), Wavelengths: 1 << (k - 1 - t)})
+	}
+	for t := k - 1; t >= 0; t-- {
+		p.Groups = append(p.Groups, core.ProfileGroup{Steps: 1, FracOfD: 1 / float64(int64(2)<<t), Wavelengths: 1 << (k - 1 - t)})
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+// Package collective implements the baseline all-reduce algorithms the
+// paper compares against (§5.2): Ring, hierarchical Ring (H-Ring [28]),
+// binary tree (BT [33]), and recursive halving/doubling (RD). Each
+// algorithm is available both as an explicit core.Schedule (for the
+// data-plane executor, wavelength validation, and small-scale timing)
+// and as an analytic core.Profile (for timing at paper scale without
+// materialising millions of transfers). The test suite cross-checks
+// schedule-derived and analytic profiles for equality.
+package collective
+
+import (
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// BuildRing constructs the classic Ring all-reduce on an n-node ring:
+// a reduce-scatter pass of n−1 steps followed by an all-gather pass of
+// n−1 steps, every step moving d/n-sized chunks between CW neighbours.
+// It uses a single wavelength (neighbour arcs are segment-disjoint),
+// which is exactly why it cannot exploit WDM (§1).
+func BuildRing(n int) *core.Schedule {
+	s := &core.Schedule{Algorithm: "ring", Ring: topo.NewRing(n)}
+	if n <= 1 {
+		return s
+	}
+	// Reduce-scatter: in step t, node i forwards chunk (i−t mod n) to its
+	// CW neighbour, which accumulates. After n−1 steps node i holds the
+	// fully reduced chunk (i+1 mod n).
+	for t := 0; t < n-1; t++ {
+		st := core.Step{Phase: core.PhaseReduce}
+		for i := 0; i < n; i++ {
+			c := ((i-t)%n + n) % n
+			st.Transfers = append(st.Transfers, core.Transfer{
+				Src: i, Dst: (i + 1) % n,
+				Chunk: tensor.Chunk{Index: c, Of: n},
+				Op:    tensor.OpSum,
+				Dir:   topo.CW, Wavelength: 0,
+			})
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	// All-gather: in step t, node i forwards the reduced chunk
+	// (i+1−t mod n) to its CW neighbour, which overwrites.
+	for t := 0; t < n-1; t++ {
+		st := core.Step{Phase: core.PhaseBroadcast}
+		for i := 0; i < n; i++ {
+			c := ((i+1-t)%n + n) % n
+			st.Transfers = append(st.Transfers, core.Transfer{
+				Src: i, Dst: (i + 1) % n,
+				Chunk: tensor.Chunk{Index: c, Of: n},
+				Op:    tensor.OpCopy,
+				Dir:   topo.CW, Wavelength: 0,
+			})
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s
+}
+
+// RingProfile returns the analytic step profile of Ring all-reduce:
+// 2(N−1) steps of d/N bytes on one wavelength.
+func RingProfile(n int) core.Profile {
+	p := core.Profile{Algorithm: "ring"}
+	if n <= 1 {
+		return p
+	}
+	p.Groups = []core.ProfileGroup{{
+		Steps:       core.StepsRing(n),
+		FracOfD:     1 / float64(n),
+		Wavelengths: 1,
+	}}
+	return p
+}
+
+// BuildBT constructs the binary-tree all-reduce of [33] (paper Fig 2a):
+// in reduce step i (1-based), nodes are grouped in runs of 2^i and the
+// node at offset 2^(i−1) sends its full partial to the run's first node;
+// the broadcast stage replays the steps in reverse. Like Ring it uses a
+// single wavelength: within a step the sender→receiver arcs of distinct
+// runs are segment-disjoint.
+func BuildBT(n int) *core.Schedule {
+	s := &core.Schedule{Algorithm: "bt", Ring: topo.NewRing(n)}
+	if n <= 1 {
+		return s
+	}
+	levels := core.CeilLog(2, n)
+	mk := func(i int, op tensor.ReduceOp) core.Step {
+		phase := core.PhaseReduce
+		if op == tensor.OpCopy {
+			phase = core.PhaseBroadcast
+		}
+		st := core.Step{Phase: phase}
+		span := 1 << i
+		half := span >> 1
+		for lo := 0; lo < n; lo += span {
+			src := lo + half
+			if src >= n {
+				continue
+			}
+			tr := core.Transfer{
+				Src: src, Dst: lo,
+				Chunk: tensor.Whole, Op: op,
+				Dir: topo.CCW, Wavelength: 0,
+			}
+			if op == tensor.OpCopy {
+				tr.Src, tr.Dst = lo, src
+				tr.Dir = topo.CW
+			}
+			st.Transfers = append(st.Transfers, tr)
+		}
+		return st
+	}
+	for i := 1; i <= levels; i++ {
+		s.Steps = append(s.Steps, mk(i, tensor.OpSum))
+	}
+	for i := levels; i >= 1; i-- {
+		s.Steps = append(s.Steps, mk(i, tensor.OpCopy))
+	}
+	return s
+}
+
+// BTProfile returns the analytic step profile of binary-tree all-reduce:
+// 2⌈log₂N⌉ steps of d bytes on one wavelength.
+func BTProfile(n int) core.Profile {
+	p := core.Profile{Algorithm: "bt"}
+	if n <= 1 {
+		return p
+	}
+	p.Groups = []core.ProfileGroup{{
+		Steps:       core.StepsBT(n),
+		FracOfD:     1,
+		Wavelengths: 1,
+	}}
+	return p
+}
+
+// WRHTProfile returns the analytic step profile of WRHT for cfg: every
+// step carries the full vector d (the reduction keeps per-step traffic
+// constant, §3.3); gather levels need ⌊m/2⌋ wavelengths and the final
+// all-to-all needs ⌈m*²/8⌉.
+func WRHTProfile(cfg core.Config) (core.Profile, error) {
+	st, err := core.StepsWRHT(cfg)
+	if err != nil {
+		return core.Profile{}, err
+	}
+	p := core.Profile{Algorithm: "wrht"}
+	if st.Total == 0 {
+		return p, nil
+	}
+	m := cfg.EffectiveGroupSize()
+	gatherW := m / 2
+	if cfg.N < m {
+		gatherW = cfg.N / 2
+	}
+	if st.GatherLevels > 0 {
+		p.Groups = append(p.Groups, core.ProfileGroup{Steps: st.GatherLevels, FracOfD: 1, Wavelengths: gatherW})
+	}
+	if st.AllToAll {
+		p.Groups = append(p.Groups, core.ProfileGroup{Steps: 1, FracOfD: 1, Wavelengths: core.AllToAllRequirement(st.FinalGroup)})
+	}
+	if st.GatherLevels > 0 {
+		p.Groups = append(p.Groups, core.ProfileGroup{Steps: st.GatherLevels, FracOfD: 1, Wavelengths: gatherW})
+	}
+	return p, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

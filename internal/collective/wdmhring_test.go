@@ -1,0 +1,137 @@
+package collective_test
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/cluster"
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/optical"
+)
+
+func TestWDMHRingAllReduceCorrect(t *testing.T) {
+	cases := []struct{ n, m, w int }{
+		{4, 2, 4}, {8, 4, 4}, {12, 3, 2}, {20, 5, 8}, {64, 8, 8},
+		{100, 10, 64}, {30, 5, 2}, {16, 16, 64}, // single group = pure a2a
+		{36, 6, 3}, // sub-step splitting (a2a needs 9 > 3)
+	}
+	rngSeed := int64(1)
+	for _, c := range cases {
+		s, err := collective.BuildWDMHRing(c.n, c.m, c.w)
+		if err != nil {
+			t.Fatalf("n=%d m=%d w=%d: %v", c.n, c.m, c.w, err)
+		}
+		if err := s.Validate(c.w); err != nil {
+			t.Fatalf("n=%d m=%d w=%d: %v", c.n, c.m, c.w, err)
+		}
+		if err := optical.VerifySchedule(s); err != nil {
+			t.Fatalf("n=%d m=%d w=%d MRR: %v", c.n, c.m, c.w, err)
+		}
+		in := randInputs(newRng(rngSeed), c.n, 3*c.n)
+		rngSeed++
+		want := cluster.ExpectedSum(in)
+		cl, err := cluster.New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.VerifyAllReduced(want, 0); err != nil {
+			t.Fatalf("n=%d m=%d w=%d: %v", c.n, c.m, c.w, err)
+		}
+	}
+}
+
+func TestWDMHRingUnevenVector(t *testing.T) {
+	s, err := collective.BuildWDMHRing(20, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInputs(newRng(42), 20, 53)
+	want := cluster.ExpectedSum(in)
+	cl, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.VerifyAllReduced(want, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWDMHRingProfileMatchesSchedule(t *testing.T) {
+	p := optical.DefaultParams()
+	tp := core.TimeParams{BytesPerSec: p.BandwidthBps / 8, StepOverheadSec: p.ReconfigDelay}
+	for _, c := range []struct{ n, m, w int }{{100, 10, 64}, {64, 8, 8}, {36, 6, 3}} {
+		s, err := collective.BuildWDMHRing(c.n, c.m, c.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := collective.WDMHRingProfile(c.n, c.m, c.w)
+		if s.NumSteps() != prof.NumSteps() {
+			t.Fatalf("n=%d m=%d w=%d: schedule %d steps, profile %d", c.n, c.m, c.w, s.NumSteps(), prof.NumSteps())
+		}
+		d := float64(c.n * c.m * 40) // divisible payload
+		fromSched := tp.ProfileTime(core.ProfileOf(s), d)
+		fromProf := tp.ProfileTime(prof, d)
+		if rel := math.Abs(fromSched-fromProf) / fromSched; rel > 1e-6 {
+			t.Fatalf("n=%d m=%d w=%d: schedule time %g vs profile %g", c.n, c.m, c.w, fromSched, fromProf)
+		}
+	}
+}
+
+func TestWDMHRingFewerStepsThanHRing(t *testing.T) {
+	// The whole point: with wavelengths available, the intra phases
+	// collapse. At n=100, m=10, w=64: H-Ring needs 2·9+2·9 = 36 steps,
+	// WDM-HRing ⌈25/64⌉·2 + 18 = 20.
+	h, err := collective.BuildHRing(100, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := collective.BuildWDMHRing(100, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh.NumSteps() >= h.NumSteps() {
+		t.Fatalf("WDM-HRing %d steps should beat H-Ring %d", wh.NumSteps(), h.NumSteps())
+	}
+}
+
+func TestWDMHRingBandwidthBeatsWRHTOnHugePayloads(t *testing.T) {
+	// For a BEiT-class payload at N=1024 the chunked WDM-HRing must beat
+	// full-vector WRHT under the Eq-6 model (the crossover WRHT loses).
+	p := optical.DefaultParams()
+	d := 1.2e9
+	wrhtProf, err := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tWRHT, err := optical.RunProfile(p, wrhtProf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tWH, err := optical.RunProfile(p, collective.WDMHRingProfile(1024, 32, 64), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tWH.Time >= tWRHT.Time {
+		t.Fatalf("WDM-HRing %.4fs should beat WRHT %.4fs on 1.2 GB payloads", tWH.Time, tWRHT.Time)
+	}
+}
+
+func TestWDMHRingValidation(t *testing.T) {
+	if _, err := collective.BuildWDMHRing(10, 3, 4); err == nil {
+		t.Fatal("m must divide n")
+	}
+	if _, err := collective.BuildWDMHRing(10, 5, 0); err == nil {
+		t.Fatal("w=0 invalid")
+	}
+	s, err := collective.BuildWDMHRing(1, 2, 4)
+	if err != nil || s.NumSteps() != 0 {
+		t.Fatalf("n=1 should be empty: %v", err)
+	}
+}

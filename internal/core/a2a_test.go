@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+func TestAllToAllRequirementMeetsPaperBoundOddK(t *testing.T) {
+	// For odd k the tiling construction meets ⌈k²/8⌉ exactly.
+	for k := 3; k <= 129; k += 2 {
+		req := AllToAllRequirement(k)
+		bound := AllToAllWavelengths(k)
+		if req > bound {
+			t.Errorf("k=%d: requirement %d > paper bound %d", k, req, bound)
+		}
+	}
+}
+
+func TestAllToAllRequirementNearBoundEvenK(t *testing.T) {
+	// For even k the construction stays within ⌈k/8⌉+1 of the bound.
+	for k := 2; k <= 128; k += 2 {
+		req := AllToAllRequirement(k)
+		bound := AllToAllWavelengths(k)
+		slack := k/8 + 1
+		if req > bound+slack {
+			t.Errorf("k=%d: requirement %d > bound %d + slack %d", k, req, bound, slack)
+		}
+	}
+}
+
+func TestAllToAllStepConflictFree(t *testing.T) {
+	// Representatives at arbitrary (uneven) positions: the construction
+	// must stay conflict-free within its own wavelength requirement.
+	cases := [][]int{
+		{2, 7, 12},                       // Fig 2 representatives on a 15-ring
+		{0, 1, 2, 3},                     // tightly packed
+		{0, 10, 11, 40, 41, 90},          // wildly uneven
+		{5, 20, 35, 50, 65, 80, 95, 110}, // 8 evenly spaced (Table 1 case)
+	}
+	sizes := []int{15, 10, 100, 128}
+	for i, reps := range cases {
+		ring := topo.NewRing(sizes[i])
+		st := buildAllToAllStep(ring, reps)
+		s := &Schedule{Algorithm: "a2a", Ring: ring, Steps: []Step{st}}
+		req := AllToAllRequirement(len(reps))
+		if err := s.Validate(req); err != nil {
+			t.Errorf("case %d (k=%d): %v", i, len(reps), err)
+		}
+		// Every ordered pair must appear exactly once.
+		want := len(reps) * (len(reps) - 1)
+		if len(st.Transfers) != want {
+			t.Errorf("case %d: %d transfers, want %d", i, len(st.Transfers), want)
+		}
+	}
+}
+
+func TestAllToAllRequirementMonotoneish(t *testing.T) {
+	// The requirement must be positive and grow roughly quadratically.
+	if AllToAllRequirement(1) != 0 || AllToAllRequirement(0) != 0 {
+		t.Fatal("k<=1 should need 0 wavelengths")
+	}
+	if AllToAllRequirement(2) != 1 {
+		t.Fatalf("k=2 requirement = %d, want 1", AllToAllRequirement(2))
+	}
+	if AllToAllRequirement(3) > 2 {
+		t.Fatalf("k=3 requirement = %d, want <= 2", AllToAllRequirement(3))
+	}
+}
+
+func TestRouteAllToAllCoversAllPairs(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 8, 9, 16} {
+		cw, ccw := routeAllToAll(k)
+		seen := map[[2]int]int{}
+		for _, a := range append(cw, ccw...) {
+			seen[[2]int{a.Src, a.Dst}]++
+		}
+		if len(seen) != k*(k-1) {
+			t.Errorf("k=%d: %d distinct pairs, want %d", k, len(seen), k*(k-1))
+		}
+		for p, c := range seen {
+			if c != 1 {
+				t.Errorf("k=%d: pair %v routed %d times", k, p, c)
+			}
+		}
+		// Arc lengths are at most ⌈k/2⌉ (shortest-direction routing).
+		for _, a := range append(cw, ccw...) {
+			if a.Len < 1 || a.Len > (k+1)/2 && 2*a.Len != k {
+				t.Errorf("k=%d: arc %+v has invalid length", k, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import "fmt"
+
+// CeilLog returns ⌈log_base(n)⌉ for n ≥ 1 and base ≥ 2, computed with
+// integer arithmetic: the smallest L with base^L ≥ n.
+func CeilLog(base, n int) int {
+	if base < 2 {
+		panic(fmt.Sprintf("core: CeilLog base %d < 2", base))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("core: CeilLog n %d < 1", n))
+	}
+	l, p := 0, 1
+	for p < n {
+		p *= base
+		l++
+	}
+	return l
+}
+
+// StepsRing returns the step count of Ring all-reduce, 2(N−1) (Table 1).
+func StepsRing(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * (n - 1)
+}
+
+// StepsBT returns the step count of binary-tree all-reduce,
+// 2⌈log₂N⌉ (Table 1).
+func StepsBT(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * CeilLog(2, n)
+}
+
+// StepsHRingPaper returns the H-Ring step count using the paper's
+// closed forms (Table 1): 2(m²+N)/m − 3 when ⌈m/w⌉ = 1, and
+// 2(2m²+N)/m − 6 when ⌈m/w⌉ > 1, rounded up. For N=1024, m=5, w=64 this
+// yields the paper's 417.
+func StepsHRingPaper(n, m, w int) int {
+	if n <= 1 {
+		return 0
+	}
+	if m < 2 || w < 1 {
+		panic(fmt.Sprintf("core: StepsHRingPaper m=%d w=%d invalid", m, w))
+	}
+	if (m+w-1)/w == 1 {
+		return ceilDiv(2*(m*m+n), m) - 3
+	}
+	return ceilDiv(2*(2*m*m+n), m) - 6
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// WRHTSteps describes the analytic step structure of a WRHT schedule.
+type WRHTSteps struct {
+	// GatherLevels is the number of grouped-gather reduce levels.
+	GatherLevels int
+	// AllToAll reports whether the final reduce step is the all-to-all
+	// exchange among representatives (θ = 2⌈log_m N⌉ − 1) rather than a
+	// gather to a single root (θ = 2⌈log_m N⌉).
+	AllToAll bool
+	// FinalGroup is the representative count entering the final reduce
+	// step (m* in §4.1.2).
+	FinalGroup int
+	// Total is θ, the total communication step count.
+	Total int
+}
+
+// StepsWRHT computes the WRHT step structure for the configuration by
+// replaying the level recursion without materialising transfers. It
+// agrees exactly with BuildWRHT (asserted by the test suite).
+func StepsWRHT(cfg Config) (WRHTSteps, error) {
+	if err := cfg.validate(); err != nil {
+		return WRHTSteps{}, err
+	}
+	m := cfg.EffectiveGroupSize()
+	r := cfg.N
+	var out WRHTSteps
+	if r <= 1 {
+		return out, nil
+	}
+	for r > 1 {
+		if r <= m && !cfg.DisableAllToAll && AllToAllRequirement(r) <= cfg.Wavelengths {
+			out.AllToAll = true
+			out.FinalGroup = r
+			break
+		}
+		if r <= m {
+			out.FinalGroup = r
+		}
+		r = ceilDiv(r, m)
+		out.GatherLevels++
+	}
+	if out.AllToAll {
+		out.Total = 2*out.GatherLevels + 1 // gathers + a2a + broadcasts
+	} else {
+		out.Total = 2 * out.GatherLevels
+	}
+	return out, nil
+}
+
+// LowerBoundSteps returns Lemma 1's lower bound on the WRHT step count in
+// an N-node ring with w wavelengths: 2⌈log_{2w+1} N⌉.
+func LowerBoundSteps(n, w int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * CeilLog(2*w+1, n)
+}
+
+// TimeParams are the Eq-6 timing constants of the optical system.
+type TimeParams struct {
+	// BytesPerSec is B, the per-wavelength bandwidth (40 Gb/s in Table 2,
+	// i.e. 5e9 bytes/s).
+	BytesPerSec float64
+	// StepOverheadSec is a, the O/E/O conversion plus MRR reconfiguration
+	// delay charged once per communication step (25 µs in Table 2).
+	StepOverheadSec float64
+}
+
+// CommTime evaluates Eq (6): T = d·θ/B + a·θ for a collective whose every
+// step moves d bytes on its busiest circuit.
+func (p TimeParams) CommTime(steps int, dBytes float64) float64 {
+	return float64(steps) * (dBytes/p.BytesPerSec + p.StepOverheadSec)
+}
+
+// ProfileTime evaluates the Eq-6 model over an analytic step profile:
+// Σ groups steps × (frac·d/B + a).
+func (p TimeParams) ProfileTime(pr Profile, dBytes float64) float64 {
+	var t float64
+	for _, g := range pr.Groups {
+		t += float64(g.Steps) * (g.FracOfD*dBytes/p.BytesPerSec + p.StepOverheadSec)
+	}
+	return t
+}
+
+// TheoremOneLowerBound returns Theorem 1's optimal WRHT communication
+// time: (2d⌈log_m N⌉)/B + 2a⌈log_m N⌉ with m = 2w+1.
+func (p TimeParams) TheoremOneLowerBound(n, w int, dBytes float64) float64 {
+	return p.CommTime(LowerBoundSteps(n, w), dBytes)
+}
+
+// RingCrossoverN returns the node count beyond which fused WRHT (full
+// vector per step) always has lower Eq-6 communication time than optical
+// Ring all-reduce (d/N chunks, 2(N−1) steps) over power-of-two N up to
+// maxN, for a d-byte vector and w wavelengths. WRHT trivially wins at
+// very small N (θ ≤ 2); for large payloads Ring's chunk amortisation can
+// win in a middle range until its 2(N−1) step overheads dominate — this
+// returns the first power of two past that range, quantifying the §5.4
+// observation. It returns 2 when Ring never wins, and 0 when Ring still
+// wins at maxN.
+func (p TimeParams) RingCrossoverN(w int, dBytes float64, maxN int) int {
+	cross := 2
+	for n := 2; n <= maxN; n *= 2 {
+		st, err := StepsWRHT(Config{N: n, Wavelengths: w})
+		if err != nil {
+			return 0
+		}
+		tw := p.CommTime(st.Total, dBytes)
+		ring := float64(StepsRing(n)) * (dBytes/float64(n)/p.BytesPerSec + p.StepOverheadSec)
+		if ring <= tw {
+			cross = 2 * n
+		}
+	}
+	if cross > maxN {
+		return 0
+	}
+	return cross
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCeilLog(t *testing.T) {
+	cases := []struct{ base, n, want int }{
+		{2, 1, 0}, {2, 2, 1}, {2, 3, 2}, {2, 1024, 10}, {2, 1025, 11},
+		{129, 1024, 2}, {129, 129, 1}, {129, 130, 2},
+		{5, 15, 2}, {3, 27, 3}, {3, 28, 4},
+	}
+	for _, c := range cases {
+		if got := CeilLog(c.base, c.n); got != c.want {
+			t.Errorf("CeilLog(%d, %d) = %d, want %d", c.base, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTable1StepCounts(t *testing.T) {
+	// Table 1 at N = 1024, w = 64.
+	if got := StepsRing(1024); got != 2046 {
+		t.Errorf("Ring steps = %d, want 2046", got)
+	}
+	if got := StepsHRingPaper(1024, 5, 64); got != 417 {
+		t.Errorf("H-Ring steps = %d, want 417", got)
+	}
+	if got := StepsBT(1024); got != 20 {
+		t.Errorf("BT steps = %d, want 20", got)
+	}
+	st, err := StepsWRHT(Config{N: 1024, Wavelengths: 64, GroupSize: 129})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 3 {
+		t.Errorf("WRHT steps = %d, want 3", st.Total)
+	}
+}
+
+func TestStepsHRingPaperVariants(t *testing.T) {
+	// ⌈m/w⌉ > 1 switches to the second closed form.
+	small := StepsHRingPaper(1024, 5, 64) // w >= m
+	big := StepsHRingPaper(1024, 5, 4)    // w < m
+	if big <= small {
+		t.Errorf("H-Ring with scarce wavelengths should need more steps: %d vs %d", big, small)
+	}
+	if got := StepsHRingPaper(1024, 5, 4); got != 424 {
+		t.Errorf("H-Ring(1024,5,w=4) = %d, want 424 (2(2·25+1024)/5−6 rounded up)", got)
+	}
+	if StepsHRingPaper(1, 5, 4) != 0 {
+		t.Error("single node should need 0 steps")
+	}
+}
+
+func TestLemma1LowerBound(t *testing.T) {
+	// Lemma 1: 2⌈log_{2w+1} N⌉; default-config WRHT with all-to-all
+	// disabled achieves it exactly.
+	for _, c := range []struct{ n, w int }{{1024, 64}, {4096, 64}, {100, 4}, {15, 2}} {
+		lb := LowerBoundSteps(c.n, c.w)
+		st, err := StepsWRHT(Config{N: c.n, Wavelengths: c.w, DisableAllToAll: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Total != lb {
+			t.Errorf("N=%d w=%d: gather-only θ=%d, Lemma-1 bound %d", c.n, c.w, st.Total, lb)
+		}
+		// With the all-to-all enabled WRHT may beat the stated bound by one.
+		stA, _ := StepsWRHT(Config{N: c.n, Wavelengths: c.w})
+		if stA.Total > lb {
+			t.Errorf("N=%d w=%d: θ=%d exceeds Lemma-1 bound %d", c.n, c.w, stA.Total, lb)
+		}
+	}
+}
+
+func TestCommTimeEq6(t *testing.T) {
+	// Eq 6 with Table-2 constants: 3 steps of 100 MB at 40 Gb/s + 25 µs.
+	p := TimeParams{BytesPerSec: 5e9, StepOverheadSec: 25e-6}
+	d := 100e6
+	got := p.CommTime(3, d)
+	want := 3 * (d/5e9 + 25e-6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CommTime = %g, want %g", got, want)
+	}
+}
+
+func TestTheorem1LowerBound(t *testing.T) {
+	p := TimeParams{BytesPerSec: 5e9, StepOverheadSec: 25e-6}
+	d := 1.2288e9 // BEiT-class payload
+	lb := p.TheoremOneLowerBound(1024, 64, d)
+	// 2⌈log_129 1024⌉ = 4 steps.
+	want := 4 * (d/5e9 + 25e-6)
+	if math.Abs(lb-want) > 1e-9 {
+		t.Fatalf("Theorem 1 bound = %g, want %g", lb, want)
+	}
+	// Any feasible WRHT configuration must not beat the bound by more
+	// than the single all-to-all step saving.
+	st, _ := StepsWRHT(Config{N: 1024, Wavelengths: 64})
+	if tm := p.CommTime(st.Total, d); tm > lb {
+		t.Fatalf("achieved %g > Theorem-1 bound %g", tm, lb)
+	}
+}
+
+func TestProfileTimeMatchesCommTime(t *testing.T) {
+	p := TimeParams{BytesPerSec: 5e9, StepOverheadSec: 25e-6}
+	pr := Profile{Groups: []ProfileGroup{{Steps: 3, FracOfD: 1}}}
+	d := 7.7e8
+	if got, want := p.ProfileTime(pr, d), p.CommTime(3, d); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ProfileTime = %g, want %g", got, want)
+	}
+}
+
+func TestRingCrossover(t *testing.T) {
+	p := TimeParams{BytesPerSec: 5e9, StepOverheadSec: 25e-6}
+	// Small payloads: WRHT wins immediately (steps dominate).
+	if n := p.RingCrossoverN(64, 1e6, 1<<20); n == 0 || n > 64 {
+		t.Errorf("small-payload crossover N = %d, want early", n)
+	}
+	// BEiT-class payloads: crossover happens but later.
+	small := p.RingCrossoverN(64, 100e6, 1<<20)
+	big := p.RingCrossoverN(64, 1.23e9, 1<<20)
+	if big == 0 {
+		t.Error("BEiT-class payload should eventually cross over")
+	}
+	if big < small {
+		t.Errorf("larger payload should cross over later: %d < %d", big, small)
+	}
+}
+
+func TestProfileOfGroupsConsecutiveSteps(t *testing.T) {
+	s := &Schedule{Algorithm: "x", Ring: ringOf(4)}
+	s.Steps = []Step{
+		{Transfers: []Transfer{{Src: 0, Dst: 1, Chunk: whole()}}},
+		{Transfers: []Transfer{{Src: 1, Dst: 2, Chunk: whole()}}},
+		{Transfers: []Transfer{{Src: 2, Dst: 3, Chunk: half()}}},
+	}
+	p := ProfileOf(s)
+	if len(p.Groups) != 2 || p.Groups[0].Steps != 2 || p.Groups[1].Steps != 1 {
+		t.Fatalf("ProfileOf grouping wrong: %+v", p.Groups)
+	}
+	if p.NumSteps() != 3 {
+		t.Fatalf("NumSteps = %d", p.NumSteps())
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzScheduleJSON fuzzes the schedule decoder against arbitrary bytes
+// (it must never panic) and, for valid configurations, checks the
+// round-trip identity.
+func FuzzScheduleJSON(f *testing.F) {
+	seed, err := BuildWRHT(Config{N: 15, Wavelengths: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := seed.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"algorithm":"x","n":4,"steps":[]}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSchedule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same value.
+		var out bytes.Buffer
+		if _, err := s.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		s2, err := ReadSchedule(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(s.Steps, s2.Steps) {
+			t.Fatal("round trip changed the schedule")
+		}
+	})
+}
+
+// FuzzBuildWRHT fuzzes the constructor inputs: every accepted
+// configuration must produce a schedule that passes both the analytic
+// step count and conflict validation.
+func FuzzBuildWRHT(f *testing.F) {
+	f.Add(15, 2, 0)
+	f.Add(1024, 64, 129)
+	f.Add(3, 1, 2)
+	f.Fuzz(func(t *testing.T, n, w, m int) {
+		if n < 1 || n > 400 || w < 1 || w > 64 || m < 0 || m > 200 {
+			t.Skip()
+		}
+		cfg := Config{N: n, Wavelengths: w, GroupSize: m}
+		s, err := BuildWRHT(cfg)
+		if err != nil {
+			return
+		}
+		st, err := StepsWRHT(cfg)
+		if err != nil {
+			t.Fatalf("built but analysis failed: %v", err)
+		}
+		if s.NumSteps() != st.Total {
+			t.Fatalf("steps %d != analysis %d", s.NumSteps(), st.Total)
+		}
+		if err := s.Validate(w); err != nil {
+			t.Fatalf("accepted config produced invalid schedule: %v", err)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden schedule files")
+
+// TestGoldenFig2Schedule pins the exact Fig-2 schedule (15 nodes, 2
+// wavelengths) to a golden file: any change to grouping, routing or
+// wavelength assignment shows up as a reviewable diff. Regenerate with
+// `go test ./internal/core -run Golden -update-golden`.
+func TestGoldenFig2Schedule(t *testing.T) {
+	s, err := BuildWRHT(Config{N: 15, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fig2_schedule.json")
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("Fig-2 schedule changed; run with -update-golden if intentional and review the diff")
+	}
+	// The golden file itself must decode into an equivalent, valid schedule.
+	back, err := ReadSchedule(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Steps, s.Steps) {
+		t.Error("golden file decodes to a different schedule")
+	}
+	if err := back.Validate(2); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// Schedule serialization: schedules are valuable artifacts — a control
+// plane can precompute and cache them per (N, w, m) and load them at
+// run time, and golden files keep construction changes reviewable — so
+// they round-trip through a stable JSON form.
+
+type jsonChunk struct {
+	Index int        `json:"i"`
+	Of    int        `json:"of"`
+	Sub   *jsonChunk `json:"sub,omitempty"`
+}
+
+func toJSONChunk(c tensor.Chunk) *jsonChunk {
+	out := &jsonChunk{Index: c.Index, Of: c.Of}
+	if c.Sub != nil {
+		out.Sub = toJSONChunk(*c.Sub)
+	}
+	return out
+}
+
+func fromJSONChunk(c *jsonChunk) tensor.Chunk {
+	out := tensor.Chunk{Index: c.Index, Of: c.Of}
+	if c.Sub != nil {
+		sub := fromJSONChunk(c.Sub)
+		out.Sub = &sub
+	}
+	return out
+}
+
+type jsonTransfer struct {
+	Src        int        `json:"src"`
+	Dst        int        `json:"dst"`
+	Chunk      *jsonChunk `json:"chunk"`
+	Op         string     `json:"op"`
+	Dir        string     `json:"dir"`
+	Wavelength int        `json:"wl"`
+}
+
+type jsonStep struct {
+	Phase     string         `json:"phase"`
+	Transfers []jsonTransfer `json:"transfers"`
+}
+
+type jsonSchedule struct {
+	Algorithm string     `json:"algorithm"`
+	N         int        `json:"n"`
+	Steps     []jsonStep `json:"steps"`
+}
+
+// MarshalJSON implements json.Marshaler for Schedule.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	doc := jsonSchedule{Algorithm: s.Algorithm, N: s.Ring.N}
+	for _, st := range s.Steps {
+		js := jsonStep{Phase: st.Phase.String()}
+		for _, t := range st.Transfers {
+			js.Transfers = append(js.Transfers, jsonTransfer{
+				Src: t.Src, Dst: t.Dst,
+				Chunk:      toJSONChunk(t.Chunk),
+				Op:         t.Op.String(),
+				Dir:        t.Dir.String(),
+				Wavelength: t.Wavelength,
+			})
+		}
+		doc.Steps = append(doc.Steps, js)
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Schedule.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var doc jsonSchedule
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("core: schedule decode: %w", err)
+	}
+	if doc.N < 1 {
+		return fmt.Errorf("core: schedule decode: ring size %d < 1", doc.N)
+	}
+	out := Schedule{Algorithm: doc.Algorithm, Ring: topo.NewRing(doc.N)}
+	for si, js := range doc.Steps {
+		st := Step{}
+		switch js.Phase {
+		case "reduce":
+			st.Phase = PhaseReduce
+		case "all-to-all":
+			st.Phase = PhaseAllToAll
+		case "broadcast":
+			st.Phase = PhaseBroadcast
+		default:
+			return fmt.Errorf("core: schedule decode: step %d has unknown phase %q", si, js.Phase)
+		}
+		for ti, jt := range js.Transfers {
+			if jt.Chunk == nil {
+				return fmt.Errorf("core: schedule decode: step %d transfer %d lacks chunk", si, ti)
+			}
+			t := Transfer{
+				Src: jt.Src, Dst: jt.Dst,
+				Chunk:      fromJSONChunk(jt.Chunk),
+				Wavelength: jt.Wavelength,
+			}
+			switch jt.Op {
+			case "sum":
+				t.Op = tensor.OpSum
+			case "copy":
+				t.Op = tensor.OpCopy
+			default:
+				return fmt.Errorf("core: schedule decode: step %d transfer %d has unknown op %q", si, ti, jt.Op)
+			}
+			switch jt.Dir {
+			case "cw":
+				t.Dir = topo.CW
+			case "ccw":
+				t.Dir = topo.CCW
+			default:
+				return fmt.Errorf("core: schedule decode: step %d transfer %d has unknown direction %q", si, ti, jt.Dir)
+			}
+			st.Transfers = append(st.Transfers, t)
+		}
+		out.Steps = append(out.Steps, st)
+	}
+	*s = out
+	return nil
+}
+
+// WriteTo writes the schedule as indented JSON.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ReadSchedule decodes a schedule from JSON and validates its structure
+// (chunk sanity, node ranges, conflict-freedom is NOT checked — run
+// Validate with the wavelength budget separately).
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+func TestLineAllToAllRequirement(t *testing.T) {
+	// Max cut load for all-pairs on a line: ⌊k/2⌋·⌈k/2⌉ per fiber.
+	for k := 2; k <= 40; k++ {
+		want := (k / 2) * ((k + 1) / 2)
+		if got := LineAllToAllRequirement(k); got != want {
+			t.Errorf("k=%d: requirement %d, want %d", k, got, want)
+		}
+	}
+	if LineAllToAllRequirement(1) != 0 || LineAllToAllRequirement(0) != 0 {
+		t.Error("trivial sizes should need 0")
+	}
+}
+
+func TestLineRequirementExceedsRing(t *testing.T) {
+	// A line can't split flows two ways around, so it needs roughly twice
+	// the ring's wavelengths (⌈k²/4⌉ vs ⌈k²/8⌉).
+	for _, k := range []int{5, 9, 16, 25} {
+		if LineAllToAllRequirement(k) <= AllToAllRequirement(k) {
+			t.Errorf("k=%d: line %d should exceed ring %d", k, LineAllToAllRequirement(k), AllToAllRequirement(k))
+		}
+	}
+}
+
+func TestBuildWRHTLineStructure(t *testing.T) {
+	// 15 nodes, enough wavelengths for the 3-rep line exchange
+	// (requirement ⌊3/2⌋·⌈3/2⌉ = 2).
+	s, err := BuildWRHTLine(Config{N: 15, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 3 {
+		t.Fatalf("line WRHT steps = %d, want 3", s.NumSteps())
+	}
+	// No transfer may wrap: CW means increasing index.
+	for si, st := range s.Steps {
+		for _, tr := range st.Transfers {
+			if (tr.Dir == topo.CW) != (tr.Dst > tr.Src) {
+				t.Fatalf("step %d: transfer %v would wrap on a line", si, tr)
+			}
+		}
+	}
+}
+
+func TestBuildWRHTLineFallsBackToGather(t *testing.T) {
+	// With only 1 wavelength the 3-rep line exchange (needs 2) is
+	// infeasible, so the schedule must gather to a single root: θ = 4.
+	s, err := BuildWRHTLine(Config{N: 9, Wavelengths: 1, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 4 {
+		t.Fatalf("steps = %d, want 4 (gather-only)", s.NumSteps())
+	}
+}
+
+func TestMeshScheduleValidates(t *testing.T) {
+	cases := []struct{ r, c, w int }{{4, 4, 2}, {3, 15, 2}, {8, 8, 4}, {1, 7, 2}, {7, 1, 2}}
+	for _, cse := range cases {
+		m := topo.NewMesh(cse.r, cse.c)
+		s, err := BuildWRHTMesh(m, cse.w, 0)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", cse.r, cse.c, err)
+		}
+		if err := ValidateMesh(s, m, cse.w); err != nil {
+			t.Errorf("%dx%d: %v", cse.r, cse.c, err)
+		}
+	}
+}
+
+func TestValidateMeshRejectsWrap(t *testing.T) {
+	m := topo.NewMesh(2, 5)
+	s := &Schedule{Ring: topo.NewRing(10), Steps: []Step{{
+		Transfers: []Transfer{{Src: 4, Dst: 0, Chunk: whole(), Dir: topo.CW}}, // CW from col 4 to col 0 wraps
+	}}}
+	if err := ValidateMesh(s, m, 0); err == nil {
+		t.Fatal("wrapping transfer accepted on a mesh")
+	}
+}
+
+func TestValidateMeshRejectsOverlap(t *testing.T) {
+	m := topo.NewMesh(1, 10)
+	s := &Schedule{Ring: topo.NewRing(10), Steps: []Step{{
+		Transfers: []Transfer{
+			{Src: 0, Dst: 5, Chunk: whole(), Dir: topo.CW, Wavelength: 0},
+			{Src: 3, Dst: 8, Chunk: whole(), Dir: topo.CW, Wavelength: 0},
+		},
+	}}}
+	if err := ValidateMesh(s, m, 0); err == nil {
+		t.Fatal("overlapping same-wavelength line circuits accepted")
+	}
+}

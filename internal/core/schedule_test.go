@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+func ringOf(n int) topo.Ring { return topo.NewRing(n) }
+func whole() tensor.Chunk    { return tensor.Whole }
+func half() tensor.Chunk     { return tensor.Chunk{Index: 0, Of: 2} }
+
+func TestScheduleValidateCatchesBadNodes(t *testing.T) {
+	s := &Schedule{Ring: ringOf(4)}
+	s.Steps = []Step{{Transfers: []Transfer{{Src: 0, Dst: 9, Chunk: whole()}}}}
+	if err := s.Validate(0); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	s.Steps = []Step{{Transfers: []Transfer{{Src: 2, Dst: 2, Chunk: whole()}}}}
+	if err := s.Validate(0); err == nil {
+		t.Fatal("self transfer accepted")
+	}
+	s.Steps = []Step{{Transfers: []Transfer{{Src: 0, Dst: 1, Chunk: tensor.Chunk{Index: 5, Of: 2}}}}}
+	if err := s.Validate(0); err == nil {
+		t.Fatal("bad chunk accepted")
+	}
+}
+
+func TestScheduleValidateCatchesConflicts(t *testing.T) {
+	s := &Schedule{Ring: ringOf(8)}
+	s.Steps = []Step{{Transfers: []Transfer{
+		{Src: 0, Dst: 4, Chunk: whole(), Dir: topo.CW, Wavelength: 0},
+		{Src: 2, Dst: 6, Chunk: whole(), Dir: topo.CW, Wavelength: 0},
+	}}}
+	if err := s.Validate(0); err == nil {
+		t.Fatal("overlapping same-wavelength circuits accepted")
+	}
+	s.Steps[0].Transfers[1].Wavelength = 1
+	if err := s.Validate(2); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestWavelengthsNeeded(t *testing.T) {
+	s := &Schedule{Ring: ringOf(8)}
+	s.Steps = []Step{
+		{Transfers: []Transfer{{Src: 0, Dst: 1, Chunk: whole(), Wavelength: 2}}},
+		{Transfers: []Transfer{{Src: 1, Dst: 2, Chunk: whole(), Wavelength: 5}}},
+	}
+	if got := s.WavelengthsNeeded(); got != 6 {
+		t.Fatalf("WavelengthsNeeded = %d, want 6", got)
+	}
+	empty := &Schedule{Ring: ringOf(2)}
+	if empty.WavelengthsNeeded() != 0 {
+		t.Fatal("empty schedule should need 0 wavelengths")
+	}
+}
+
+func TestPhaseAndTransferStrings(t *testing.T) {
+	if PhaseReduce.String() != "reduce" || PhaseAllToAll.String() != "all-to-all" || PhaseBroadcast.String() != "broadcast" {
+		t.Fatal("phase strings wrong")
+	}
+	tr := Transfer{Src: 1, Dst: 2, Chunk: whole(), Op: tensor.OpSum, Dir: topo.CW, Wavelength: 3}
+	if got := tr.String(); !strings.Contains(got, "1->2") || !strings.Contains(got, "λ3") {
+		t.Fatalf("Transfer.String() = %q", got)
+	}
+}
+
+func TestStepsByPhase(t *testing.T) {
+	s, err := BuildWRHT(Config{N: 100, Wavelengths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, a, b := s.StepsByPhase()
+	if r+a+b != s.NumSteps() {
+		t.Fatalf("phase counts %d+%d+%d != %d", r, a, b, s.NumSteps())
+	}
+	if b != r {
+		// With an all-to-all the broadcast mirrors the gathers exactly.
+		t.Fatalf("broadcast steps %d != reduce steps %d", b, r)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+func TestBuildWRHTSegmentConfined(t *testing.T) {
+	parts := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	s, err := BuildWRHTSegment(64, parts, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SegmentSpanArcs(s, 10, 17); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWRHTSegmentSparseParticipants(t *testing.T) {
+	// Participants need not be contiguous; circuits stay within the span.
+	parts := []int{3, 7, 20, 21, 40}
+	s, err := BuildWRHTSegment(64, parts, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SegmentSpanArcs(s, 3, 40); err != nil {
+		t.Fatal(err)
+	}
+	// Only participants appear in transfers.
+	allowed := map[int]bool{}
+	for _, p := range parts {
+		allowed[p] = true
+	}
+	for _, st := range s.Steps {
+		for _, tr := range st.Transfers {
+			if !allowed[tr.Src] || !allowed[tr.Dst] {
+				t.Fatalf("transfer %v touches non-participant", tr)
+			}
+		}
+	}
+}
+
+func TestBuildWRHTSegmentValidation(t *testing.T) {
+	if _, err := BuildWRHTSegment(16, nil, 4, 0); err == nil {
+		t.Fatal("empty participants accepted")
+	}
+	if _, err := BuildWRHTSegment(16, []int{3, 2}, 4, 0); err == nil {
+		t.Fatal("unsorted participants accepted")
+	}
+	if _, err := BuildWRHTSegment(16, []int{2, 2}, 4, 0); err == nil {
+		t.Fatal("duplicate participants accepted")
+	}
+	if _, err := BuildWRHTSegment(16, []int{2, 99}, 4, 0); err == nil {
+		t.Fatal("out-of-ring participant accepted")
+	}
+}
+
+func TestMergeConcurrentDisjointSegments(t *testing.T) {
+	a, err := BuildWRHTSegment(32, []int{0, 1, 2, 3, 4, 5, 6, 7}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWRHTSegment(32, []int{16, 17, 18, 19, 20, 21, 22, 23}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergeConcurrent(32, a, b)
+	if m.NumSteps() != a.NumSteps() || m.NumSteps() != b.NumSteps() {
+		t.Fatalf("merged steps %d, inputs %d/%d", m.NumSteps(), a.NumSteps(), b.NumSteps())
+	}
+	if err := m.Validate(4); err != nil {
+		t.Fatalf("disjoint segments conflict: %v", err)
+	}
+	for k := range m.Steps {
+		if len(m.Steps[k].Transfers) != len(a.Steps[k].Transfers)+len(b.Steps[k].Transfers) {
+			t.Fatalf("step %d transfer counts do not add up", k)
+		}
+	}
+}
+
+func TestMergeConcurrentOverlapCaught(t *testing.T) {
+	// Segments whose same-direction gather arcs overlap on the same
+	// wavelengths must fail validation after merging. (Merely sharing
+	// nodes is not enough — opposite-fiber circuits coexist — so shift
+	// the second segment by two to overlap the CW arcs.)
+	a, err := BuildWRHTSegment(32, []int{0, 1, 2, 3, 4, 5, 6, 7}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWRHTSegment(32, []int{2, 3, 4, 5, 6, 7, 8, 9}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergeConcurrent(32, a, b)
+	if err := m.Validate(4); err == nil {
+		t.Fatal("overlapping segments validated cleanly")
+	}
+}
+
+func TestMergeConcurrentUnequalLengths(t *testing.T) {
+	long, err := BuildWRHTSegment(64, rangeInts(0, 27), 2, 0) // needs more levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := BuildWRHTSegment(64, rangeInts(40, 44), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergeConcurrent(64, long, short)
+	if m.NumSteps() != long.NumSteps() {
+		t.Fatalf("merged steps %d, want %d", m.NumSteps(), long.NumSteps())
+	}
+	if err := m.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestSegmentSpanArcsRejectsEscape(t *testing.T) {
+	s := &Schedule{Ring: topo.NewRing(32), Steps: []Step{{
+		Transfers: []Transfer{{Src: 5, Dst: 20, Chunk: whole(), Dir: topo.CW}},
+	}}}
+	if err := SegmentSpanArcs(s, 0, 10); err == nil {
+		t.Fatal("escaping transfer accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"wrht/internal/topo"
+)
+
+// Stats summarises how a schedule uses the ring: per-step circuit
+// counts, wavelength usage, and fiber-segment utilisation. It answers
+// the practical adoption questions — "how busy are my waveguides?",
+// "how many wavelengths does step k really light up?" — and quantifies
+// the wavelength-reuse argument of §4.1.2 (SpatialReuse > 1 means the
+// same wavelength carries several circuits at once on disjoint arcs).
+type Stats struct {
+	Steps        int
+	Transfers    int
+	MaxWavelen   int     // peak per-step wavelength count
+	MeanCircuits float64 // average concurrent circuits per step
+	// SpatialReuse is the mean number of same-direction circuits sharing
+	// one wavelength within a step (1 = no reuse).
+	SpatialReuse float64
+	// SegmentUtilization is the mean fraction of (segment, direction,
+	// wavelength) resources occupied per step, within the budget used.
+	SegmentUtilization float64
+	// BytesFraction is the total payload moved, in units of the per-node
+	// vector size d (e.g. Ring ≈ 2·N·(N−1)/N ≈ 2N−2... per-transfer
+	// fractions summed).
+	BytesFraction float64
+}
+
+// ComputeStats analyses the schedule.
+func ComputeStats(s *Schedule) Stats {
+	st := Stats{Steps: s.NumSteps()}
+	if st.Steps == 0 {
+		return st
+	}
+	n := s.Ring.N
+	var reuseNum, reuseDen float64
+	var utilSum float64
+	for _, step := range s.Steps {
+		st.Transfers += len(step.Transfers)
+		if w := step.MaxWavelength(); w > st.MaxWavelen {
+			st.MaxWavelen = w
+		}
+		// Wavelength reuse: circuits per distinct (dir, wavelength).
+		type key struct {
+			dir topo.Direction
+			wl  int
+		}
+		perKey := map[key]int{}
+		segBusy := 0
+		for _, t := range step.Transfers {
+			perKey[key{t.Dir, t.Wavelength}]++
+			segBusy += s.Ring.Dist(t.Src, t.Dst, t.Dir)
+			st.BytesFraction += t.Chunk.Fraction()
+		}
+		for _, c := range perKey {
+			reuseNum += float64(c)
+			reuseDen++
+		}
+		if w := step.MaxWavelength(); w > 0 {
+			utilSum += float64(segBusy) / float64(2*n*w) // 2 directions
+		}
+	}
+	st.MeanCircuits = float64(st.Transfers) / float64(st.Steps)
+	if reuseDen > 0 {
+		st.SpatialReuse = reuseNum / reuseDen
+	}
+	st.SegmentUtilization = utilSum / float64(st.Steps)
+	return st
+}
+
+// String renders the stats as a short report.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d transfers=%d peak-λ=%d", st.Steps, st.Transfers, st.MaxWavelen)
+	fmt.Fprintf(&b, " circuits/step=%.1f λ-reuse=%.2fx", st.MeanCircuits, st.SpatialReuse)
+	fmt.Fprintf(&b, " segment-util=%.1f%% moved=%.1fd", st.SegmentUtilization*100, st.BytesFraction)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsWRHT(t *testing.T) {
+	s, err := BuildWRHT(Config{N: 15, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(s)
+	if st.Steps != 3 || st.Transfers != 12+6+12 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxWavelen != 2 {
+		t.Fatalf("peak wavelengths = %d, want 2", st.MaxWavelen)
+	}
+	// Fig 2: groups reuse both wavelengths across three groups and two
+	// directions, so spatial reuse must exceed 1.
+	if st.SpatialReuse <= 1 {
+		t.Fatalf("WRHT should reuse wavelengths spatially: %.2f", st.SpatialReuse)
+	}
+	// Every gather/broadcast transfer carries the full vector; the
+	// all-to-all carries 6 more: total 30 d.
+	if st.BytesFraction != 30 {
+		t.Fatalf("moved %.1f d, want 30", st.BytesFraction)
+	}
+	if !strings.Contains(st.String(), "steps=3") {
+		t.Fatalf("render: %q", st.String())
+	}
+}
+
+func TestComputeStatsRingMovesTwoD(t *testing.T) {
+	// Ring all-reduce moves 2(N−1)/N·d per node pair... in aggregate
+	// 2(N−1) chunks of d/N per node: total fraction = 2(N−1)·N/N = 2(N−1).
+	n := 8
+	s := &Schedule{Algorithm: "ring", Ring: ringOf(n)}
+	// An empty schedule must yield zeroed stats without dividing by zero.
+	st := ComputeStats(s)
+	if st.Steps != 0 || st.Transfers != 0 {
+		t.Fatalf("empty schedule stats: %+v", st)
+	}
+}
+
+func TestStatsSegmentUtilizationBounded(t *testing.T) {
+	for _, cfg := range []Config{{N: 100, Wavelengths: 8}, {N: 129, Wavelengths: 64}} {
+		s, err := BuildWRHT(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ComputeStats(s)
+		if st.SegmentUtilization <= 0 || st.SegmentUtilization > 1 {
+			t.Fatalf("utilization %.3f out of (0,1]", st.SegmentUtilization)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"wrht/internal/rwa"
+	"wrht/internal/topo"
+)
+
+// WRHT on a torus (§6.1): the reduce stage of WRHT runs inside every row
+// ring in parallel (all rows are structurally identical, so their
+// representatives land in one column), the row representatives then run
+// a full WRHT all-reduce on that column ring, and the row broadcast
+// stage replays the row gathers in reverse. Row steps across different
+// rows merge into single schedule steps because each row is its own
+// waveguide — wavelengths are reused across rows exactly as they are
+// across subgroups on the ring.
+
+// rowRepPosition replays the grouping recursion on a c-node ring to find
+// the position the row reduce converges to.
+func rowRepPosition(c, m int) int {
+	participants := make([]int, c)
+	for i := range participants {
+		participants[i] = i
+	}
+	for len(participants) > 1 {
+		groups := partition(participants, m)
+		next := make([]int, len(groups))
+		for i, g := range groups {
+			next[i] = g.rep()
+		}
+		participants = next
+	}
+	return participants[0]
+}
+
+// remapStep rewrites a step's node ids through the given mapping,
+// keeping chunks, ops, directions and wavelengths.
+func remapStep(st Step, mapID func(int) int) Step {
+	out := Step{Phase: st.Phase, Transfers: make([]Transfer, len(st.Transfers))}
+	for i, t := range st.Transfers {
+		t.Src = mapID(t.Src)
+		t.Dst = mapID(t.Dst)
+		out.Transfers[i] = t
+	}
+	return out
+}
+
+// BuildWRHTTorus constructs the WRHT all-reduce on an R×C torus with w
+// wavelengths per waveguide and first-step group size m (0 = the
+// Lemma-1 optimum 2w+1, clamped to the row length). Transfers carry
+// global node ids (row·C + col); ValidateTorus checks per-waveguide
+// wavelength feasibility.
+func BuildWRHTTorus(t topo.Torus, w, m int) (*Schedule, error) {
+	if t.Rows < 1 || t.Cols < 1 {
+		return nil, fmt.Errorf("core: torus %dx%d invalid", t.Rows, t.Cols)
+	}
+	rowCfg := Config{N: t.Cols, Wavelengths: w, GroupSize: m, DisableAllToAll: true}
+	if t.Cols == 1 {
+		rowCfg.GroupSize = 0
+	}
+	s := &Schedule{Algorithm: "wrht-torus", Ring: topo.NewRing(t.N())}
+
+	// Row reduce/broadcast template on a C-node ring (ids = columns).
+	var rowSteps []Step
+	if t.Cols > 1 {
+		rowSched, err := BuildWRHT(rowCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: torus row stage: %w", err)
+		}
+		rowSteps = rowSched.Steps // L gathers then L broadcasts
+	}
+	gathers := len(rowSteps) / 2
+
+	// Merge each row-template step across all rows.
+	mergeRows := func(tmpl Step) Step {
+		out := Step{Phase: tmpl.Phase}
+		for r := 0; r < t.Rows; r++ {
+			mapped := remapStep(tmpl, func(col int) int { return t.Index(r, col) })
+			out.Transfers = append(out.Transfers, mapped.Transfers...)
+		}
+		return out
+	}
+	for i := 0; i < gathers; i++ {
+		s.Steps = append(s.Steps, mergeRows(rowSteps[i]))
+	}
+
+	// Column stage: full WRHT all-reduce among the row representatives,
+	// which all sit in the representative column.
+	if t.Rows > 1 {
+		repCol := 0
+		if t.Cols > 1 {
+			repCol = rowRepPosition(t.Cols, rowCfg.EffectiveGroupSize())
+		}
+		colCfg := Config{N: t.Rows, Wavelengths: w, GroupSize: m}
+		if colCfg.GroupSize > t.Rows {
+			colCfg.GroupSize = 0
+		}
+		colSched, err := BuildWRHT(colCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: torus column stage: %w", err)
+		}
+		for _, st := range colSched.Steps {
+			s.Steps = append(s.Steps, remapStep(st, func(row int) int { return t.Index(row, repCol) }))
+		}
+	}
+
+	// Row broadcast stage (reverse of the gathers).
+	for i := gathers; i < len(rowSteps); i++ {
+		s.Steps = append(s.Steps, mergeRows(rowSteps[i]))
+	}
+	return s, nil
+}
+
+// ValidateTorus checks a torus schedule: every transfer must stay within
+// one row or one column ring, and per (ring, direction) the wavelength
+// assignment must be conflict-free and within the budget (0 disables the
+// budget check). Wavelength reuse across distinct rows/columns is free —
+// they are separate waveguides.
+func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
+	type domain struct {
+		row bool
+		idx int
+	}
+	for si, st := range s.Steps {
+		byDomain := map[domain][]int{}
+		for ti, tr := range st.Transfers {
+			sr, sc := t.Coord(tr.Src)
+			dr, dc := t.Coord(tr.Dst)
+			switch {
+			case sr == dr:
+				byDomain[domain{row: true, idx: sr}] = append(byDomain[domain{row: true, idx: sr}], ti)
+			case sc == dc:
+				byDomain[domain{row: false, idx: sc}] = append(byDomain[domain{row: false, idx: sc}], ti)
+			default:
+				return fmt.Errorf("core: torus step %d transfer %d crosses both dimensions: %v", si, ti, tr)
+			}
+		}
+		for dom, tis := range byDomain {
+			ring := topo.NewRing(t.Cols)
+			if !dom.row {
+				ring = topo.NewRing(t.Rows)
+			}
+			reqs := make([]rwa.Request, 0, len(tis))
+			asn := make(rwa.Assignment, 0, len(tis))
+			for _, ti := range tis {
+				tr := st.Transfers[ti]
+				sr, sc := t.Coord(tr.Src)
+				dr, dc := t.Coord(tr.Dst)
+				var src, dst int
+				if dom.row {
+					src, dst = sc, dc
+				} else {
+					src, dst = sr, dr
+				}
+				reqs = append(reqs, rwa.Request{Src: src, Dst: dst, Dir: tr.Dir})
+				asn = append(asn, tr.Wavelength)
+			}
+			if err := rwa.Validate(ring, reqs, asn, wavelengths); err != nil {
+				return fmt.Errorf("core: torus step %d (%v ring %d): %w", si, dom.row, dom.idx, err)
+			}
+		}
+	}
+	return nil
+}
+
+// StepsWRHTTorus returns the analytic step count of the torus scheme:
+// 2·L_row (row gathers + broadcasts) plus the column all-reduce θ.
+func StepsWRHTTorus(t topo.Torus, w, m int) (int, error) {
+	rowSteps := 0
+	if t.Cols > 1 {
+		cfg := Config{N: t.Cols, Wavelengths: w, GroupSize: m, DisableAllToAll: true}
+		st, err := StepsWRHT(cfg)
+		if err != nil {
+			return 0, err
+		}
+		rowSteps = st.Total
+	}
+	colSteps := 0
+	if t.Rows > 1 {
+		cfg := Config{N: t.Rows, Wavelengths: w, GroupSize: m}
+		if cfg.GroupSize > t.Rows {
+			cfg.GroupSize = 0
+		}
+		st, err := StepsWRHT(cfg)
+		if err != nil {
+			return 0, err
+		}
+		colSteps = st.Total
+	}
+	return rowSteps + colSteps, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+func TestTorusScheduleStepsMatchAnalysis(t *testing.T) {
+	cases := []struct{ r, c, w, m int }{
+		{4, 4, 2, 0}, {8, 8, 4, 0}, {3, 15, 2, 5}, {16, 16, 64, 0}, {1, 8, 2, 0}, {8, 1, 2, 0},
+	}
+	for _, cse := range cases {
+		tor := topo.NewTorus(cse.r, cse.c)
+		s, err := BuildWRHTTorus(tor, cse.w, cse.m)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", cse.r, cse.c, err)
+		}
+		want, err := StepsWRHTTorus(tor, cse.w, cse.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumSteps() != want {
+			t.Errorf("%dx%d: built %d steps, analysis %d", cse.r, cse.c, s.NumSteps(), want)
+		}
+		if err := ValidateTorus(s, tor, cse.w); err != nil {
+			t.Errorf("%dx%d: %v", cse.r, cse.c, err)
+		}
+	}
+}
+
+func TestTorusBeatsFlatRingOnSteps(t *testing.T) {
+	// A 32×32 torus with few wavelengths needs far fewer steps than the
+	// same 1024 nodes on a single ring (the §6.1 motivation).
+	tor := topo.NewTorus(32, 32)
+	torSteps, err := StepsWRHTTorus(tor, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := StepsWRHT(Config{N: 1024, Wavelengths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torSteps > flat.Total {
+		t.Errorf("torus steps %d > flat ring steps %d", torSteps, flat.Total)
+	}
+}
+
+func TestValidateTorusRejectsDiagonal(t *testing.T) {
+	tor := topo.NewTorus(4, 4)
+	s := &Schedule{Ring: topo.NewRing(16), Steps: []Step{{
+		Transfers: []Transfer{{Src: 0, Dst: 5, Chunk: whole()}}, // (0,0)->(1,1)
+	}}}
+	if err := ValidateTorus(s, tor, 0); err == nil {
+		t.Fatal("diagonal transfer accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wrht/internal/rwa"
+)
+
+func TestMotivationExampleFig2(t *testing.T) {
+	// §3.3: 15 nodes, 2 wavelengths → WRHT finishes in 3 steps while BT
+	// needs 8. Groups of m = 2w+1 = 5 with representatives 2, 7, 12.
+	s, err := BuildWRHT(Config{N: 15, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumSteps(); got != 3 {
+		t.Fatalf("WRHT(15, w=2) steps = %d, want 3", got)
+	}
+	if err := s.Validate(2); err != nil {
+		t.Fatalf("schedule violates 2-wavelength budget: %v", err)
+	}
+	red, a2a, bc := s.StepsByPhase()
+	if red != 1 || a2a != 1 || bc != 1 {
+		t.Fatalf("phases = %d reduce, %d a2a, %d bcast; want 1,1,1", red, a2a, bc)
+	}
+	// The first step gathers to the three middle representatives.
+	reps := map[int]bool{}
+	for _, tr := range s.Steps[0].Transfers {
+		reps[tr.Dst] = true
+	}
+	for _, want := range []int{2, 7, 12} {
+		if !reps[want] {
+			t.Errorf("node %d is not a step-1 representative (got %v)", want, reps)
+		}
+	}
+	if len(reps) != 3 {
+		t.Errorf("expected 3 representatives, got %v", reps)
+	}
+}
+
+func TestTable1WRHTCell(t *testing.T) {
+	// Table 1: N=1024, w=64, m=129 → 3 steps.
+	st, err := StepsWRHT(Config{N: 1024, Wavelengths: 64, GroupSize: 129})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 3 {
+		t.Fatalf("WRHT(1024, m=129, w=64) steps = %d, want 3", st.Total)
+	}
+	if !st.AllToAll || st.FinalGroup != 8 {
+		t.Fatalf("expected all-to-all among 8 representatives, got %+v", st)
+	}
+}
+
+func TestStepsMatchConstructedSchedule(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 15, 16, 17, 33, 64, 100, 129, 200, 513, 1024} {
+		for _, w := range []int{1, 2, 4, 8, 16, 64} {
+			for _, disable := range []bool{false, true} {
+				cfg := Config{N: n, Wavelengths: w, DisableAllToAll: disable}
+				st, err := StepsWRHT(cfg)
+				if err != nil {
+					t.Fatalf("StepsWRHT(%+v): %v", cfg, err)
+				}
+				s, err := BuildWRHT(cfg)
+				if err != nil {
+					t.Fatalf("BuildWRHT(%+v): %v", cfg, err)
+				}
+				if s.NumSteps() != st.Total {
+					t.Fatalf("N=%d w=%d disable=%v: built %d steps, analysis says %d",
+						n, w, disable, s.NumSteps(), st.Total)
+				}
+			}
+		}
+	}
+}
+
+func TestStepsMatchClosedForm(t *testing.T) {
+	// θ must equal 2⌈log_m N⌉ or 2⌈log_m N⌉ − 1 (§4.2).
+	for _, n := range []int{2, 7, 15, 16, 100, 128, 1024, 2048, 3072, 4096} {
+		for _, w := range []int{2, 4, 16, 64, 256} {
+			cfg := Config{N: n, Wavelengths: w}
+			m := cfg.EffectiveGroupSize()
+			st, err := StepsWRHT(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := CeilLog(m, n)
+			if st.Total != 2*l && st.Total != 2*l-1 {
+				t.Errorf("N=%d w=%d m=%d: θ=%d not in {2⌈log⌉−1, 2⌈log⌉} = {%d,%d}",
+					n, w, m, st.Total, 2*l-1, 2*l)
+			}
+			if st.AllToAll && st.Total != 2*l-1 {
+				t.Errorf("N=%d w=%d: all-to-all used but θ=%d != %d", n, w, st.Total, 2*l-1)
+			}
+		}
+	}
+}
+
+func TestWRHTSchedulesAreConflictFreeWithinBudget(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 15, 16, 31, 64, 100, 128, 255} {
+		for _, w := range []int{1, 2, 3, 8, 32} {
+			s, err := BuildWRHT(Config{N: n, Wavelengths: w})
+			if err != nil {
+				t.Fatalf("N=%d w=%d: %v", n, w, err)
+			}
+			if err := s.Validate(w); err != nil {
+				t.Errorf("N=%d w=%d: %v", n, w, err)
+			}
+		}
+	}
+}
+
+func TestWRHTQuickValidity(t *testing.T) {
+	f := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw%600) + 1
+		w := int(wRaw%40) + 1
+		s, err := BuildWRHT(Config{N: n, Wavelengths: w})
+		if err != nil {
+			return false
+		}
+		return s.Validate(w) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWRHTRandomFitValid(t *testing.T) {
+	s, err := BuildWRHT(Config{N: 100, Wavelengths: 8, Strategy: rwa.RandomFit, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random fit may exceed the strict first-fit count on the all-to-all
+	// step; it must still be conflict-free.
+	if err := s.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreGroupedNodesNeverMoreSteps(t *testing.T) {
+	// Fig 4's premise: growing m cannot increase θ (at fixed N), until it
+	// plateaus.
+	n := 1024
+	prev := 1 << 30
+	for _, m := range []int{17, 33, 65, 129} {
+		st, err := StepsWRHT(Config{N: n, Wavelengths: (m - 1) / 2, GroupSize: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Total > prev {
+			t.Fatalf("θ increased from %d to %d at m=%d", prev, st.Total, m)
+		}
+		prev = st.Total
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{N: 0, Wavelengths: 4},
+		{N: 4, Wavelengths: 0},
+		{N: 4, Wavelengths: 2, GroupSize: 1},
+		{N: 100, Wavelengths: 2, GroupSize: 64}, // needs 32 λ > 2
+	}
+	for _, c := range cases {
+		if _, err := BuildWRHT(c); err == nil {
+			t.Errorf("BuildWRHT(%+v) should fail", c)
+		}
+		if _, err := StepsWRHT(c); err == nil {
+			t.Errorf("StepsWRHT(%+v) should fail", c)
+		}
+	}
+}
+
+func TestEffectiveGroupSize(t *testing.T) {
+	if m := (Config{Wavelengths: 64}).EffectiveGroupSize(); m != 129 {
+		t.Fatalf("default m = %d, want 129", m)
+	}
+	if m := (Config{Wavelengths: 64, MaxGroupSize: 65}).EffectiveGroupSize(); m != 65 {
+		t.Fatalf("constrained m = %d, want 65", m)
+	}
+	if m := (Config{Wavelengths: 64, GroupSize: 17}).EffectiveGroupSize(); m != 17 {
+		t.Fatalf("explicit m = %d, want 17", m)
+	}
+}
+
+func TestSingleNodeSchedule(t *testing.T) {
+	s, err := BuildWRHT(Config{N: 1, Wavelengths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 0 {
+		t.Fatalf("N=1 schedule has %d steps", s.NumSteps())
+	}
+}
+
+func TestGatherUsesAtMostHalfMWavelengths(t *testing.T) {
+	s, err := BuildWRHT(Config{N: 129, Wavelengths: 64, GroupSize: 129, DisableAllToAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WavelengthsNeeded(); got != 64 {
+		t.Fatalf("gather over 129 nodes used %d wavelengths, want ⌊129/2⌋ = 64", got)
+	}
+}
+
+func TestAllToAllWavelengthsFormula(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 8: 8, 16: 32}
+	for r, want := range cases {
+		if got := AllToAllWavelengths(r); got != want {
+			t.Errorf("AllToAllWavelengths(%d) = %d, want %d", r, got, want)
+		}
+	}
+}

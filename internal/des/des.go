@@ -1,0 +1,89 @@
+// Package des is a minimal discrete-event simulation kernel: a
+// time-ordered event queue with deterministic FIFO tie-breaking. The
+// electrical fat-tree simulator uses it to sequence flow completions and
+// the training simulator uses it to interleave per-worker compute and
+// communication phases.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel owns the simulated clock and the pending event queue. The zero
+// value is ready to use at time 0.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulated time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would reorder causality silently.
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("des: scheduling at %g before now %g", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{time: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay seconds from now.
+func (k *Kernel) After(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", delay))
+	}
+	k.At(k.now+delay, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was available.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.time
+	e.fn()
+	return true
+}
+
+// Run drains the event queue and returns the final clock value.
+func (k *Kernel) Run() float64 {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }

@@ -1,0 +1,107 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.At(3, func() { order = append(order, 3) })
+	k.At(1, func() { order = append(order, 1) })
+	k.At(2, func() { order = append(order, 2) })
+	if end := k.Run(); end != 3 {
+		t.Fatalf("final time %g, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var k Kernel
+	var hits []float64
+	k.After(1, func() {
+		hits = append(hits, k.Now())
+		k.After(2, func() { hits = append(hits, k.Now()) })
+	})
+	if end := k.Run(); end != 3 {
+		t.Fatalf("end = %g", end)
+	}
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var k Kernel
+	k.At(5, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var k Kernel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestStepAndPending(t *testing.T) {
+	var k Kernel
+	if k.Step() {
+		t.Fatal("empty kernel stepped")
+	}
+	k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	if !k.Step() || k.Now() != 1 || k.Pending() != 1 {
+		t.Fatalf("step state wrong: now=%g pending=%d", k.Now(), k.Pending())
+	}
+}
+
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var k Kernel
+		for _, d := range delays {
+			k.At(float64(d), func() {})
+		}
+		prev := -1.0
+		for k.Step() {
+			if k.Now() < prev {
+				return false
+			}
+			prev = k.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package dnn provides the DNN workload models of §5.1 — BEiT-L, VGG16,
+// AlexNet, and ResNet50 — as explicit layer tables with parameter counts
+// and per-sample FLOPs. Distributed data-parallel training all-reduces
+// one float32 gradient per parameter each iteration (Eq 5), so a model's
+// gradient byte size is what the communication experiments consume; the
+// FLOPs feed the compute-time model that substitutes for the paper's
+// TensorFlow-profiler measurements.
+package dnn
+
+import "fmt"
+
+// LayerKind classifies a parameterised layer.
+type LayerKind int
+
+const (
+	Conv LayerKind = iota
+	FC
+	Norm
+	Embed
+	Attention
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case FC:
+		return "fc"
+	case Norm:
+		return "norm"
+	case Embed:
+		return "embed"
+	case Attention:
+		return "attn"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer is one parameterised layer: its trainable parameter count and
+// the forward FLOPs for a single sample (backward is modeled as 2×
+// forward, the standard estimate).
+type Layer struct {
+	Name   string
+	Kind   LayerKind
+	Params int64
+	FLOPs  int64 // forward FLOPs per sample
+	// OutElems is the number of output activation elements per sample,
+	// i.e. the float32 count crossing a pipeline-stage boundary placed
+	// after this layer (used by the §6.2 hybrid-parallel simulation).
+	OutElems int64
+}
+
+// Model is a named stack of layers.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Params returns the total trainable parameter count.
+func (m Model) Params() int64 {
+	var p int64
+	for _, l := range m.Layers {
+		p += l.Params
+	}
+	return p
+}
+
+// GradBytes returns the byte size of one full float32 gradient, the
+// per-node all-reduce payload d of Eq 6.
+func (m Model) GradBytes() int64 { return m.Params() * 4 }
+
+// ForwardFLOPs returns the forward FLOPs for one sample.
+func (m Model) ForwardFLOPs() int64 {
+	var f int64
+	for _, l := range m.Layers {
+		f += l.FLOPs
+	}
+	return f
+}
+
+// TrainFLOPs returns the training FLOPs for one sample (forward plus
+// backward, modeled as 3× forward).
+func (m Model) TrainFLOPs() int64 { return 3 * m.ForwardFLOPs() }
+
+// Buckets fuses consecutive layers' gradients into buckets of at most
+// maxBytes (similar to gradient-fusion buffers in DDP/Horovod) and
+// returns the per-bucket byte sizes in back-propagation order (last
+// layer first). maxBytes ≤ 0 yields a single fused bucket.
+func (m Model) Buckets(maxBytes int64) []float64 {
+	if maxBytes <= 0 {
+		return []float64{float64(m.GradBytes())}
+	}
+	var out []float64
+	var cur int64
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		b := m.Layers[i].Params * 4
+		if cur > 0 && cur+b > maxBytes {
+			out = append(out, float64(cur))
+			cur = 0
+		}
+		cur += b
+	}
+	if cur > 0 {
+		out = append(out, float64(cur))
+	}
+	return out
+}
+
+// conv appends a convolution layer, returning the output spatial size.
+func conv(m *Model, name string, cin, cout, k, stride, pad, h, w int) (int, int) {
+	oh := (h+2*pad-k)/stride + 1
+	ow := (w+2*pad-k)/stride + 1
+	params := int64(cout)*int64(cin)*int64(k)*int64(k) + int64(cout)
+	flops := 2 * int64(k) * int64(k) * int64(cin) * int64(cout) * int64(oh) * int64(ow)
+	m.Layers = append(m.Layers, Layer{Name: name, Kind: Conv, Params: params, FLOPs: flops, OutElems: int64(cout) * int64(oh) * int64(ow)})
+	return oh, ow
+}
+
+// fc appends a fully connected layer applied once per sample.
+func fc(m *Model, name string, in, out int) {
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kind: FC,
+		Params:   int64(in)*int64(out) + int64(out),
+		FLOPs:    2 * int64(in) * int64(out),
+		OutElems: int64(out),
+	})
+}
+
+// tokenFC appends a fully connected layer applied to every token of a
+// transformer sequence (parameters are shared; FLOPs scale with tokens).
+func tokenFC(m *Model, name string, in, out, tokens int) {
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kind: FC,
+		Params:   int64(in)*int64(out) + int64(out),
+		FLOPs:    2 * int64(in) * int64(out) * int64(tokens),
+		OutElems: int64(out) * int64(tokens),
+	})
+}
+
+// norm appends a normalisation layer (BN/LN: scale + shift per channel).
+func norm(m *Model, name string, ch int, tokens int) {
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kind: Norm,
+		Params:   2 * int64(ch),
+		FLOPs:    4 * int64(ch) * int64(maxi(tokens, 1)),
+		OutElems: int64(ch) * int64(maxi(tokens, 1)),
+	})
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AlexNet returns the (ungrouped) AlexNet model on 224×224×3 inputs,
+// ~63M parameters (the paper cites 62.3M).
+func AlexNet() Model {
+	m := Model{Name: "AlexNet"}
+	h, w := 224, 224
+	h, w = conv(&m, "conv1", 3, 96, 11, 4, 2, h, w)
+	h, w = h/2, w/2 // pool1
+	h, w = conv(&m, "conv2", 96, 256, 5, 1, 2, h, w)
+	h, w = h/2, w/2 // pool2
+	h, w = conv(&m, "conv3", 256, 384, 3, 1, 1, h, w)
+	h, w = conv(&m, "conv4", 384, 384, 3, 1, 1, h, w)
+	h, w = conv(&m, "conv5", 384, 256, 3, 1, 1, h, w)
+	h, w = h/2, w/2 // pool5
+	fc(&m, "fc6", 256*h*w, 4096)
+	fc(&m, "fc7", 4096, 4096)
+	fc(&m, "fc8", 4096, 1000)
+	return m
+}
+
+// VGG16 returns the VGG-16 model on 224×224×3 inputs, 138.36M
+// parameters (the paper cites 138M).
+func VGG16() Model {
+	m := Model{Name: "VGG16"}
+	h, w := 224, 224
+	cfg := []struct {
+		blocks   int
+		channels int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	cin := 3
+	for bi, blk := range cfg {
+		for i := 0; i < blk.blocks; i++ {
+			h, w = conv(&m, fmt.Sprintf("conv%d_%d", bi+1, i+1), cin, blk.channels, 3, 1, 1, h, w)
+			cin = blk.channels
+		}
+		h, w = h/2, w/2 // pool
+	}
+	fc(&m, "fc1", 512*h*w, 4096)
+	fc(&m, "fc2", 4096, 4096)
+	fc(&m, "fc3", 4096, 1000)
+	return m
+}
+
+// ResNet50 returns the ResNet-50 model on 224×224×3 inputs, 25.56M
+// parameters (the paper cites 25M).
+func ResNet50() Model {
+	m := Model{Name: "ResNet50"}
+	h, w := 224, 224
+	h, w = conv(&m, "conv1", 3, 64, 7, 2, 3, h, w)
+	norm(&m, "bn1", 64, h*w)
+	h, w = h/2, w/2 // maxpool
+	cin := 64
+	stages := []struct {
+		blocks int
+		mid    int
+		out    int
+		stride int
+	}{{3, 64, 256, 1}, {4, 128, 512, 2}, {6, 256, 1024, 2}, {3, 512, 2048, 2}}
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			name := fmt.Sprintf("res%d_%d", si+2, b+1)
+			if b == 0 {
+				// Projection shortcut.
+				conv(&m, name+"_proj", cin, st.out, 1, stride, 0, h, w)
+				norm(&m, name+"_projbn", st.out, (h/stride)*(w/stride))
+			}
+			h2, w2 := conv(&m, name+"_a", cin, st.mid, 1, 1, 0, h, w)
+			norm(&m, name+"_abn", st.mid, h2*w2)
+			h2, w2 = conv(&m, name+"_b", st.mid, st.mid, 3, stride, 1, h2, w2)
+			norm(&m, name+"_bbn", st.mid, h2*w2)
+			h2, w2 = conv(&m, name+"_c", st.mid, st.out, 1, 1, 0, h2, w2)
+			norm(&m, name+"_cbn", st.out, h2*w2)
+			h, w = h2, w2
+			cin = st.out
+		}
+	}
+	fc(&m, "fc", 2048, 1000)
+	return m
+}
+
+// BEiTLarge returns the BEiT-Large (ViT-L/16 backbone) model on
+// 224×224×3 inputs, ~304M parameters (the paper cites 307M).
+func BEiTLarge() Model {
+	const (
+		layers = 24
+		dim    = 1024
+		mlp    = 4096
+		tokens = 197 // 14×14 patches + cls
+	)
+	m := Model{Name: "BEiT-L"}
+	// Patch embedding: 16×16×3 → dim.
+	m.Layers = append(m.Layers, Layer{
+		Name: "patch_embed", Kind: Embed,
+		Params:   int64(16*16*3)*dim + dim + int64(tokens)*dim, // proj + positional
+		FLOPs:    2 * int64(16*16*3) * dim * int64(tokens),
+		OutElems: int64(dim) * int64(tokens),
+	})
+	for l := 0; l < layers; l++ {
+		name := fmt.Sprintf("block%d", l+1)
+		norm(&m, name+"_ln1", dim, tokens)
+		// Attention: QKV + output projection.
+		m.Layers = append(m.Layers, Layer{
+			Name: name + "_attn", Kind: Attention,
+			Params:   4*int64(dim)*int64(dim) + 4*int64(dim),
+			FLOPs:    8*int64(dim)*int64(dim)*int64(tokens) + 4*int64(dim)*int64(tokens)*int64(tokens),
+			OutElems: int64(dim) * int64(tokens),
+		})
+		norm(&m, name+"_ln2", dim, tokens)
+		tokenFC(&m, name+"_mlp1", dim, mlp, tokens)
+		tokenFC(&m, name+"_mlp2", mlp, dim, tokens)
+	}
+	norm(&m, "ln_final", dim, tokens)
+	fc(&m, "head", dim, 1000)
+	return m
+}
+
+// PaperParams records the parameter counts the paper states for each
+// workload (§5.1), used by the experiment harness when exact paper
+// payloads are wanted rather than our layer-table totals.
+var PaperParams = map[string]int64{
+	"BEiT-L":   307e6,
+	"VGG16":    138e6,
+	"AlexNet":  62.3e6,
+	"ResNet50": 25e6,
+}
+
+// Workloads returns the four paper workloads in the order the figures
+// present them.
+func Workloads() []Model {
+	return []Model{BEiTLarge(), VGG16(), AlexNet(), ResNet50()}
+}
+
+// Stage is one pipeline stage: a contiguous run of layers.
+type Stage struct {
+	Layers []Layer
+}
+
+// Params returns the stage's trainable parameter count.
+func (s Stage) Params() int64 {
+	var p int64
+	for _, l := range s.Layers {
+		p += l.Params
+	}
+	return p
+}
+
+// GradBytes returns the stage's float32 gradient size — the all-reduce
+// payload of the stage's data-parallel group in hybrid training (§6.2).
+func (s Stage) GradBytes() int64 { return s.Params() * 4 }
+
+// ForwardFLOPs returns the stage's per-sample forward FLOPs.
+func (s Stage) ForwardFLOPs() int64 {
+	var f int64
+	for _, l := range s.Layers {
+		f += l.FLOPs
+	}
+	return f
+}
+
+// BoundaryElems returns the activation element count leaving the stage
+// (the last layer's output), which crosses to the next pipeline stage
+// per sample.
+func (s Stage) BoundaryElems() int64 {
+	if len(s.Layers) == 0 {
+		return 0
+	}
+	return s.Layers[len(s.Layers)-1].OutElems
+}
+
+// SplitStages partitions the model's layers into p contiguous pipeline
+// stages with approximately balanced forward FLOPs (the compute-bound
+// criterion pipeline planners use). It panics if p < 1; stages are never
+// empty as long as p ≤ len(layers).
+func SplitStages(m Model, p int) []Stage {
+	if p < 1 {
+		panic("dnn: SplitStages p < 1")
+	}
+	if p > len(m.Layers) {
+		p = len(m.Layers)
+	}
+	target := m.ForwardFLOPs() / int64(p)
+	stages := make([]Stage, 0, p)
+	var cur Stage
+	var acc int64
+	for i, l := range m.Layers {
+		cur.Layers = append(cur.Layers, l)
+		acc += l.FLOPs
+		remainingLayers := len(m.Layers) - i - 1
+		remainingStages := p - len(stages) - 1
+		// Close the stage when it reaches its FLOP share, or when the
+		// remaining layers are only just enough to keep later stages
+		// non-empty. The final stage absorbs whatever is left.
+		if remainingStages > 0 && (acc >= target || remainingLayers == remainingStages) {
+			stages = append(stages, cur)
+			cur = Stage{}
+			acc = 0
+		}
+	}
+	if len(cur.Layers) > 0 {
+		stages = append(stages, cur)
+	}
+	return stages
+}

@@ -1,0 +1,143 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParameterCountsMatchPaper pins the layer tables to the §5.1 totals:
+// exact for VGG16 (the canonical 138,357,544) and within ~2% for the
+// rest (the paper rounds).
+func TestParameterCountsMatchPaper(t *testing.T) {
+	cases := []struct {
+		model Model
+		want  int64
+		tol   float64
+	}{
+		{VGG16(), 138357544, 0},
+		{AlexNet(), int64(62.3e6), 0.02},
+		{ResNet50(), int64(25e6), 0.03},
+		{BEiTLarge(), int64(307e6), 0.02},
+	}
+	for _, c := range cases {
+		got := c.model.Params()
+		if c.tol == 0 {
+			if got != c.want {
+				t.Errorf("%s params = %d, want exactly %d", c.model.Name, got, c.want)
+			}
+			continue
+		}
+		if rel := math.Abs(float64(got-c.want)) / float64(c.want); rel > c.tol {
+			t.Errorf("%s params = %d, want %d ±%.0f%%", c.model.Name, got, c.want, c.tol*100)
+		}
+	}
+}
+
+func TestGradBytesIsFloat32(t *testing.T) {
+	m := ResNet50()
+	if m.GradBytes() != 4*m.Params() {
+		t.Fatalf("GradBytes = %d, want 4×params", m.GradBytes())
+	}
+}
+
+func TestWorkloadsOrderAndNames(t *testing.T) {
+	ws := Workloads()
+	want := []string{"BEiT-L", "VGG16", "AlexNet", "ResNet50"}
+	if len(ws) != len(want) {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	for i, m := range ws {
+		if m.Name != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, m.Name, want[i])
+		}
+		if m.Params() <= 0 || m.ForwardFLOPs() <= 0 {
+			t.Errorf("%s has non-positive params/flops", m.Name)
+		}
+	}
+}
+
+func TestBucketsPartitionGradient(t *testing.T) {
+	for _, m := range Workloads() {
+		for _, maxB := range []int64{0, 1 << 20, 25 << 20, 1 << 40} {
+			buckets := m.Buckets(maxB)
+			var sum float64
+			for _, b := range buckets {
+				if b <= 0 {
+					t.Fatalf("%s: empty bucket", m.Name)
+				}
+				// A bucket may exceed maxB only if a single layer does.
+				sum += b
+			}
+			if int64(sum) != m.GradBytes() {
+				t.Errorf("%s maxB=%d: buckets sum to %.0f, want %d", m.Name, maxB, sum, m.GradBytes())
+			}
+		}
+	}
+}
+
+func TestBucketsRespectMaxUnlessSingleLayerBigger(t *testing.T) {
+	m := VGG16()
+	maxB := int64(25 << 20)
+	var largest int64
+	for _, l := range m.Layers {
+		if l.Params*4 > largest {
+			largest = l.Params * 4
+		}
+	}
+	for _, b := range m.Buckets(maxB) {
+		if int64(b) > maxB && int64(b) > largest {
+			t.Fatalf("bucket %0.f exceeds both max %d and largest layer %d", b, maxB, largest)
+		}
+	}
+}
+
+func TestBucketsBackPropOrder(t *testing.T) {
+	// The first bucket must contain the last layer (BP emits gradients
+	// last-layer-first).
+	m := AlexNet()
+	buckets := m.Buckets(1) // one layer per bucket (every layer > 1 byte)
+	if len(buckets) != len(m.Layers) {
+		t.Fatalf("%d buckets for %d layers", len(buckets), len(m.Layers))
+	}
+	last := m.Layers[len(m.Layers)-1]
+	if int64(buckets[0]) != last.Params*4 {
+		t.Fatalf("first bucket %.0f, want last layer %d", buckets[0], last.Params*4)
+	}
+}
+
+func TestConvDimensions(t *testing.T) {
+	// VGG16's first conv: 64 filters of 3×3×3 + bias = 1792 params;
+	// 224×224 output → 2·27·64·224² FLOPs.
+	m := VGG16()
+	l := m.Layers[0]
+	if l.Params != 1792 {
+		t.Errorf("conv1_1 params = %d, want 1792", l.Params)
+	}
+	wantFLOPs := int64(2 * 27 * 64 * 224 * 224)
+	if l.FLOPs != wantFLOPs {
+		t.Errorf("conv1_1 FLOPs = %d, want %d", l.FLOPs, wantFLOPs)
+	}
+}
+
+func TestTrainFLOPsIsTripleForward(t *testing.T) {
+	m := AlexNet()
+	if m.TrainFLOPs() != 3*m.ForwardFLOPs() {
+		t.Fatal("TrainFLOPs != 3×ForwardFLOPs")
+	}
+}
+
+func TestLayerKindStrings(t *testing.T) {
+	for k, want := range map[LayerKind]string{Conv: "conv", FC: "fc", Norm: "norm", Embed: "embed", Attention: "attn"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestPaperParamsTable(t *testing.T) {
+	for _, m := range Workloads() {
+		if _, ok := PaperParams[m.Name]; !ok {
+			t.Errorf("PaperParams missing %s", m.Name)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package electrical simulates the electrical packet-switched baseline
+// system of §5.1: a two-level fat-tree of 32-port routers (Table 2)
+// carrying the same collective schedules the optical simulator runs.
+// It substitutes for the paper's SimGrid 3.3 setup with the same class
+// of model SimGrid uses: flow-level simulation with max–min fair
+// bandwidth sharing on links plus a fixed per-router forwarding delay.
+//
+// Two capacity constraints shape each flow's rate:
+//
+//   - every directed link carries at most LinkBps, and
+//   - optionally, every router forwards at most RouterAggBps aggregate,
+//     shared max–min among the flows traversing it (an oversubscription
+//     ablation; Table 2's "router full bisection bandwidth" reads as
+//     full bisection, so the default leaves this off).
+//
+// What makes the electrical system lose to circuit-switched optics in
+// Fig 7 is (a) per-router forwarding latency on every hop versus one
+// MRR reconfiguration per optical step, and (b) per-packet protocol
+// headers: with Table 2's 72-byte packets, Ethernet/IP/TCP framing
+// costs ~58 bytes per packet, cutting goodput to ~55% of the line rate,
+// while the optical data plane carries payloads on a reserved circuit.
+package electrical
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wrht/internal/core"
+	"wrht/internal/topo"
+)
+
+// Params holds the electrical-system parameters of Table 2.
+type Params struct {
+	// Radix is the router port count (32).
+	Radix int
+	// LinkBps is the per-link line rate in bits per second (40 Gb/s).
+	LinkBps float64
+	// RouterAggBps is the aggregate forwarding capacity of one router in
+	// bits per second, shared by all flows traversing it. Zero (the
+	// default) disables the constraint, modelling full-bisection routers
+	// per Table 2; positive values model oversubscribed routers (used by
+	// the ablation benchmarks).
+	RouterAggBps float64
+	// RouterDelay is the forwarding latency per router traversal in
+	// seconds (25 µs).
+	RouterDelay float64
+	// PacketBytes is the packet payload size (72 B); payloads are
+	// packetised and rounded up to whole packets.
+	PacketBytes int
+	// HeaderBytes is the per-packet framing overhead added on the wire
+	// (Ethernet 18 B + IPv4 20 B + TCP 20 B = 58 B). With 72-byte
+	// packets this is the dominant electrical handicap.
+	HeaderBytes int
+}
+
+// DefaultParams returns the Table-2 electrical configuration.
+func DefaultParams() Params {
+	return Params{
+		Radix:       32,
+		LinkBps:     40e9,
+		RouterDelay: 25e-6,
+		PacketBytes: 72,
+		HeaderBytes: 58,
+	}
+}
+
+// Network is a fat-tree instance ready to time collective schedules.
+type Network struct {
+	Params Params
+	Tree   topo.FatTree
+}
+
+// NewNetwork builds the fat-tree for n hosts.
+func NewNetwork(n int, p Params) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("electrical: host count %d < 1", n)
+	}
+	if p.Radix < 2 {
+		return nil, fmt.Errorf("electrical: radix %d < 2", p.Radix)
+	}
+	if p.LinkBps <= 0 {
+		return nil, fmt.Errorf("electrical: link rate %g <= 0", p.LinkBps)
+	}
+	return &Network{Params: p, Tree: topo.NewFatTree(n, p.Radix)}, nil
+}
+
+// flow is one transfer in flight during a step.
+type flow struct {
+	bytes   float64 // remaining payload
+	links   []int
+	routers []int
+	latency float64
+	rate    float64
+	done    bool
+}
+
+// Result is the simulated outcome of one collective on the fat-tree.
+type Result struct {
+	Algorithm string
+	Steps     int
+	Time      float64
+}
+
+// stepKey memoizes step durations: collectives like Ring repeat the same
+// (src, dst, bytes) pattern for thousands of steps, so identical steps
+// are solved once.
+type stepKey struct {
+	sig string
+}
+
+// RunSchedule times a collective schedule carrying a dBytes per-node
+// vector across the fat-tree. Steps are barrier-synchronised, matching
+// the bulk-synchronous collectives benchmarked on SimGrid in [19]: a
+// step's duration is the completion time of its slowest flow.
+func (nw *Network) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
+	if s.Ring.N > nw.Tree.Hosts {
+		return Result{}, fmt.Errorf("electrical: schedule needs %d hosts, network has %d", s.Ring.N, nw.Tree.Hosts)
+	}
+	elems := int(dBytes / 4)
+	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
+	memo := map[stepKey]float64{}
+	for _, st := range s.Steps {
+		key := stepSignature(st, elems)
+		dur, ok := memo[key]
+		if !ok {
+			dur = nw.stepDuration(st, elems)
+			memo[key] = dur
+		}
+		res.Time += dur
+	}
+	return res, nil
+}
+
+func stepSignature(st core.Step, elems int) stepKey {
+	type rec struct {
+		s, d int
+		b    int64
+	}
+	recs := make([]rec, len(st.Transfers))
+	for i, t := range st.Transfers {
+		recs[i] = rec{t.Src, t.Dst, t.Chunk.Bytes(elems)}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].s != recs[j].s {
+			return recs[i].s < recs[j].s
+		}
+		if recs[i].d != recs[j].d {
+			return recs[i].d < recs[j].d
+		}
+		return recs[i].b < recs[j].b
+	})
+	sig := make([]byte, 0, len(recs)*12)
+	for _, r := range recs {
+		sig = appendInt(sig, int64(r.s))
+		sig = appendInt(sig, int64(r.d))
+		sig = appendInt(sig, r.b)
+	}
+	return stepKey{sig: string(sig)}
+}
+
+func appendInt(b []byte, v int64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+// stepDuration solves the fluid model for one step: repeatedly compute
+// max–min fair rates for the unfinished flows, advance to the next flow
+// completion, and repeat. The step ends when the last flow has drained
+// and cleared its router pipeline latency.
+func (nw *Network) stepDuration(st core.Step, elems int) float64 {
+	p := nw.Params
+	flows := make([]*flow, 0, len(st.Transfers))
+	for _, t := range st.Transfers {
+		b := float64(t.Chunk.Bytes(elems))
+		if p.PacketBytes > 0 && b > 0 {
+			packets := math.Ceil(b / float64(p.PacketBytes))
+			b = packets * float64(p.PacketBytes+p.HeaderBytes)
+		}
+		path := nw.Tree.Route(t.Src, t.Dst)
+		flows = append(flows, &flow{
+			bytes:   b,
+			links:   path.Links,
+			routers: path.Routers,
+			latency: float64(len(path.Routers)) * p.RouterDelay,
+		})
+	}
+	var now float64
+	var end float64
+	active := 0
+	for _, f := range flows {
+		if f.bytes > 0 {
+			active++
+		} else if f.latency > end {
+			end = f.latency // zero-byte flow still pays latency
+		}
+	}
+	for active > 0 {
+		nw.fairShare(flows)
+		// Next completion.
+		dt := math.Inf(1)
+		for _, f := range flows {
+			if f.done || f.rate <= 0 {
+				continue
+			}
+			if t := f.bytes / f.rate; t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) {
+			panic("electrical: active flows with zero rate")
+		}
+		now += dt
+		const eps = 1e-9
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			f.bytes -= f.rate * dt
+			if f.bytes <= eps*math.Max(1, f.rate*dt) {
+				f.bytes = 0
+				f.done = true
+				active--
+				if fin := now + f.latency; fin > end {
+					end = fin
+				}
+			}
+		}
+	}
+	return end
+}
+
+// fairShare computes max–min fair rates (bytes/s) for the unfinished
+// flows by progressive filling over link and router constraints.
+func (nw *Network) fairShare(flows []*flow) {
+	p := nw.Params
+	type cons struct {
+		cap   float64 // remaining capacity, bytes/s
+		count int     // unfrozen flows crossing it
+	}
+	linkCons := map[int]*cons{}
+	routerCons := map[int]*cons{}
+	for _, f := range flows {
+		if f.done {
+			continue
+		}
+		f.rate = 0
+		for _, l := range f.links {
+			c := linkCons[l]
+			if c == nil {
+				c = &cons{cap: p.LinkBps / 8}
+				linkCons[l] = c
+			}
+			c.count++
+		}
+		if p.RouterAggBps > 0 {
+			for _, r := range f.routers {
+				c := routerCons[r]
+				if c == nil {
+					c = &cons{cap: p.RouterAggBps / 8}
+					routerCons[r] = c
+				}
+				c.count++
+			}
+		}
+	}
+	frozen := func(f *flow) bool { return f.done || f.rate > 0 }
+	for {
+		// Find the tightest constraint among those with unfrozen flows.
+		bottleneck := math.Inf(1)
+		for _, c := range linkCons {
+			if c.count > 0 {
+				if s := c.cap / float64(c.count); s < bottleneck {
+					bottleneck = s
+				}
+			}
+		}
+		for _, c := range routerCons {
+			if c.count > 0 {
+				if s := c.cap / float64(c.count); s < bottleneck {
+					bottleneck = s
+				}
+			}
+		}
+		if math.IsInf(bottleneck, 1) {
+			return // all flows frozen
+		}
+		// Freeze every unfrozen flow crossing a binding constraint at the
+		// bottleneck share.
+		progressed := false
+		for _, f := range flows {
+			if frozen(f) {
+				continue
+			}
+			binding := false
+			for _, l := range f.links {
+				c := linkCons[l]
+				if c.count > 0 && c.cap/float64(c.count) <= bottleneck*(1+1e-12) {
+					binding = true
+					break
+				}
+			}
+			if !binding && p.RouterAggBps > 0 {
+				for _, r := range f.routers {
+					c := routerCons[r]
+					if c.count > 0 && c.cap/float64(c.count) <= bottleneck*(1+1e-12) {
+						binding = true
+						break
+					}
+				}
+			}
+			if !binding {
+				continue
+			}
+			f.rate = bottleneck
+			progressed = true
+			for _, l := range f.links {
+				c := linkCons[l]
+				c.cap -= bottleneck
+				c.count--
+			}
+			if p.RouterAggBps > 0 {
+				for _, r := range f.routers {
+					c := routerCons[r]
+					c.cap -= bottleneck
+					c.count--
+				}
+			}
+		}
+		if !progressed {
+			// Numerical guard: freeze everything at the bottleneck.
+			for _, f := range flows {
+				if !frozen(f) {
+					f.rate = bottleneck
+				}
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/metrics"
+	"wrht/internal/optical"
+	"wrht/internal/phys"
+)
+
+// Extras extends the paper's evaluation with the additional collectives
+// implemented here (double binary tree from the related work [25],
+// recursive halving/doubling on the optical ring) and an energy column,
+// for one workload at the Table-1 configuration. It answers the obvious
+// reviewer question "how does WRHT fare against NCCL's tree?" that the
+// paper leaves open.
+func Extras(o Options, model dnn.Model, n, w int) *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Beyond-paper comparison: %s (%.0f MB), N=%d, w=%d",
+			model.Name, float64(model.GradBytes())/1e6, n, w),
+		Headers: []string{"Algorithm", "Steps", "λ used", "fits w?", "Time (ms)", "Energy (J)"},
+	}
+	ep := optical.DefaultEnergyParams(phys.DefaultBudget())
+	add := func(name string, pr core.Profile) {
+		res, err := optical.RunBuckets(o.Optical, pr, o.payloads(model))
+		if err != nil {
+			panic(fmt.Sprintf("exp: extras: %v", err))
+		}
+		maxW := 0
+		for _, g := range pr.Groups {
+			if g.Wavelengths > maxW {
+				maxW = g.Wavelengths
+			}
+		}
+		e := optical.EnergyOfProfile(o.Optical, ep, pr, float64(model.GradBytes()))
+		fits := "yes"
+		if maxW > w {
+			fits = "NO"
+		}
+		t.AddRow(name, fmt.Sprint(pr.NumSteps()), fmt.Sprint(maxW), fits,
+			fmt.Sprintf("%.2f", res.Time*1e3), fmt.Sprintf("%.3f", e.Total()))
+	}
+	add("Ring", collective.RingProfile(n))
+	add("H-Ring (m=5)", collective.HRingProfile(n, 5, w))
+	add("BT", collective.BTProfile(n))
+	add("DBTree", collective.DBTreeProfile(n))
+	if rd, err := collective.RDProfile(n); err == nil {
+		add("RD (halving/doubling)", rd)
+	}
+	add("WRHT", wrhtProfile(n, w, 0))
+	add("WDM-HRing (m=32)", collective.WDMHRingProfile(n, 32, w))
+	return t
+}

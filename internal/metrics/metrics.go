@@ -1,0 +1,153 @@
+// Package metrics formats experiment output: aligned text tables shaped
+// like the paper's tables, normalized series shaped like its figures,
+// and the reduction-percentage aggregates its abstract quotes.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure: Y values indexed like X labels.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a set of series over shared X labels, mirroring one subplot
+// of the paper's figures.
+type Figure struct {
+	Title   string
+	XLabel  string
+	XTicks  []string
+	Series  []Series
+	YLabel  string
+	Comment string
+}
+
+// Normalize divides every Y value by base (the paper normalizes each
+// figure by one designated cell).
+func (f *Figure) Normalize(base float64) {
+	if base == 0 {
+		return
+	}
+	for si := range f.Series {
+		for i := range f.Series[si].Y {
+			f.Series[si].Y[i] /= base
+		}
+	}
+}
+
+// String renders the figure as a table of normalized values.
+func (f *Figure) String() string {
+	t := Table{Title: f.Title, Headers: append([]string{f.XLabel}, seriesNames(f.Series)...)}
+	for i, x := range f.XTicks {
+		row := []string{x}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	out := t.String()
+	if f.Comment != "" {
+		out += f.Comment + "\n"
+	}
+	return out
+}
+
+func seriesNames(ss []Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// MeanReduction returns the paper-style average reduction of "ours"
+// versus "base" across paired samples: mean over i of 1 − ours[i]/base[i],
+// as a percentage. Pairs with a non-positive base are skipped.
+func MeanReduction(ours, base []float64) float64 {
+	if len(ours) != len(base) {
+		panic(fmt.Sprintf("metrics: MeanReduction length mismatch %d != %d", len(ours), len(base)))
+	}
+	var sum float64
+	var n int
+	for i := range ours {
+		if base[i] <= 0 {
+			continue
+		}
+		sum += 1 - ours[i]/base[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// Pct formats a percentage with two decimals, e.g. "65.23%".
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// SortedKeys returns the sorted keys of a string-keyed map, for
+// deterministic iteration in reports.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

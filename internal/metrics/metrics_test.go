@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tb.AddRow("xxxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, row
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "a    ") {
+		t.Errorf("header not padded to widest cell: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+}
+
+func TestFigureNormalizeAndString(t *testing.T) {
+	f := &Figure{
+		Title:  "fig",
+		XLabel: "x",
+		XTicks: []string{"1", "2"},
+		Series: []Series{{Name: "s", Y: []float64{2, 4}}},
+	}
+	f.Normalize(2)
+	if f.Series[0].Y[0] != 1 || f.Series[0].Y[1] != 2 {
+		t.Fatalf("normalize: %v", f.Series[0].Y)
+	}
+	f.Normalize(0) // no-op
+	if f.Series[0].Y[0] != 1 {
+		t.Fatal("normalize by zero changed values")
+	}
+	out := f.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "s") {
+		t.Fatalf("figure render: %q", out)
+	}
+}
+
+func TestFigureStringShortSeries(t *testing.T) {
+	f := &Figure{XLabel: "x", XTicks: []string{"1", "2"}, Series: []Series{{Name: "s", Y: []float64{5}}}}
+	if out := f.String(); !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for short series: %q", out)
+	}
+}
+
+func TestMeanReduction(t *testing.T) {
+	// ours = half of base everywhere → 50%.
+	if got := MeanReduction([]float64{1, 2}, []float64{2, 4}); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MeanReduction = %g", got)
+	}
+	// Negative reduction when ours is slower.
+	if got := MeanReduction([]float64{4}, []float64{2}); got >= 0 {
+		t.Fatalf("MeanReduction = %g, want negative", got)
+	}
+	// Non-positive bases are skipped.
+	if got := MeanReduction([]float64{1, 1}, []float64{0, 2}); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MeanReduction with zero base = %g", got)
+	}
+	if MeanReduction(nil, nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestMeanReductionPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MeanReduction([]float64{1}, []float64{1, 2})
+}
+
+func TestPct(t *testing.T) {
+	if Pct(65.234) != "65.23%" {
+		t.Fatalf("Pct = %q", Pct(65.234))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+}

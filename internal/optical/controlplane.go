@@ -1,0 +1,147 @@
+package optical
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/topo"
+)
+
+// Control plane (§3.2): TeraRack reconfigures micro-ring resonators
+// (MRRs) between steps. On the transmit side an MRR array modulates the
+// node's data onto chosen wavelengths; on the receive side a second
+// array *drops* (absorbs) the wavelengths addressed to the node and
+// passes the rest through. This file compiles a schedule step into
+// explicit per-node MRR configurations and verifies them by propagating
+// light around the ring — a stricter, physical-level check than the
+// arc-overlap validation in internal/rwa: it also catches drops that
+// shadow a downstream receiver and modulators injecting onto a
+// wavelength that is still lit.
+
+// MRRConfig is one node's resonator configuration for one step and one
+// travel direction: the sets of wavelength indices its Tx array
+// modulates and its Rx array drops. A wavelength absent from both sets
+// passes through the node untouched.
+type MRRConfig struct {
+	Modulate map[int]bool // wavelengths this node's Tx array drives
+	Drop     map[int]bool // wavelengths this node's Rx array absorbs
+}
+
+func newMRRConfig() *MRRConfig {
+	return &MRRConfig{Modulate: map[int]bool{}, Drop: map[int]bool{}}
+}
+
+// StepConfig is the whole ring's MRR state for one step: per direction,
+// per node.
+type StepConfig struct {
+	N     int
+	Nodes map[topo.Direction][]*MRRConfig
+}
+
+// CompileStep translates a schedule step into MRR configurations. It
+// fails if two transfers ask one node to modulate or drop the same
+// wavelength in the same direction (a physical impossibility: one MRR
+// per (node, direction, wavelength)).
+func CompileStep(n int, st core.Step) (*StepConfig, error) {
+	cfg := &StepConfig{N: n, Nodes: map[topo.Direction][]*MRRConfig{}}
+	for _, dir := range []topo.Direction{topo.CW, topo.CCW} {
+		nodes := make([]*MRRConfig, n)
+		for i := range nodes {
+			nodes[i] = newMRRConfig()
+		}
+		cfg.Nodes[dir] = nodes
+	}
+	for ti, t := range st.Transfers {
+		if t.Src < 0 || t.Src >= n || t.Dst < 0 || t.Dst >= n {
+			return nil, fmt.Errorf("optical: transfer %d out of range: %v", ti, t)
+		}
+		nodes := cfg.Nodes[t.Dir]
+		if nodes[t.Src].Modulate[t.Wavelength] {
+			return nil, fmt.Errorf("optical: node %d already modulates λ%d %s (transfer %d)", t.Src, t.Wavelength, t.Dir, ti)
+		}
+		if nodes[t.Dst].Drop[t.Wavelength] {
+			return nil, fmt.Errorf("optical: node %d already drops λ%d %s (transfer %d)", t.Dst, t.Wavelength, t.Dir, ti)
+		}
+		nodes[t.Src].Modulate[t.Wavelength] = true
+		nodes[t.Dst].Drop[t.Wavelength] = true
+	}
+	return cfg, nil
+}
+
+// VerifyStep propagates every modulated wavelength around the ring and
+// checks that it is absorbed exactly by the intended receiver of its
+// transfer: no other node drops it first (shadowing), and no second
+// modulator injects onto it while it is still lit (collision). The
+// schedule step must have compiled cleanly first.
+func VerifyStep(n int, st core.Step) error {
+	cfg, err := CompileStep(n, st)
+	if err != nil {
+		return err
+	}
+	ring := topo.NewRing(n)
+	for ti, t := range st.Transfers {
+		nodes := cfg.Nodes[t.Dir]
+		// Walk from src toward dst in the travel direction; the signal
+		// passes every intermediate node's Rx array.
+		hops := ring.Dist(t.Src, t.Dst, t.Dir)
+		at := t.Src
+		for h := 0; h < hops; h++ {
+			if t.Dir == topo.CW {
+				at = (at + 1) % n
+			} else {
+				at = (at - 1 + n) % n
+			}
+			if at == t.Dst {
+				break
+			}
+			if nodes[at].Drop[t.Wavelength] {
+				return fmt.Errorf("optical: transfer %d (%v): node %d drops λ%d before it reaches %d (shadowed)",
+					ti, t, at, t.Wavelength, t.Dst)
+			}
+			if nodes[at].Modulate[t.Wavelength] {
+				return fmt.Errorf("optical: transfer %d (%v): node %d modulates onto lit λ%d (collision)",
+					ti, t, at, t.Wavelength)
+			}
+		}
+		if !cfg.Nodes[t.Dir][t.Dst].Drop[t.Wavelength] {
+			return fmt.Errorf("optical: transfer %d (%v): destination does not drop its wavelength", ti, t)
+		}
+	}
+	return nil
+}
+
+// VerifySchedule runs the MRR-level check on every step.
+func VerifySchedule(s *core.Schedule) error {
+	for si, st := range s.Steps {
+		if err := VerifyStep(s.Ring.N, st); err != nil {
+			return fmt.Errorf("optical: step %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// MRRUseCount reports the peak number of active resonators any single
+// node needs in one step (Tx + Rx over both directions), which must fit
+// the hardware: a TeraRack node has 64 MRRs per interface and four
+// interfaces (§3.2).
+func MRRUseCount(s *core.Schedule) int {
+	peak := 0
+	for _, st := range s.Steps {
+		cfg, err := CompileStep(s.Ring.N, st)
+		if err != nil {
+			continue
+		}
+		use := make([]int, s.Ring.N)
+		for _, nodes := range cfg.Nodes {
+			for i, c := range nodes {
+				use[i] += len(c.Modulate) + len(c.Drop)
+			}
+		}
+		for _, u := range use {
+			if u > peak {
+				peak = u
+			}
+		}
+	}
+	return peak
+}

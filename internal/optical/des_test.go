@@ -1,0 +1,89 @@
+package optical
+
+import (
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+)
+
+func TestDESMatchesAnalytic(t *testing.T) {
+	p := DefaultParams()
+	var scheds []*core.Schedule
+	for _, n := range []int{4, 15, 64, 100} {
+		s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds = append(scheds, s, collective.BuildRing(n), collective.BuildBT(n))
+	}
+	for _, s := range scheds {
+		for _, d := range []float64{0, 72, 1e6, 123456789} {
+			if err := CheckAgainstAnalytic(p, s, d); err != nil {
+				t.Errorf("%s N=%d d=%g: %v", s.Algorithm, s.Ring.N, d, err)
+			}
+		}
+	}
+}
+
+func TestDESStragglerInjection(t *testing.T) {
+	// Slowing one circuit in one step by 10 ms must extend the total by
+	// exactly the amount it exceeds the step's critical path.
+	p := DefaultParams()
+	s, err := core.BuildWRHT(core.Config{N: 64, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 8e6
+	base, err := RunScheduleDES(p, s, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 10e-3
+	slow, err := RunScheduleDES(p, s, d, func(step, transfer int, nominal float64) float64 {
+		if step == 0 && transfer == 0 {
+			return nominal + extra
+		}
+		return nominal
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := slow.Time - base.Time
+	if diff := got - extra; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("straggler extended total by %.9f, want %.9f", got, extra)
+	}
+}
+
+func TestDESPerStepReports(t *testing.T) {
+	p := DefaultParams()
+	s, err := core.BuildWRHT(core.Config{N: 15, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScheduleDES(p, s, 1e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerStep) != 3 {
+		t.Fatalf("per-step reports = %d", len(res.PerStep))
+	}
+	var sum float64
+	for _, r := range res.PerStep {
+		if r.Duration <= 0 {
+			t.Fatalf("non-positive step duration: %+v", r)
+		}
+		sum += r.Duration
+	}
+	if diff := sum - res.Time; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("step durations sum %.12f != total %.12f", sum, res.Time)
+	}
+}
+
+func TestDESNegativeDelayClamped(t *testing.T) {
+	p := DefaultParams()
+	s := collective.BuildRing(4)
+	if _, err := RunScheduleDES(p, s, 1e5, func(_, _ int, _ float64) float64 { return -5 }); err != nil {
+		t.Fatal(err)
+	}
+}

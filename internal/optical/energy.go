@@ -1,0 +1,71 @@
+package optical
+
+import (
+	"math"
+
+	"wrht/internal/core"
+	"wrht/internal/phys"
+)
+
+// Energy model: the paper motivates optics partly by power (§1); this
+// estimates the communication energy of a collective on the ring so the
+// step-count argument can be made in joules as well as seconds. Three
+// components, consistent with silicon-photonics link budgets:
+//
+//   - laser energy: every active wavelength's source runs for the step's
+//     duration at the laser wall power (derived from the §4.4 budget's
+//     per-wavelength optical power and a wall-plug efficiency),
+//   - O/E/O conversion energy per bit at the transceivers,
+//   - MRR tuning energy per reconfiguration event.
+type EnergyParams struct {
+	// LaserWallW is the electrical wall power per active wavelength
+	// source (optical power / wall-plug efficiency).
+	LaserWallW float64
+	// PJPerBit is the transceiver O/E/O energy in picojoules per bit.
+	PJPerBit float64
+	// TuneNJ is the energy per MRR retuning event in nanojoules.
+	TuneNJ float64
+}
+
+// DefaultEnergyParams derives the laser wall power from the given §4.4
+// budget assuming 10% wall-plug efficiency, with 1 pJ/bit transceivers
+// and 20 nJ per MRR retune (representative TeraPHY-class figures).
+func DefaultEnergyParams(b phys.Budget) EnergyParams {
+	opticalW := math.Pow(10, b.LaserPowerDBm/10) / 1e3 // dBm → W
+	return EnergyParams{
+		LaserWallW: opticalW / 0.10,
+		PJPerBit:   1.0,
+		TuneNJ:     20,
+	}
+}
+
+// EnergyResult breaks down the communication energy of one collective.
+type EnergyResult struct {
+	LaserJ  float64
+	OEOJ    float64
+	TuningJ float64
+}
+
+// Total returns the summed energy in joules.
+func (e EnergyResult) Total() float64 { return e.LaserJ + e.OEOJ + e.TuningJ }
+
+// EnergyOfProfile estimates the energy of a collective described by an
+// analytic profile carrying dBytes per node. Laser energy charges every
+// wavelength the step keeps lit for the step duration; O/E/O charges
+// each transmitted bit once per conversion pair; tuning charges every
+// per-step reconfiguration across the wavelengths it touches.
+func EnergyOfProfile(p Params, ep EnergyParams, pr core.Profile, dBytes float64) EnergyResult {
+	var out EnergyResult
+	for _, g := range pr.Groups {
+		bytes := g.FracOfD * dBytes
+		stepDur := p.transferTime(bytes)
+		waves := g.Wavelengths
+		if waves < 1 {
+			waves = 1
+		}
+		out.LaserJ += float64(g.Steps) * float64(waves) * ep.LaserWallW * stepDur
+		out.OEOJ += float64(g.Steps) * float64(waves) * bytes * 8 * ep.PJPerBit * 1e-12
+		out.TuningJ += float64(g.Steps) * float64(waves) * ep.TuneNJ * 1e-9
+	}
+	return out
+}

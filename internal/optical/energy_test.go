@@ -1,0 +1,54 @@
+package optical
+
+import (
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/phys"
+)
+
+func TestEnergyPositiveAndAdditive(t *testing.T) {
+	p := DefaultParams()
+	ep := DefaultEnergyParams(phys.DefaultBudget())
+	pr, err := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := EnergyOfProfile(p, ep, pr, 100e6)
+	if e.LaserJ <= 0 || e.OEOJ <= 0 || e.TuningJ <= 0 {
+		t.Fatalf("non-positive component: %+v", e)
+	}
+	if e.Total() != e.LaserJ+e.OEOJ+e.TuningJ {
+		t.Fatal("total mismatch")
+	}
+	// Doubling the payload roughly doubles laser and O/E/O energy
+	// (tuning is payload-independent).
+	e2 := EnergyOfProfile(p, ep, pr, 200e6)
+	if e2.LaserJ < 1.9*e.LaserJ || e2.OEOJ < 1.9*e.OEOJ {
+		t.Fatalf("energy did not scale with payload: %+v vs %+v", e, e2)
+	}
+	if e2.TuningJ != e.TuningJ {
+		t.Fatal("tuning energy should not depend on payload")
+	}
+}
+
+func TestEnergyStepHeavyAlgorithmsPayMoreTuning(t *testing.T) {
+	p := DefaultParams()
+	ep := DefaultEnergyParams(phys.DefaultBudget())
+	ring := EnergyOfProfile(p, ep, collective.RingProfile(1024), 100e6)
+	pr, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	wrht := EnergyOfProfile(p, ep, pr, 100e6)
+	if ring.TuningJ <= wrht.TuningJ {
+		t.Fatalf("Ring (2046 steps) should pay more tuning energy than WRHT (3): %g vs %g",
+			ring.TuningJ, wrht.TuningJ)
+	}
+}
+
+func TestDefaultEnergyParamsDerivation(t *testing.T) {
+	b := phys.DefaultBudget() // 10 dBm = 10 mW optical
+	ep := DefaultEnergyParams(b)
+	if ep.LaserWallW < 0.09 || ep.LaserWallW > 0.11 {
+		t.Fatalf("10 mW at 10%% efficiency should be ~0.1 W wall, got %g", ep.LaserWallW)
+	}
+}

@@ -1,0 +1,202 @@
+// Package optical is the in-house optical interconnect system simulator
+// of §5.1: it executes collective schedules on a TeraRack-style WDM ring
+// (§3.2, Table 2) and reports communication time under the Eq-6 model.
+//
+// The simulator is step-driven, mirroring the circuit-switched operation
+// of the real system: before every communication step the control plane
+// reconfigures the micro-ring resonators (cost a = 25 µs); during the
+// step every transfer owns a (direction, wavelength) circuit and streams
+// its payload at the per-wavelength line rate (40 Gb/s), so the step
+// lasts as long as its largest payload; per-packet O/E/O conversion
+// (497 fs per 72-byte packet) is charged on the critical circuit.
+package optical
+
+import (
+	"fmt"
+	"math"
+
+	"wrht/internal/core"
+)
+
+// Params holds the optical-system parameters of Table 2.
+type Params struct {
+	// Wavelengths is the per-waveguide wavelength count (64).
+	Wavelengths int
+	// BandwidthBps is the per-wavelength line rate in bits per second
+	// (40 Gb/s).
+	BandwidthBps float64
+	// ReconfigDelay is the MRR reconfiguration delay charged before each
+	// step, in seconds (25 µs).
+	ReconfigDelay float64
+	// OEOPerPacket is the O/E/O conversion delay per packet, in seconds
+	// (497 fs).
+	OEOPerPacket float64
+	// PacketBytes is the packet size used for O/E/O accounting (72 B).
+	PacketBytes int
+	// FibersPerDirection records the physical ring multiplicity
+	// (TeraRack routes traffic over two fiber rings per direction). The
+	// conflict model conservatively uses a single fiber per direction;
+	// the field is informational.
+	FibersPerDirection int
+}
+
+// DefaultParams returns the Table-2 optical configuration.
+func DefaultParams() Params {
+	return Params{
+		Wavelengths:        64,
+		BandwidthBps:       40e9,
+		ReconfigDelay:      25e-6,
+		OEOPerPacket:       497e-15,
+		PacketBytes:        72,
+		FibersPerDirection: 2,
+	}
+}
+
+// TimeParams converts the optical parameters to the Eq-6 constants used
+// by the closed-form analysis in internal/core.
+func (p Params) TimeParams() core.TimeParams {
+	return core.TimeParams{
+		BytesPerSec:     p.BandwidthBps / 8,
+		StepOverheadSec: p.ReconfigDelay,
+	}
+}
+
+func (p Params) validate() error {
+	if p.Wavelengths < 1 {
+		return fmt.Errorf("optical: wavelengths %d < 1", p.Wavelengths)
+	}
+	if p.BandwidthBps <= 0 {
+		return fmt.Errorf("optical: bandwidth %g <= 0", p.BandwidthBps)
+	}
+	if p.PacketBytes < 1 {
+		return fmt.Errorf("optical: packet size %d < 1", p.PacketBytes)
+	}
+	return nil
+}
+
+// transferTime returns the serialization plus O/E/O time of one payload.
+func (p Params) transferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	packets := math.Ceil(bytes / float64(p.PacketBytes))
+	return bytes*8/p.BandwidthBps + packets*p.OEOPerPacket
+}
+
+// StepReport records the simulated timing of one step.
+type StepReport struct {
+	Phase    core.Phase
+	Duration float64 // seconds, including the reconfiguration delay
+	MaxBytes float64 // payload of the critical circuit
+}
+
+// Result is the outcome of simulating one collective.
+type Result struct {
+	Algorithm string
+	Steps     int
+	// Time is the total communication time in seconds (Eq 6 for
+	// constant-payload schedules).
+	Time float64
+	// TransferTime and OverheadTime split Time into the serialization
+	// component (d·θ/B) and the per-step component (a·θ).
+	TransferTime float64
+	OverheadTime float64
+	// PerStep is the per-step breakdown (only populated by RunSchedule).
+	PerStep []StepReport
+}
+
+// RunSchedule executes an explicit schedule carrying a dBytes-sized
+// per-node vector and returns the simulated timing. If validateW is
+// true the schedule is first checked for wavelength conflicts against
+// the configured budget, returning an error on violation.
+func RunSchedule(p Params, s *core.Schedule, dBytes float64, validateW bool) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if validateW {
+		if err := s.Validate(p.Wavelengths); err != nil {
+			return Result{}, err
+		}
+	}
+	elems := int(dBytes / 4)
+	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
+	for _, st := range s.Steps {
+		var maxBytes float64
+		for _, t := range st.Transfers {
+			b := float64(t.Chunk.Bytes(elems))
+			if b > maxBytes {
+				maxBytes = b
+			}
+		}
+		dur := p.ReconfigDelay + p.transferTime(maxBytes)
+		res.PerStep = append(res.PerStep, StepReport{Phase: st.Phase, Duration: dur, MaxBytes: maxBytes})
+		res.Time += dur
+		res.TransferTime += p.transferTime(maxBytes)
+		res.OverheadTime += p.ReconfigDelay
+	}
+	return res, nil
+}
+
+// RunProfile times an analytic step profile, equivalent to RunSchedule
+// on the schedule the profile describes but in O(groups) work. Payload
+// fractions are applied to dBytes directly (the rounding of uneven
+// chunk splits is below packet granularity for all paper workloads).
+func RunProfile(p Params, pr core.Profile, dBytes float64) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Algorithm: pr.Algorithm, Steps: pr.NumSteps()}
+	for _, g := range pr.Groups {
+		bytes := g.FracOfD * dBytes
+		tt := p.transferTime(bytes)
+		res.Time += float64(g.Steps) * (p.ReconfigDelay + tt)
+		res.TransferTime += float64(g.Steps) * tt
+		res.OverheadTime += float64(g.Steps) * p.ReconfigDelay
+	}
+	return res, nil
+}
+
+// FeasibleWavelengths reports whether the profile's per-step wavelength
+// requirement fits the configured budget.
+func (p Params) FeasibleWavelengths(pr core.Profile) bool {
+	for _, g := range pr.Groups {
+		if g.Wavelengths > p.Wavelengths {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBuckets times a collective that is invoked once per gradient bucket
+// (per-layer or fused-bucket granularity, §5.1 discussion in DESIGN.md):
+// the profile is evaluated for every bucket size and the times add up,
+// because synchronous data-parallel training serializes the bucket
+// all-reduces on the same ring.
+func RunBuckets(p Params, pr core.Profile, bucketBytes []float64) (Result, error) {
+	total := Result{Algorithm: pr.Algorithm}
+	for _, b := range bucketBytes {
+		r, err := RunProfile(p, pr, b)
+		if err != nil {
+			return Result{}, err
+		}
+		total.Steps += r.Steps
+		total.Time += r.Time
+		total.TransferTime += r.TransferTime
+		total.OverheadTime += r.OverheadTime
+	}
+	return total, nil
+}
+
+// EffectiveWavelengths returns the per-direction circuit capacity
+// including fiber multiplicity: TeraRack routes traffic over
+// FibersPerDirection parallel fiber rings per direction (§3.2), so a
+// WRHT configuration may treat the budget as Wavelengths × fibers. The
+// single-fiber conflict model stays conservative; this accessor feeds
+// the double-ring ablation.
+func (p Params) EffectiveWavelengths() int {
+	f := p.FibersPerDirection
+	if f < 1 {
+		f = 1
+	}
+	return p.Wavelengths * f
+}

@@ -1,0 +1,186 @@
+package optical
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+)
+
+func TestEq6Reproduction(t *testing.T) {
+	// A 3-step full-vector schedule must time out to exactly
+	// T = 3·(d/B + a) plus the (tiny) per-packet O/E/O term.
+	p := DefaultParams()
+	cfg := core.Config{N: 1024, Wavelengths: 64, GroupSize: 129}
+	prof, err := collective.WRHTProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 100e6
+	res, err := RunProfile(p, prof, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.TimeParams().CommTime(3, d)
+	oeo := 3 * math.Ceil(d/72) * p.OEOPerPacket
+	if math.Abs(res.Time-(want+oeo)) > 1e-9 {
+		t.Fatalf("RunProfile = %.9f, want Eq6 %.9f + oeo %.12f", res.Time, want, oeo)
+	}
+	if res.Steps != 3 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+}
+
+func TestScheduleAndProfileAgree(t *testing.T) {
+	p := DefaultParams()
+	d := float64(64 * 1000 * 4) // divisible by every chunk count below
+	cfgs := []struct {
+		name  string
+		sched *core.Schedule
+		prof  core.Profile
+	}{}
+	s1, _ := core.BuildWRHT(core.Config{N: 100, Wavelengths: 8})
+	pr1, _ := collective.WRHTProfile(core.Config{N: 100, Wavelengths: 8})
+	cfgs = append(cfgs,
+		struct {
+			name  string
+			sched *core.Schedule
+			prof  core.Profile
+		}{"wrht", s1, pr1},
+		struct {
+			name  string
+			sched *core.Schedule
+			prof  core.Profile
+		}{"ring", collective.BuildRing(64), collective.RingProfile(64)},
+		struct {
+			name  string
+			sched *core.Schedule
+			prof  core.Profile
+		}{"bt", collective.BuildBT(64), collective.BTProfile(64)},
+	)
+	for _, c := range cfgs {
+		rs, err := RunSchedule(p, c.sched, d, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := RunProfile(p, c.prof, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(rs.Time-rp.Time) / rs.Time; rel > 1e-6 {
+			t.Errorf("%s: schedule %.9f vs profile %.9f (rel %g)", c.name, rs.Time, rp.Time, rel)
+		}
+	}
+}
+
+func TestRunScheduleValidatesBudget(t *testing.T) {
+	p := DefaultParams()
+	p.Wavelengths = 1
+	s, _ := core.BuildWRHT(core.Config{N: 100, Wavelengths: 8})
+	if _, err := RunSchedule(p, s, 1e6, true); err == nil {
+		t.Fatal("8-wavelength schedule accepted on 1-wavelength system")
+	}
+	if _, err := RunSchedule(p, s, 1e6, false); err != nil {
+		t.Fatalf("validation disabled should pass: %v", err)
+	}
+}
+
+func TestRingVsWRHTStepOverheadDominance(t *testing.T) {
+	// For a small payload the 2046 Ring steps pay ~2046×25 µs while WRHT
+	// pays 3×25 µs: WRHT must win by a wide margin (the paper's core
+	// argument).
+	p := DefaultParams()
+	d := 1e6 // 1 MB
+	ring, err := RunProfile(p, collective.RingProfile(1024), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	wrht, err := RunProfile(p, prof, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrht.Time*10 > ring.Time {
+		t.Fatalf("WRHT %.6f should be >10x faster than Ring %.6f on small payloads", wrht.Time, ring.Time)
+	}
+}
+
+func TestOverheadTransferSplit(t *testing.T) {
+	p := DefaultParams()
+	prof, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	res, err := RunProfile(p, prof, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Time-(res.TransferTime+res.OverheadTime)) > 1e-12 {
+		t.Fatal("time split does not add up")
+	}
+	if res.OverheadTime != float64(res.Steps)*p.ReconfigDelay {
+		t.Fatalf("overhead %.9f != steps×a", res.OverheadTime)
+	}
+}
+
+func TestRunBucketsAddsUp(t *testing.T) {
+	p := DefaultParams()
+	prof, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	whole, err := RunProfile(p, prof, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := RunBuckets(p, prof, []float64{60e6, 40e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same bytes, twice the per-step overhead.
+	if split.TransferTime <= 0 || math.Abs(split.TransferTime-whole.TransferTime) > 1e-9 {
+		t.Fatalf("bucketed transfer time %.9f vs fused %.9f", split.TransferTime, whole.TransferTime)
+	}
+	if math.Abs(split.OverheadTime-2*whole.OverheadTime) > 1e-12 {
+		t.Fatalf("bucketed overhead %.9f vs fused %.9f", split.OverheadTime, whole.OverheadTime)
+	}
+}
+
+func TestFeasibleWavelengths(t *testing.T) {
+	p := DefaultParams() // 64 λ
+	ok, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
+	if !p.FeasibleWavelengths(ok) {
+		t.Fatal("129-group WRHT should fit 64 wavelengths")
+	}
+	big, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 256})
+	if p.FeasibleWavelengths(big) {
+		t.Fatal("513-group WRHT must not fit 64 wavelengths")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{Wavelengths: 0, BandwidthBps: 1, PacketBytes: 72},
+		{Wavelengths: 1, BandwidthBps: 0, PacketBytes: 72},
+		{Wavelengths: 1, BandwidthBps: 1, PacketBytes: 0},
+	}
+	prof := collective.RingProfile(4)
+	for _, p := range bad {
+		if _, err := RunProfile(p, prof, 1); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestTimeParamsConversion(t *testing.T) {
+	tp := DefaultParams().TimeParams()
+	if tp.BytesPerSec != 5e9 || tp.StepOverheadSec != 25e-6 {
+		t.Fatalf("TimeParams = %+v", tp)
+	}
+}
+
+func TestEffectiveWavelengths(t *testing.T) {
+	p := DefaultParams()
+	if p.EffectiveWavelengths() != 128 {
+		t.Fatalf("default (2 fibers × 64 λ) = %d, want 128", p.EffectiveWavelengths())
+	}
+	p.FibersPerDirection = 0
+	if p.EffectiveWavelengths() != 64 {
+		t.Fatalf("zero fibers should clamp to 1: %d", p.EffectiveWavelengths())
+	}
+}

@@ -1,0 +1,264 @@
+// Package parallel implements the §6.2 extension the paper leaves as
+// future work: hybrid pipeline × data parallel training of large models
+// on the optical ring, with WRHT invoked per data-parallel group.
+//
+// Layout: an N-node ring hosts P pipeline stages × D replicas
+// (P·D = N). Stage s's D replicas occupy the contiguous ring segment
+// [s·D, (s+1)·D). After the backward pass every stage's group
+// all-reduces its own parameter shard — all groups concurrently, each
+// with a segment-confined WRHT (core.BuildWRHTSegment), so circuits of
+// different groups never share fiber and wavelengths are fully reused.
+// Between stages, activations and activation gradients travel over
+// direct node-to-node circuits (replica r of stage s talks to replica r
+// of stage s+1, a distance-D hop on the ring).
+//
+// The timeline follows GPipe-style synchronous pipelining: M
+// microbatches flow forward then backward with the familiar (P−1)
+// bubble, computed by a wavefront recurrence; the gradient all-reduce
+// runs at the flush.
+package parallel
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/optical"
+	"wrht/internal/workload"
+)
+
+// Strategy is a hybrid-parallel placement.
+type Strategy struct {
+	// Stages is P, the pipeline depth (1 = pure data parallelism).
+	Stages int
+	// Replicas is D, the data-parallel width per stage.
+	Replicas int
+}
+
+// Nodes returns the total node count P·D.
+func (s Strategy) Nodes() int { return s.Stages * s.Replicas }
+
+func (s Strategy) validate() error {
+	if s.Stages < 1 || s.Replicas < 1 {
+		return fmt.Errorf("parallel: strategy %d×%d invalid", s.Stages, s.Replicas)
+	}
+	return nil
+}
+
+// GroupParticipants returns stage s's ring positions.
+func (s Strategy) GroupParticipants(stage int) []int {
+	out := make([]int, s.Replicas)
+	for r := 0; r < s.Replicas; r++ {
+		out[r] = stage*s.Replicas + r
+	}
+	return out
+}
+
+// BuildGradientSync builds the concurrent per-stage WRHT all-reduce: one
+// segment-confined schedule per stage, merged into a single schedule
+// whose steps run all groups in parallel. The result is validated
+// against the wavelength budget.
+func BuildGradientSync(st Strategy, wavelengths int) (*core.Schedule, error) {
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	n := st.Nodes()
+	groups := make([]*core.Schedule, st.Stages)
+	for s := 0; s < st.Stages; s++ {
+		parts := st.GroupParticipants(s)
+		seg, err := core.BuildWRHTSegment(n, parts, wavelengths, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.SegmentSpanArcs(seg, parts[0], parts[len(parts)-1]); err != nil {
+			return nil, err
+		}
+		groups[s] = seg
+	}
+	merged := core.MergeConcurrent(n, groups...)
+	merged.Algorithm = "wrht-hybrid"
+	if err := merged.Validate(wavelengths); err != nil {
+		return nil, fmt.Errorf("parallel: merged gradient sync conflicts: %w", err)
+	}
+	return merged, nil
+}
+
+// Result summarises one simulated training iteration.
+type Result struct {
+	Strategy     Strategy
+	Microbatches int
+	// PipelineSec is the forward+backward makespan including bubbles.
+	PipelineSec float64
+	// BubbleSec is the idle time attributable to pipeline fill/drain on
+	// the critical path.
+	BubbleSec float64
+	// AllReduceSec is the per-iteration gradient synchronisation time
+	// (the slowest stage group's WRHT).
+	AllReduceSec float64
+	// TotalSec is the full iteration time.
+	TotalSec float64
+	// MaxStageGradBytes is the largest per-stage all-reduce payload.
+	MaxStageGradBytes float64
+}
+
+// Sim simulates one training iteration of the model under the strategy.
+type Sim struct {
+	Model dnn.Model
+	Strat Strategy
+	// Microbatches per iteration (GPipe M); the per-replica minibatch is
+	// Microbatches × MicrobatchSize samples.
+	Microbatches   int
+	MicrobatchSize int
+	GPU            workload.GPUProfile
+	Optical        optical.Params
+}
+
+// Run simulates the iteration and returns the breakdown.
+func (sim Sim) Run() (Result, error) {
+	if err := sim.Strat.validate(); err != nil {
+		return Result{}, err
+	}
+	if sim.Microbatches < 1 || sim.MicrobatchSize < 1 {
+		return Result{}, fmt.Errorf("parallel: microbatches=%d size=%d invalid", sim.Microbatches, sim.MicrobatchSize)
+	}
+	p := sim.Strat.Stages
+	stages := dnn.SplitStages(sim.Model, p)
+	if len(stages) != p {
+		return Result{}, fmt.Errorf("parallel: model has %d layers, cannot form %d stages", len(sim.Model.Layers), p)
+	}
+
+	// Per-stage per-microbatch compute times (forward; backward = 2×).
+	fwd := make([]float64, p)
+	eff := sim.GPU.PeakFLOPS * sim.GPU.Efficiency
+	for s, st := range stages {
+		fwd[s] = float64(st.ForwardFLOPs()) * float64(sim.MicrobatchSize) / eff
+	}
+	// Inter-stage activation transfer time per microbatch: a direct
+	// circuit on one wavelength (plus reconfiguration, charged once per
+	// hop like a step).
+	xfer := make([]float64, p) // xfer[s] = stage s -> s+1
+	for s := 0; s < p-1; s++ {
+		bytes := float64(stages[s].BoundaryElems()*4) * float64(sim.MicrobatchSize)
+		xfer[s] = bytes*8/sim.Optical.BandwidthBps + sim.Optical.ReconfigDelay
+	}
+
+	pipe, bubble := sim.pipeline(fwd, xfer)
+
+	// Gradient sync: every stage group runs its segment WRHT on its own
+	// shard concurrently; the iteration waits for the slowest.
+	var arMax float64
+	var maxShard float64
+	for s := 0; s < p; s++ {
+		prof, err := segmentProfile(sim.Strat.Replicas, sim.Optical.Wavelengths)
+		if err != nil {
+			return Result{}, err
+		}
+		d := float64(stages[s].GradBytes())
+		if d > maxShard {
+			maxShard = d
+		}
+		res, err := optical.RunProfile(sim.Optical, prof, d)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Time > arMax {
+			arMax = res.Time
+		}
+	}
+
+	return Result{
+		Strategy:          sim.Strat,
+		Microbatches:      sim.Microbatches,
+		PipelineSec:       pipe,
+		BubbleSec:         bubble,
+		AllReduceSec:      arMax,
+		TotalSec:          pipe + arMax,
+		MaxStageGradBytes: maxShard,
+	}, nil
+}
+
+// segmentProfile returns the analytic profile of a D-replica segment
+// WRHT (line construction).
+func segmentProfile(d, wavelengths int) (core.Profile, error) {
+	sched, err := core.BuildWRHTSegment(d, identity(d), wavelengths, 0)
+	if err != nil {
+		return core.Profile{}, err
+	}
+	return core.ProfileOf(sched), nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// pipeline simulates the GPipe schedule on the DES kernel: microbatch m
+// may start forward on stage s once stage s is free and m has finished
+// forward on s−1 (plus the activation transfer); backward runs in
+// reverse order after the forward flush, at 2× the forward cost. It
+// returns the makespan and the critical-path bubble time. (The GPipe
+// dependence graph is a wavefront, so the simulation is a direct
+// recurrence over (stage, microbatch) rather than an event queue.)
+func (sim Sim) pipeline(fwd, xfer []float64) (makespan, bubble float64) {
+	p := sim.Strat.Stages
+	m := sim.Microbatches
+
+	stageFree := make([]float64, p) // when stage s can take new work
+	fwdDone := make([]float64, m)   // per microbatch, forward-exit time of previous stage
+	busy := make([]float64, p)      // accumulated busy time per stage
+
+	// Forward waves.
+	for s := 0; s < p; s++ {
+		for mb := 0; mb < m; mb++ {
+			start := stageFree[s]
+			if s > 0 {
+				arrive := fwdDone[mb] + xfer[s-1]
+				if arrive > start {
+					start = arrive
+				}
+			}
+			end := start + fwd[s]
+			stageFree[s] = end
+			fwdDone[mb] = end
+			busy[s] += fwd[s]
+		}
+	}
+	// Backward waves (reverse stage order, 2× forward cost).
+	bwdDone := make([]float64, m)
+	for i := range bwdDone {
+		bwdDone[i] = fwdDone[i]
+	}
+	for s := p - 1; s >= 0; s-- {
+		for mb := 0; mb < m; mb++ {
+			start := stageFree[s]
+			if s < p-1 {
+				arrive := bwdDone[mb] + xfer[s]
+				if arrive > start {
+					start = arrive
+				}
+			}
+			end := start + 2*fwd[s]
+			stageFree[s] = end
+			bwdDone[mb] = end
+			busy[s] += 2 * fwd[s]
+		}
+	}
+	makespan = 0
+	for _, t := range stageFree {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	// Bubble: the busiest stage's idle share of the makespan.
+	maxBusy := 0.0
+	for _, b := range busy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	bubble = makespan - maxBusy
+	return makespan, bubble
+}

@@ -1,0 +1,208 @@
+package parallel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/cluster"
+	"wrht/internal/dnn"
+	"wrht/internal/optical"
+	"wrht/internal/parallel"
+	"wrht/internal/tensor"
+	"wrht/internal/workload"
+)
+
+func TestGradientSyncConcurrentGroups(t *testing.T) {
+	// 4 stages × 8 replicas: the merged schedule must be conflict-free
+	// and no longer (in steps) than a single group's schedule.
+	st := parallel.Strategy{Stages: 4, Replicas: 8}
+	sched, err := parallel.BuildGradientSync(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := parallel.BuildGradientSync(parallel.Strategy{Stages: 1, Replicas: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.NumSteps() != single.NumSteps() {
+		t.Fatalf("merged steps %d != single group steps %d (groups must run concurrently)",
+			sched.NumSteps(), single.NumSteps())
+	}
+	if err := sched.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := optical.VerifySchedule(sched); err != nil {
+		t.Fatalf("MRR-level check: %v", err)
+	}
+}
+
+func TestGradientSyncDataPlane(t *testing.T) {
+	// Each stage group must all-reduce among exactly its own members:
+	// give group g vectors filled with g's replica values and verify the
+	// per-group sums.
+	st := parallel.Strategy{Stages: 3, Replicas: 5}
+	sched, err := parallel.BuildGradientSync(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := st.Nodes()
+	rng := rand.New(rand.NewSource(13))
+	in := make([]tensor.Vector, n)
+	for i := range in {
+		in[i] = tensor.New(12)
+		for j := range in[i] {
+			in[i][j] = float32(rng.Intn(50))
+		}
+	}
+	cl, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(sched); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < st.Stages; g++ {
+		members := st.GroupParticipants(g)
+		want := make([]float64, 12)
+		for _, m := range members {
+			for j, x := range in[m] {
+				want[j] += float64(x)
+			}
+		}
+		for _, m := range members {
+			v := cl.Vector(m)
+			for j := range want {
+				if float64(v[j]) != want[j] {
+					t.Fatalf("stage %d node %d elem %d = %g, want %g", g, m, j, v[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSplitStagesBalanced(t *testing.T) {
+	m := dnn.BEiTLarge()
+	for _, p := range []int{1, 2, 4, 8} {
+		stages := dnn.SplitStages(m, p)
+		if len(stages) != p {
+			t.Fatalf("p=%d: got %d stages", p, len(stages))
+		}
+		var params, flops int64
+		layers := 0
+		for _, s := range stages {
+			params += s.Params()
+			flops += s.ForwardFLOPs()
+			layers += len(s.Layers)
+			if len(s.Layers) == 0 {
+				t.Fatalf("p=%d: empty stage", p)
+			}
+		}
+		if params != m.Params() || flops != m.ForwardFLOPs() || layers != len(m.Layers) {
+			t.Fatalf("p=%d: stage totals do not add up", p)
+		}
+		// Balance: no stage above 2× the mean FLOPs (coarse, since layer
+		// granularity limits balance).
+		mean := float64(flops) / float64(p)
+		for si, s := range stages {
+			if float64(s.ForwardFLOPs()) > 2.5*mean {
+				t.Errorf("p=%d: stage %d has %.1f× the mean FLOPs", p, si, float64(s.ForwardFLOPs())/mean)
+			}
+		}
+	}
+}
+
+func TestSplitStagesMoreStagesThanLayers(t *testing.T) {
+	m := dnn.AlexNet() // 8 layers
+	stages := dnn.SplitStages(m, 100)
+	if len(stages) != len(m.Layers) {
+		t.Fatalf("stages = %d, want %d", len(stages), len(m.Layers))
+	}
+}
+
+func TestHybridIterationBreakdown(t *testing.T) {
+	sim := parallel.Sim{
+		Model:          dnn.BEiTLarge(),
+		Strat:          parallel.Strategy{Stages: 4, Replicas: 16},
+		Microbatches:   8,
+		MicrobatchSize: 2,
+		GPU:            workload.TitanXP(),
+		Optical:        optical.DefaultParams(),
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSec <= 0 || res.PipelineSec <= 0 || res.AllReduceSec <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.BubbleSec < 0 || res.BubbleSec >= res.PipelineSec {
+		t.Fatalf("bubble %g out of range (pipeline %g)", res.BubbleSec, res.PipelineSec)
+	}
+	if res.TotalSec != res.PipelineSec+res.AllReduceSec {
+		t.Fatal("total != pipeline + allreduce")
+	}
+	// Sharding means the per-group payload is well below the full model.
+	if res.MaxStageGradBytes >= float64(dnn.BEiTLarge().GradBytes()) {
+		t.Fatal("stage shard not smaller than full gradient")
+	}
+}
+
+func TestMoreMicrobatchesShrinkBubbleShare(t *testing.T) {
+	base := parallel.Sim{
+		Model:          dnn.VGG16(),
+		Strat:          parallel.Strategy{Stages: 4, Replicas: 4},
+		MicrobatchSize: 2,
+		GPU:            workload.TitanXP(),
+		Optical:        optical.DefaultParams(),
+	}
+	small := base
+	small.Microbatches = 2
+	big := base
+	big.Microbatches = 32
+	rs, err := small.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.BubbleSec/rb.PipelineSec >= rs.BubbleSec/rs.PipelineSec {
+		t.Fatalf("bubble share did not shrink: %.3f -> %.3f",
+			rs.BubbleSec/rs.PipelineSec, rb.BubbleSec/rb.PipelineSec)
+	}
+}
+
+func TestPureDataParallelMatchesStrategyOne(t *testing.T) {
+	// P=1 reduces to plain data parallelism: no bubbles, full-gradient
+	// all-reduce.
+	sim := parallel.Sim{
+		Model:          dnn.ResNet50(),
+		Strat:          parallel.Strategy{Stages: 1, Replicas: 64},
+		Microbatches:   4,
+		MicrobatchSize: 4,
+		GPU:            workload.TitanXP(),
+		Optical:        optical.DefaultParams(),
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BubbleSec > 1e-12 {
+		t.Fatalf("P=1 should have no bubble, got %g", res.BubbleSec)
+	}
+	if res.MaxStageGradBytes != float64(dnn.ResNet50().GradBytes()) {
+		t.Fatal("P=1 shard should be the full gradient")
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	if _, err := parallel.BuildGradientSync(parallel.Strategy{Stages: 0, Replicas: 4}, 4); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+	sim := parallel.Sim{Model: dnn.AlexNet(), Strat: parallel.Strategy{Stages: 2, Replicas: 2},
+		GPU: workload.TitanXP(), Optical: optical.DefaultParams()}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("zero microbatches accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package phys models the optical-communication constraints of §4.4:
+// insertion loss (Eqs 7–10) and crosstalk/SNR/BER (Eqs 11–13). Its main
+// output is the maximum feasible grouped-node count m' that WRHT may use
+// under a given optical power budget, which clamps the Lemma-1 optimum
+// m = 2w+1 in core.Config.MaxGroupSize.
+//
+// All powers and losses are in dB/dBm, matching how silicon-photonics
+// budgets are specified (e.g. [14]); helper functions convert to linear
+// scale where the SNR arithmetic needs it.
+package phys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Budget collects the link-budget parameters of §4.4. Defaults follow
+// the TeraPHY/comb-laser figures cited by the paper ([10], [5], [14]).
+type Budget struct {
+	// LaserPowerDBm is the per-wavelength laser source power P_laser.
+	LaserPowerDBm float64
+	// ModulatorLossDB is the Tx modulator loss P_m.
+	ModulatorLossDB float64
+	// PassLossDB is the loss P_pass a signal suffers passing one optical
+	// interface (an MRR it is not dropped at).
+	PassLossDB float64
+	// ExtinctionPenaltyDB is the power penalty P_p caused by the finite
+	// extinction ratio.
+	ExtinctionPenaltyDB float64
+
+	// RxCrosstalkDBc is the per-interface worst-case crosstalk power on
+	// the receive side relative to the signal (P_Rx, negative dBc).
+	RxCrosstalkDBc float64
+	// TxCrosstalkDBc is the worst-case crosstalk power contributed on
+	// the transmit side relative to the signal (P_Tx, negative dBc).
+	TxCrosstalkDBc float64
+	// OtherNoiseDBm is the aggregate power P_O of other noise sources at
+	// the photodetector.
+	OtherNoiseDBm float64
+}
+
+// DefaultBudget returns a representative TeraRack-class link budget:
+// 10 dBm comb-laser line power, 1.5 dB modulator loss, 0.02 dB per-MRR
+// pass-through loss, 3 dB extinction-ratio penalty, −40 dBc per-hop
+// receive crosstalk, −35 dBc transmit crosstalk, −50 dBm other noise.
+func DefaultBudget() Budget {
+	return Budget{
+		LaserPowerDBm:       10,
+		ModulatorLossDB:     1.5,
+		PassLossDB:          0.02,
+		ExtinctionPenaltyDB: 3,
+		RxCrosstalkDBc:      -40,
+		TxCrosstalkDBc:      -35,
+		OtherNoiseDBm:       -50,
+	}
+}
+
+// MaxCommLength evaluates Eq (7): the maximum communication length (in
+// traversed interfaces) of a WRHT run on n nodes with first-step group
+// size m. With a single level (log_m n = 1) the longest circuit spans
+// ⌊m/2⌋ interfaces; with L ≥ 2 levels the top-level gather spans
+// m·m^(L−2) interfaces.
+func MaxCommLength(n, m int) int {
+	if n <= 1 || m < 2 {
+		return 0
+	}
+	l := ceilLog(m, n)
+	if l <= 1 {
+		return m / 2
+	}
+	return m * pow(m, l-2)
+}
+
+// TotalLossDB evaluates Eq (8): L_l = P_m + L_max · P_pass.
+func (b Budget) TotalLossDB(lmax int) float64 {
+	return b.ModulatorLossDB + float64(lmax)*b.PassLossDB
+}
+
+// InsertionLossOK evaluates Eq (9): P_laser ≥ L_l + P_p.
+func (b Budget) InsertionLossOK(lmax int) bool {
+	return b.LaserPowerDBm >= b.TotalLossDB(lmax)+b.ExtinctionPenaltyDB
+}
+
+// SignalPowerDBm returns the signal power arriving at the photodetector
+// after the modulator and lmax pass-through interfaces.
+func (b Budget) SignalPowerDBm(lmax int) float64 {
+	return b.LaserPowerDBm - b.TotalLossDB(lmax)
+}
+
+// WorstCrosstalkDBm evaluates Eq (12): P_Nw = L_max·P_Rx + P_Tx, with
+// the per-interface receive crosstalk accumulated in linear scale
+// relative to the arriving signal power.
+func (b Budget) WorstCrosstalkDBm(lmax int) float64 {
+	sig := b.SignalPowerDBm(lmax)
+	rx := float64(lmax) * dbmToMw(sig+b.RxCrosstalkDBc)
+	tx := dbmToMw(sig + b.TxCrosstalkDBc)
+	return mwToDbm(rx + tx)
+}
+
+// SNRdB evaluates Eq (11): 10·log10(P_S / (P_N + P_O)).
+func (b Budget) SNRdB(lmax int) float64 {
+	ps := dbmToMw(b.SignalPowerDBm(lmax))
+	pn := dbmToMw(b.WorstCrosstalkDBm(lmax))
+	po := dbmToMw(b.OtherNoiseDBm)
+	return 10 * math.Log10(ps/(pn+po))
+}
+
+// BER evaluates Eq (13): BER = ½·e^(−SNR/4) with SNR in linear scale.
+func BER(snrDB float64) float64 {
+	snr := math.Pow(10, snrDB/10)
+	return 0.5 * math.Exp(-snr/4)
+}
+
+// MaxBER is the reliability threshold of §4.4.2 ([26]).
+const MaxBER = 1e-9
+
+// CrosstalkOK reports whether the worst-case BER at communication length
+// lmax satisfies the 10⁻⁹ reliability threshold.
+func (b Budget) CrosstalkOK(lmax int) bool {
+	return BER(b.SNRdB(lmax)) <= MaxBER
+}
+
+// FeasibleLength reports whether both §4.4 constraints hold at lmax.
+func (b Budget) FeasibleLength(lmax int) bool {
+	return b.InsertionLossOK(lmax) && b.CrosstalkOK(lmax)
+}
+
+// MaxGroupSize computes m′, the largest grouped-node count m ∈ [2, cap]
+// whose worst-case communication length on an n-node ring satisfies both
+// the insertion-loss and crosstalk constraints (Eq 10: m ≤ m′). It
+// returns 0 if no group size is feasible.
+//
+// Feasibility is not monotone in m in general (a larger m can reduce the
+// level count L and thereby shorten the longest circuit), so the search
+// scans all candidates rather than bisecting.
+func (b Budget) MaxGroupSize(n, cap int) int {
+	if cap < 2 {
+		return 0
+	}
+	best := 0
+	for m := 2; m <= cap; m++ {
+		if b.FeasibleLength(MaxCommLength(n, m)) {
+			best = m
+		}
+	}
+	return best
+}
+
+func dbmToMw(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+func mwToDbm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+func ceilLog(base, n int) int {
+	if base < 2 || n < 1 {
+		panic(fmt.Sprintf("phys: ceilLog(%d, %d) invalid", base, n))
+	}
+	l, p := 0, 1
+	for p < n {
+		p *= base
+		l++
+	}
+	return l
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxCommLength(t *testing.T) {
+	// Eq 7: single level → ⌊m/2⌋; L ≥ 2 levels → m·m^(L−2).
+	cases := []struct{ n, m, want int }{
+		{16, 17, 8},      // one level: ⌊17/2⌋
+		{1024, 129, 129}, // two levels: 129·129⁰
+		{1024, 5, 625},   // ⌈log₅1024⌉ = 5 levels: 5·5³
+		{1, 5, 0},
+		{10, 1, 0},
+	}
+	for _, c := range cases {
+		if got := MaxCommLength(c.n, c.m); got != c.want {
+			t.Errorf("MaxCommLength(%d,%d) = %d, want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestTotalLossMonotone(t *testing.T) {
+	b := DefaultBudget()
+	if b.TotalLossDB(10) >= b.TotalLossDB(100) {
+		t.Fatal("loss must grow with communication length")
+	}
+	if got, want := b.TotalLossDB(0), b.ModulatorLossDB; got != want {
+		t.Fatalf("zero-length loss = %g, want modulator loss %g", got, want)
+	}
+}
+
+func TestInsertionLossConstraint(t *testing.T) {
+	b := DefaultBudget()
+	// Eq 9: P_laser ≥ L_l + P_p. With the default budget the headroom is
+	// 10 − 1.5 − 3 = 5.5 dB → L_max ≤ 5.5/0.02 = 275 interfaces.
+	if !b.InsertionLossOK(275) {
+		t.Error("275 interfaces should satisfy the insertion-loss budget")
+	}
+	if b.InsertionLossOK(276) {
+		t.Error("276 interfaces should violate the insertion-loss budget")
+	}
+}
+
+func TestSNRDecreasesWithLength(t *testing.T) {
+	b := DefaultBudget()
+	prev := math.Inf(1)
+	for _, l := range []int{1, 10, 100, 500} {
+		snr := b.SNRdB(l)
+		if snr >= prev {
+			t.Fatalf("SNR did not decrease at length %d: %g >= %g", l, snr, prev)
+		}
+		prev = snr
+	}
+}
+
+func TestBERRelationship(t *testing.T) {
+	// Eq 13: BER = ½e^(−SNR/4), SNR linear.
+	if got := BER(10 * math.Log10(4*math.Log(0.5/1e-9))); math.Abs(got-1e-9)/1e-9 > 1e-9 {
+		t.Fatalf("BER at threshold SNR = %g, want 1e-9", got)
+	}
+	if BER(0) >= 0.5 {
+		t.Fatal("BER must be below 1/2 for positive SNR")
+	}
+	if b1, b2 := BER(10), BER(20); b2 >= b1 {
+		t.Fatal("BER must fall as SNR rises")
+	}
+}
+
+func TestMaxGroupSizeRespectsBothConstraints(t *testing.T) {
+	b := DefaultBudget()
+	m := b.MaxGroupSize(1024, 129)
+	if m < 2 {
+		t.Fatalf("default budget should allow some grouping, got %d", m)
+	}
+	if !b.FeasibleLength(MaxCommLength(1024, m)) {
+		t.Fatalf("returned m=%d is not feasible", m)
+	}
+	// A starved laser allows nothing.
+	starved := b
+	starved.LaserPowerDBm = -20
+	if got := starved.MaxGroupSize(1024, 129); got != 0 {
+		t.Fatalf("starved budget returned m=%d, want 0", got)
+	}
+	// Cap below 2 yields 0.
+	if b.MaxGroupSize(1024, 1) != 0 {
+		t.Fatal("cap < 2 should yield 0")
+	}
+}
+
+func TestMaxGroupSizeTightensWithPassLoss(t *testing.T) {
+	loose := DefaultBudget()
+	tight := DefaultBudget()
+	tight.PassLossDB = 0.2 // 10× lossier interfaces
+	ml, mt := loose.MaxGroupSize(1024, 129), tight.MaxGroupSize(1024, 129)
+	if mt > ml {
+		t.Fatalf("lossier interfaces should not allow larger groups: %d > %d", mt, ml)
+	}
+}
+
+func TestCrosstalkConstraint(t *testing.T) {
+	b := DefaultBudget()
+	if !b.CrosstalkOK(1) {
+		t.Fatal("single-hop crosstalk should satisfy BER threshold")
+	}
+	noisy := b
+	noisy.RxCrosstalkDBc = -10 // severe per-hop leakage
+	if noisy.CrosstalkOK(200) {
+		t.Fatal("200 hops of -10 dBc crosstalk should fail BER")
+	}
+}
+
+func TestWorstCrosstalkGrowsWithLength(t *testing.T) {
+	b := DefaultBudget()
+	if b.WorstCrosstalkDBm(100) <= b.WorstCrosstalkDBm(1) {
+		t.Fatal("aggregate crosstalk must grow with traversed interfaces")
+	}
+}
+
+func TestDbmRoundTrip(t *testing.T) {
+	for _, v := range []float64{-30, -3, 0, 3, 10} {
+		if got := mwToDbm(dbmToMw(v)); math.Abs(got-v) > 1e-9 {
+			t.Fatalf("round trip %g -> %g", v, got)
+		}
+	}
+	if !math.IsInf(mwToDbm(0), -1) {
+		t.Fatal("mwToDbm(0) should be -inf")
+	}
+}

@@ -1,0 +1,160 @@
+// Package rwa implements routing and wavelength assignment (RWA) for
+// circuits on the optical ring, per §4.1.2 of the paper: communications
+// inside disjoint subgroups are independent, so wavelengths are reused
+// across subgroups, and within a conflict set the First Fit [21] or
+// Random Fit [31] heuristics assign wavelengths.
+//
+// A circuit on a ring occupies a contiguous arc of fiber segments in one
+// travel direction. Two circuits conflict iff they travel the same
+// direction and their arcs share a segment; only then must their
+// wavelengths differ. The TeraRack node has an independent Tx/Rx array
+// per direction, so circuits in opposite directions never conflict even
+// on the same wavelength (§3.3).
+package rwa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrht/internal/topo"
+)
+
+// Request is one circuit to be colored.
+type Request struct {
+	Src, Dst int
+	Dir      topo.Direction
+}
+
+// Assignment maps each request (by position) to a wavelength index.
+type Assignment []int
+
+// Strategy selects the wavelength-assignment heuristic.
+type Strategy int
+
+const (
+	// FirstFit assigns the lowest-index wavelength free on every segment
+	// of the circuit's arc.
+	FirstFit Strategy = iota
+	// RandomFit assigns a uniformly random wavelength among those free on
+	// the circuit's arc.
+	RandomFit
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case FirstFit:
+		return "first-fit"
+	case RandomFit:
+		return "random-fit"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Assign colors the requests on ring r using the given strategy. rng is
+// required for RandomFit and ignored for FirstFit. The returned
+// assignment uses wavelength indices starting at 0; the second result is
+// the number of distinct wavelengths used (max index + 1).
+//
+// Assign is greedy in request order. For the nested same-direction arcs
+// produced by WRHT's grouped gathers, first-fit is optimal (the conflict
+// graph per direction is an interval graph within each group and groups
+// are segment-disjoint).
+func Assign(r topo.Ring, reqs []Request, strat Strategy, rng *rand.Rand) (Assignment, int) {
+	asn := make(Assignment, len(reqs))
+	arcs := make([]topo.Arc, len(reqs))
+	for i, q := range reqs {
+		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
+	}
+	maxUsed := 0
+	for i := range reqs {
+		used := map[int]bool{}
+		for j := 0; j < i; j++ {
+			if reqs[j].Dir != reqs[i].Dir {
+				continue
+			}
+			if arcs[j].Overlaps(arcs[i]) {
+				used[asn[j]] = true
+			}
+		}
+		w := pick(used, strat, rng)
+		asn[i] = w
+		if w+1 > maxUsed {
+			maxUsed = w + 1
+		}
+	}
+	return asn, maxUsed
+}
+
+func pick(used map[int]bool, strat Strategy, rng *rand.Rand) int {
+	switch strat {
+	case FirstFit:
+		for w := 0; ; w++ {
+			if !used[w] {
+				return w
+			}
+		}
+	case RandomFit:
+		if rng == nil {
+			panic("rwa: RandomFit requires a rand source")
+		}
+		// Random fit chooses uniformly among the free wavelengths below
+		// max(used)+2, which always includes at least one free slot.
+		limit := 0
+		for w := range used {
+			if w+1 > limit {
+				limit = w + 1
+			}
+		}
+		limit++ // ensure at least one candidate above all used
+		var free []int
+		for w := 0; w < limit; w++ {
+			if !used[w] {
+				free = append(free, w)
+			}
+		}
+		return free[rng.Intn(len(free))]
+	default:
+		panic("rwa: unknown strategy")
+	}
+}
+
+// Conflict describes a wavelength clash between two circuits.
+type Conflict struct {
+	I, J       int // request indices
+	Wavelength int
+}
+
+func (c Conflict) Error() string {
+	return fmt.Sprintf("rwa: requests %d and %d share wavelength %d on overlapping same-direction arcs", c.I, c.J, c.Wavelength)
+}
+
+// Validate checks that the assignment is conflict-free on ring r and that
+// every wavelength index is within [0, wavelengths). A wavelengths value
+// of 0 disables the range check.
+func Validate(r topo.Ring, reqs []Request, asn Assignment, wavelengths int) error {
+	if len(reqs) != len(asn) {
+		return fmt.Errorf("rwa: %d requests but %d assignments", len(reqs), len(asn))
+	}
+	arcs := make([]topo.Arc, len(reqs))
+	for i, q := range reqs {
+		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
+	}
+	for i := range reqs {
+		if asn[i] < 0 {
+			return fmt.Errorf("rwa: request %d has negative wavelength %d", i, asn[i])
+		}
+		if wavelengths > 0 && asn[i] >= wavelengths {
+			return fmt.Errorf("rwa: request %d uses wavelength %d beyond budget %d", i, asn[i], wavelengths)
+		}
+		for j := i + 1; j < len(reqs); j++ {
+			if reqs[i].Dir != reqs[j].Dir || asn[i] != asn[j] {
+				continue
+			}
+			if arcs[i].Overlaps(arcs[j]) {
+				return Conflict{I: i, J: j, Wavelength: asn[i]}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package rwa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wrht/internal/topo"
+)
+
+func randomRequests(rng *rand.Rand, n, count int) []Request {
+	reqs := make([]Request, count)
+	for i := range reqs {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		for dst == src {
+			dst = rng.Intn(n)
+		}
+		dir := topo.CW
+		if rng.Intn(2) == 1 {
+			dir = topo.CCW
+		}
+		reqs[i] = Request{Src: src, Dst: dst, Dir: dir}
+	}
+	return reqs
+}
+
+func TestFirstFitConflictFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(40)
+		r := topo.NewRing(n)
+		reqs := randomRequests(rng, n, 1+rng.Intn(30))
+		asn, used := Assign(r, reqs, FirstFit, nil)
+		if err := Validate(r, reqs, asn, used); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRandomFitConflictFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(40)
+		r := topo.NewRing(n)
+		reqs := randomRequests(rng, n, 1+rng.Intn(30))
+		asn, used := Assign(r, reqs, RandomFit, rng)
+		if err := Validate(r, reqs, asn, used); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestFirstFitUsesNoMoreThanRandomFitOnIntervals(t *testing.T) {
+	// On nested same-direction arcs (WRHT's gather pattern) first-fit is
+	// optimal: k nested circuits need exactly k wavelengths.
+	r := topo.NewRing(20)
+	var reqs []Request
+	for d := 1; d <= 8; d++ {
+		reqs = append(reqs, Request{Src: 10 - d, Dst: 10, Dir: topo.CW})
+	}
+	_, used := Assign(r, reqs, FirstFit, nil)
+	if used != 8 {
+		t.Fatalf("first-fit used %d wavelengths on 8 nested arcs, want 8", used)
+	}
+}
+
+func TestOppositeDirectionsShareWavelength(t *testing.T) {
+	r := topo.NewRing(10)
+	reqs := []Request{
+		{Src: 2, Dst: 5, Dir: topo.CW},
+		{Src: 8, Dst: 5, Dir: topo.CCW},
+	}
+	asn, used := Assign(r, reqs, FirstFit, nil)
+	if used != 1 || asn[0] != 0 || asn[1] != 0 {
+		t.Fatalf("opposite-direction circuits should share λ0, got %v (used %d)", asn, used)
+	}
+}
+
+func TestDisjointArcsShareWavelength(t *testing.T) {
+	r := topo.NewRing(12)
+	reqs := []Request{
+		{Src: 0, Dst: 3, Dir: topo.CW},
+		{Src: 4, Dst: 7, Dir: topo.CW},
+		{Src: 8, Dst: 11, Dir: topo.CW},
+	}
+	asn, used := Assign(r, reqs, FirstFit, nil)
+	if used != 1 {
+		t.Fatalf("disjoint arcs used %d wavelengths, want 1 (asn %v)", used, asn)
+	}
+}
+
+func TestValidateDetectsConflict(t *testing.T) {
+	r := topo.NewRing(10)
+	reqs := []Request{
+		{Src: 0, Dst: 5, Dir: topo.CW},
+		{Src: 2, Dst: 7, Dir: topo.CW},
+	}
+	if err := Validate(r, reqs, Assignment{0, 0}, 0); err == nil {
+		t.Fatal("overlapping same-direction same-wavelength circuits not detected")
+	}
+	if err := Validate(r, reqs, Assignment{0, 1}, 2); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+	if err := Validate(r, reqs, Assignment{0, 5}, 2); err == nil {
+		t.Fatal("over-budget wavelength not detected")
+	}
+	if err := Validate(r, reqs, Assignment{0}, 0); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if err := Validate(r, reqs, Assignment{0, -1}, 0); err == nil {
+		t.Fatal("negative wavelength not detected")
+	}
+}
+
+func TestAssignQuickProperty(t *testing.T) {
+	f := func(seed int64, nRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 3
+		r := topo.NewRing(n)
+		reqs := randomRequests(rng, n, int(cRaw%25)+1)
+		asn, used := Assign(r, reqs, FirstFit, nil)
+		return Validate(r, reqs, asn, used) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomFitRequiresRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandomFit without rng did not panic")
+		}
+	}()
+	r := topo.NewRing(5)
+	Assign(r, []Request{{Src: 0, Dst: 1, Dir: topo.CW}, {Src: 0, Dst: 2, Dir: topo.CW}}, RandomFit, nil)
+}
+
+func TestStrategyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || RandomFit.String() != "random-fit" {
+		t.Fatal("strategy strings")
+	}
+}

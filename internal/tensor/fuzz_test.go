@@ -1,0 +1,35 @@
+package tensor
+
+import "testing"
+
+// FuzzChunkRange fuzzes the chunk arithmetic: for any (n, of, index,
+// nested sub), ranges stay within bounds, ordered, and nested chunks
+// stay within their parents.
+func FuzzChunkRange(f *testing.F) {
+	f.Add(10, 3, 1, 2, 0)
+	f.Add(0, 1, 0, 1, 0)
+	f.Add(1023, 64, 63, 8, 7)
+	f.Fuzz(func(t *testing.T, n, of, idx, subOf, subIdx int) {
+		if n < 0 || n > 1<<20 {
+			t.Skip()
+		}
+		if of < 1 || of > 1<<12 || idx < 0 || idx >= of {
+			t.Skip()
+		}
+		if subOf < 1 || subOf > 1<<12 || subIdx < 0 || subIdx >= subOf {
+			t.Skip()
+		}
+		c := Chunk{Index: idx, Of: of, Sub: &Chunk{Index: subIdx, Of: subOf}}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("valid chunk rejected: %v", err)
+		}
+		plo, phi := (Chunk{Index: idx, Of: of}).Range(n)
+		lo, hi := c.Range(n)
+		if lo < plo || hi > phi || lo > hi {
+			t.Fatalf("nested range [%d,%d) escapes parent [%d,%d)", lo, hi, plo, phi)
+		}
+		if b := c.Bytes(n); b != int64(hi-lo)*4 {
+			t.Fatalf("Bytes %d != 4×%d", b, hi-lo)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package tensor provides the float32 vector arithmetic used by the
+// data-plane collectives and the numeric DNN training substrate.
+//
+// Gradients in distributed data-parallel training are float32 vectors
+// (the paper assumes float32 throughout, §5.1); all-reduce moves chunks
+// of such vectors and applies an elementwise reduction at the receiver.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float32 vector. The zero value is an empty vector.
+type Vector []float32
+
+// New returns a zero vector of length n.
+func New(n int) Vector { return make(Vector, n) }
+
+// Filled returns a vector of length n with every element set to v.
+func Filled(n int, v float32) Vector {
+	out := make(Vector, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Bytes returns the wire size of the vector assuming float32 encoding.
+func (v Vector) Bytes() int64 { return int64(len(v)) * 4 }
+
+// Chunk describes a contiguous 1/Of share of a vector, the Index-th of
+// Of equal (±1 element) pieces. Chunk{Index: 0, Of: 1} denotes the whole
+// vector. An optional Sub refines the selection hierarchically: the
+// sub-chunk is taken of the parent chunk's range. Hierarchical
+// collectives (e.g. H-Ring) use nesting so that an inner ring pass
+// subdivides exactly the band an outer pass reduced, regardless of how
+// vector lengths round.
+type Chunk struct {
+	Index int
+	Of    int
+	Sub   *Chunk
+}
+
+// Whole is the chunk covering an entire vector.
+var Whole = Chunk{Index: 0, Of: 1}
+
+// Validate reports whether the chunk designator is well formed.
+func (c Chunk) Validate() error {
+	if c.Of < 1 {
+		return fmt.Errorf("tensor: chunk divisor %d < 1", c.Of)
+	}
+	if c.Index < 0 || c.Index >= c.Of {
+		return fmt.Errorf("tensor: chunk index %d out of range [0,%d)", c.Index, c.Of)
+	}
+	if c.Sub != nil {
+		return c.Sub.Validate()
+	}
+	return nil
+}
+
+// Range returns the half-open element range [lo, hi) selected by the
+// chunk within a vector of length n. Chunks partition the vector evenly,
+// with the first n%Of chunks one element longer; a Sub chunk recursively
+// partitions the parent's range.
+func (c Chunk) Range(n int) (lo, hi int) {
+	base := n / c.Of
+	extra := n % c.Of
+	lo = c.Index*base + min(c.Index, extra)
+	size := base
+	if c.Index < extra {
+		size++
+	}
+	if c.Sub != nil {
+		slo, shi := c.Sub.Range(size)
+		return lo + slo, lo + shi
+	}
+	return lo, lo + size
+}
+
+// Slice returns the sub-vector selected by the chunk. The returned slice
+// aliases v.
+func (c Chunk) Slice(v Vector) Vector {
+	lo, hi := c.Range(len(v))
+	return v[lo:hi]
+}
+
+// Bytes returns the wire size of the chunk within a vector of n elements.
+func (c Chunk) Bytes(n int) int64 {
+	lo, hi := c.Range(n)
+	return int64(hi-lo) * 4
+}
+
+// Fraction returns the share of the vector the chunk covers, as a float
+// in (0, 1] (ignoring the ±1-element rounding of uneven splits).
+func (c Chunk) Fraction() float64 {
+	f := 1 / float64(c.Of)
+	if c.Sub != nil {
+		f *= c.Sub.Fraction()
+	}
+	return f
+}
+
+func (c Chunk) String() string {
+	if c.Of == 1 && c.Sub == nil {
+		return "whole"
+	}
+	s := fmt.Sprintf("%d/%d", c.Index, c.Of)
+	if c.Sub != nil {
+		s += "." + c.Sub.String()
+	}
+	return s
+}
+
+// Add accumulates src into dst elementwise. The lengths must match.
+func Add(dst, src Vector) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Add length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, s := range src {
+		dst[i] += s
+	}
+}
+
+// Scale multiplies every element of v by k in place.
+func Scale(v Vector, k float32) {
+	for i := range v {
+		v[i] *= k
+	}
+}
+
+// AXPY computes dst += k*src elementwise.
+func AXPY(dst Vector, k float32, src Vector) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AXPY length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, s := range src {
+		dst[i] += k * s
+	}
+}
+
+// Sum returns the sum of the elements of v in float64 precision.
+func Sum(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x)
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b in float64 precision.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vector) float64 { return math.Sqrt(Dot(v, v)) }
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// a and b. It panics if the lengths differ.
+func MaxAbsDiff(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff length mismatch %d != %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equal reports whether a and b agree elementwise within tol.
+func Equal(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// ReduceOp is an elementwise reduction applied when a transfer lands.
+type ReduceOp int
+
+const (
+	// OpSum accumulates the payload into the destination buffer.
+	OpSum ReduceOp = iota
+	// OpCopy overwrites the destination buffer with the payload.
+	OpCopy
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(op))
+	}
+}
+
+// Apply performs the reduction op on dst given payload src.
+func (op ReduceOp) Apply(dst, src Vector) {
+	switch op {
+	case OpSum:
+		Add(dst, src)
+	case OpCopy:
+		if len(dst) != len(src) {
+			panic(fmt.Sprintf("tensor: copy length mismatch %d != %d", len(dst), len(src)))
+		}
+		copy(dst, src)
+	default:
+		panic("tensor: unknown reduce op")
+	}
+}

@@ -1,0 +1,261 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkWhole(t *testing.T) {
+	lo, hi := Whole.Range(17)
+	if lo != 0 || hi != 17 {
+		t.Fatalf("Whole.Range(17) = [%d,%d), want [0,17)", lo, hi)
+	}
+	if Whole.Fraction() != 1 {
+		t.Fatalf("Whole.Fraction() = %g, want 1", Whole.Fraction())
+	}
+	if Whole.String() != "whole" {
+		t.Fatalf("Whole.String() = %q", Whole.String())
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	// For any (n, of) the chunks must exactly partition [0, n) in order.
+	check := func(n, of int) {
+		t.Helper()
+		prev := 0
+		for i := 0; i < of; i++ {
+			lo, hi := (Chunk{Index: i, Of: of}).Range(n)
+			if lo != prev {
+				t.Fatalf("n=%d of=%d: chunk %d starts at %d, want %d", n, of, i, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d of=%d: chunk %d negative size", n, of, i)
+			}
+			prev = hi
+		}
+		if prev != n {
+			t.Fatalf("n=%d of=%d: chunks end at %d, want %d", n, of, prev, n)
+		}
+	}
+	for _, n := range []int{0, 1, 5, 16, 17, 100, 1023} {
+		for _, of := range []int{1, 2, 3, 7, 16, 64} {
+			check(n, of)
+		}
+	}
+}
+
+func TestChunkPartitionQuick(t *testing.T) {
+	f := func(nRaw, ofRaw uint16) bool {
+		n := int(nRaw % 5000)
+		of := int(ofRaw%200) + 1
+		prev := 0
+		for i := 0; i < of; i++ {
+			lo, hi := (Chunk{Index: i, Of: of}).Range(n)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkSizesBalanced(t *testing.T) {
+	// Chunk sizes differ by at most one element.
+	n, of := 1000, 7
+	minSz, maxSz := n, 0
+	for i := 0; i < of; i++ {
+		lo, hi := (Chunk{Index: i, Of: of}).Range(n)
+		if sz := hi - lo; sz < minSz {
+			minSz = sz
+		} else if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("chunk size spread %d..%d > 1", minSz, maxSz)
+	}
+}
+
+func TestNestedChunkWithinParent(t *testing.T) {
+	f := func(nRaw, ofRaw, subRaw uint16) bool {
+		n := int(nRaw%3000) + 1
+		of := int(ofRaw%50) + 1
+		subOf := int(subRaw%50) + 1
+		for i := 0; i < of; i++ {
+			plo, phi := (Chunk{Index: i, Of: of}).Range(n)
+			prev := plo
+			for q := 0; q < subOf; q++ {
+				c := Chunk{Index: i, Of: of, Sub: &Chunk{Index: q, Of: subOf}}
+				lo, hi := c.Range(n)
+				if lo != prev || hi < lo || hi > phi {
+					return false
+				}
+				prev = hi
+			}
+			if prev != phi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkValidate(t *testing.T) {
+	cases := []struct {
+		c  Chunk
+		ok bool
+	}{
+		{Chunk{0, 1, nil}, true},
+		{Chunk{3, 4, nil}, true},
+		{Chunk{4, 4, nil}, false},
+		{Chunk{-1, 4, nil}, false},
+		{Chunk{0, 0, nil}, false},
+		{Chunk{1, 2, &Chunk{Index: 1, Of: 3}}, true},
+		{Chunk{1, 2, &Chunk{Index: 3, Of: 3}}, false},
+	}
+	for _, c := range cases {
+		err := c.c.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.c, err, c.ok)
+		}
+	}
+}
+
+func TestChunkString(t *testing.T) {
+	c := Chunk{Index: 2, Of: 5, Sub: &Chunk{Index: 1, Of: 3}}
+	if got := c.String(); got != "2/5.1/3" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestChunkBytes(t *testing.T) {
+	c := Chunk{Index: 0, Of: 4}
+	if got := c.Bytes(100); got != 100 { // 25 elements × 4 bytes
+		t.Fatalf("Bytes(100) = %d, want 100", got)
+	}
+	if got := Whole.Bytes(10); got != 40 {
+		t.Fatalf("Whole.Bytes(10) = %d, want 40", got)
+	}
+}
+
+func TestAddScaleAXPY(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{10, 20, 30}
+	Add(a, b)
+	if a[0] != 11 || a[1] != 22 || a[2] != 33 {
+		t.Fatalf("Add: %v", a)
+	}
+	Scale(a, 2)
+	if a[0] != 22 || a[2] != 66 {
+		t.Fatalf("Scale: %v", a)
+	}
+	AXPY(a, -2, b)
+	if a[0] != 2 || a[1] != 4 || a[2] != 6 {
+		t.Fatalf("AXPY: %v", a)
+	}
+}
+
+func TestAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	Add(Vector{1}, Vector{1, 2})
+}
+
+func TestSumDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if Sum(v) != 7 {
+		t.Fatalf("Sum = %g", Sum(v))
+	}
+	if Dot(v, v) != 25 {
+		t.Fatalf("Dot = %g", Dot(v, v))
+	}
+	if Norm2(v) != 5 {
+		t.Fatalf("Norm2 = %g", Norm2(v))
+	}
+}
+
+func TestReduceOpApply(t *testing.T) {
+	dst := Vector{1, 1}
+	OpSum.Apply(dst, Vector{2, 3})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("OpSum: %v", dst)
+	}
+	OpCopy.Apply(dst, Vector{7, 8})
+	if dst[0] != 7 || dst[1] != 8 {
+		t.Fatalf("OpCopy: %v", dst)
+	}
+	if OpSum.String() != "sum" || OpCopy.String() != "copy" {
+		t.Fatalf("op strings: %v %v", OpSum, OpCopy)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Vector{1, 2}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{1, 2.5, 3}
+	if MaxAbsDiff(a, b) != 0.5 {
+		t.Fatalf("MaxAbsDiff = %g", MaxAbsDiff(a, b))
+	}
+	if Equal(a, b, 0.4) {
+		t.Fatal("Equal with tol 0.4 should fail")
+	}
+	if !Equal(a, b, 0.6) {
+		t.Fatal("Equal with tol 0.6 should pass")
+	}
+	if Equal(a, Vector{1}, 1) {
+		t.Fatal("Equal with different lengths should fail")
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	v := Filled(10, 1)
+	c := Chunk{Index: 1, Of: 2}
+	s := c.Slice(v)
+	if len(s) != 5 {
+		t.Fatalf("slice len %d", len(s))
+	}
+	s[0] = 42
+	if v[5] != 42 {
+		t.Fatal("Slice does not alias")
+	}
+}
+
+func TestFractionNested(t *testing.T) {
+	c := Chunk{Index: 0, Of: 4, Sub: &Chunk{Index: 0, Of: 5}}
+	if f := c.Fraction(); f != 0.05 {
+		t.Fatalf("Fraction = %g, want 0.05", f)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	x, y := New(n), New(n)
+	for i := range y {
+		y[i] = rng.Float32()
+	}
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(x, y)
+	}
+}

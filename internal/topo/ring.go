@@ -1,0 +1,152 @@
+// Package topo models the interconnect topologies used by the paper: the
+// TeraRack-style optical double ring that WRHT targets (§3.2), the torus
+// and mesh extensions (§6.1), and the two-level fat-tree used by the
+// electrical baseline (§5.1, Table 2).
+package topo
+
+import "fmt"
+
+// Direction is a travel direction on a ring waveguide. TeraRack carries
+// traffic on clockwise and counter-clockwise fiber rings; every node has
+// an independent transmitter/receiver pair per direction, which is why a
+// representative node can receive on the same wavelength from both sides
+// simultaneously (§3.3).
+type Direction int8
+
+const (
+	// CW is the clockwise direction (increasing node index).
+	CW Direction = iota
+	// CCW is the counter-clockwise direction (decreasing node index).
+	CCW
+)
+
+func (d Direction) String() string {
+	switch d {
+	case CW:
+		return "cw"
+	case CCW:
+		return "ccw"
+	default:
+		return fmt.Sprintf("Direction(%d)", int8(d))
+	}
+}
+
+// Opposite returns the reverse direction.
+func (d Direction) Opposite() Direction {
+	if d == CW {
+		return CCW
+	}
+	return CW
+}
+
+// Ring is an N-node ring with nodes labeled 0..N-1. Travelling CW from
+// node i reaches (i+1) mod N first.
+type Ring struct {
+	N int
+}
+
+// NewRing returns an n-node ring. It panics if n < 1.
+func NewRing(n int) Ring {
+	if n < 1 {
+		panic(fmt.Sprintf("topo: ring size %d < 1", n))
+	}
+	return Ring{N: n}
+}
+
+// Dist returns the hop count from src to dst travelling in direction dir.
+func (r Ring) Dist(src, dst int, dir Direction) int {
+	d := dst - src
+	if dir == CCW {
+		d = -d
+	}
+	d %= r.N
+	if d < 0 {
+		d += r.N
+	}
+	return d
+}
+
+// ShortestDir returns the direction with the fewer hops from src to dst
+// and that hop count. Ties (exactly opposite nodes) resolve to CW.
+func (r Ring) ShortestDir(src, dst int) (Direction, int) {
+	cw := r.Dist(src, dst, CW)
+	ccw := r.N - cw
+	if src == dst {
+		return CW, 0
+	}
+	if cw <= ccw {
+		return CW, cw
+	}
+	return CCW, ccw
+}
+
+// Segment returns the sequence of directed fiber segments traversed from
+// src to dst in direction dir, as segment indices. Segment i on the CW
+// fiber joins node i to node i+1 mod N; segment i on the CCW fiber joins
+// node i+1 mod N to node i. A circuit from src to dst occupies its
+// wavelength on every segment it crosses.
+func (r Ring) Segment(src, dst int, dir Direction) []int {
+	hops := r.Dist(src, dst, dir)
+	segs := make([]int, 0, hops)
+	at := src
+	for h := 0; h < hops; h++ {
+		if dir == CW {
+			segs = append(segs, at)
+			at = (at + 1) % r.N
+		} else {
+			at = (at - 1 + r.N) % r.N
+			segs = append(segs, at)
+		}
+	}
+	return segs
+}
+
+// Arc describes the set of fiber segments a directed ring circuit
+// occupies, stored as a wrapped interval of Len consecutive segment
+// indices starting at Lo (mod N). Whatever the travel direction, the
+// occupied segment set is contiguous in increasing index order:
+// a CW circuit from src over h hops covers {src, ..., src+h-1};
+// a CCW circuit from src over h hops covers {src-h, ..., src-1}.
+type Arc struct {
+	Lo  int // lowest segment index of the interval (mod N)
+	Len int // number of segments
+	N   int // ring size (modulus)
+}
+
+// ArcOf returns the Arc occupied by a circuit from src to dst in dir.
+func (r Ring) ArcOf(src, dst int, dir Direction) Arc {
+	hops := r.Dist(src, dst, dir)
+	lo := src
+	if dir == CCW {
+		lo = ((src-hops)%r.N + r.N) % r.N
+	}
+	return Arc{Lo: lo, Len: hops, N: r.N}
+}
+
+// Contains reports whether the arc covers segment index s.
+func (a Arc) Contains(s int) bool {
+	if a.Len == 0 {
+		return false
+	}
+	if a.Len >= a.N {
+		return true
+	}
+	off := ((s-a.Lo)%a.N + a.N) % a.N
+	return off < a.Len
+}
+
+// Overlaps reports whether two arcs on the same fiber share a segment.
+// Both arcs must have the same modulus N.
+func (a Arc) Overlaps(b Arc) bool {
+	if a.N != b.N {
+		panic(fmt.Sprintf("topo: arc modulus mismatch %d != %d", a.N, b.N))
+	}
+	if a.Len == 0 || b.Len == 0 {
+		return false
+	}
+	if a.Len >= a.N || b.Len >= b.N {
+		return true
+	}
+	// Two wrapped intervals overlap iff either contains the other's start.
+	return a.Contains(b.Lo) || b.Contains(a.Lo)
+}

@@ -1,0 +1,160 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingDist(t *testing.T) {
+	r := NewRing(10)
+	cases := []struct {
+		src, dst int
+		dir      Direction
+		want     int
+	}{
+		{0, 3, CW, 3},
+		{0, 3, CCW, 7},
+		{3, 0, CW, 7},
+		{3, 0, CCW, 3},
+		{9, 0, CW, 1},
+		{0, 9, CCW, 1},
+		{5, 5, CW, 0},
+		{5, 5, CCW, 0},
+	}
+	for _, c := range cases {
+		if got := r.Dist(c.src, c.dst, c.dir); got != c.want {
+			t.Errorf("Dist(%d,%d,%v) = %d, want %d", c.src, c.dst, c.dir, got, c.want)
+		}
+	}
+}
+
+func TestShortestDir(t *testing.T) {
+	r := NewRing(10)
+	if dir, d := r.ShortestDir(0, 3); dir != CW || d != 3 {
+		t.Errorf("ShortestDir(0,3) = %v,%d", dir, d)
+	}
+	if dir, d := r.ShortestDir(0, 8); dir != CCW || d != 2 {
+		t.Errorf("ShortestDir(0,8) = %v,%d", dir, d)
+	}
+	// Tie resolves to CW.
+	if dir, d := r.ShortestDir(0, 5); dir != CW || d != 5 {
+		t.Errorf("ShortestDir(0,5) = %v,%d", dir, d)
+	}
+}
+
+func TestShortestDirQuick(t *testing.T) {
+	f := func(nRaw, sRaw, dRaw uint16) bool {
+		n := int(nRaw%500) + 2
+		src, dst := int(sRaw)%n, int(dRaw)%n
+		dir, d := r0(n).ShortestDir(src, dst)
+		if d > n/2 {
+			return false
+		}
+		return r0(n).Dist(src, dst, dir) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func r0(n int) Ring { return NewRing(n) }
+
+func TestSegmentsMatchArc(t *testing.T) {
+	f := func(nRaw, sRaw, dRaw uint16, ccw bool) bool {
+		n := int(nRaw%100) + 2
+		src, dst := int(sRaw)%n, int(dRaw)%n
+		dir := CW
+		if ccw {
+			dir = CCW
+		}
+		r := NewRing(n)
+		segs := r.Segment(src, dst, dir)
+		arc := r.ArcOf(src, dst, dir)
+		if len(segs) != arc.Len {
+			return false
+		}
+		for _, s := range segs {
+			if !arc.Contains(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArcOverlapMatchesSegmentSets(t *testing.T) {
+	f := func(nRaw, a1, b1, a2, b2 uint16, ccw1, ccw2 bool) bool {
+		n := int(nRaw%40) + 2
+		r := NewRing(n)
+		d1, d2 := CW, CW
+		if ccw1 {
+			d1 = CCW
+		}
+		if ccw2 {
+			d2 = CCW
+		}
+		s1, e1 := int(a1)%n, int(b1)%n
+		s2, e2 := int(a2)%n, int(b2)%n
+		set := map[int]bool{}
+		for _, s := range r.Segment(s1, e1, d1) {
+			set[s] = true
+		}
+		brute := false
+		for _, s := range r.Segment(s2, e2, d2) {
+			if set[s] {
+				brute = true
+			}
+		}
+		return r.ArcOf(s1, e1, d1).Overlaps(r.ArcOf(s2, e2, d2)) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArcWraparound(t *testing.T) {
+	r := NewRing(10)
+	// CW from 8 to 2 crosses segments 8, 9, 0, 1.
+	arc := r.ArcOf(8, 2, CW)
+	for _, s := range []int{8, 9, 0, 1} {
+		if !arc.Contains(s) {
+			t.Errorf("arc missing segment %d", s)
+		}
+	}
+	if arc.Contains(2) || arc.Contains(7) {
+		t.Error("arc contains segments outside its span")
+	}
+}
+
+func TestOppositeDirection(t *testing.T) {
+	if CW.Opposite() != CCW || CCW.Opposite() != CW {
+		t.Fatal("Opposite broken")
+	}
+	if CW.String() != "cw" || CCW.String() != "ccw" {
+		t.Fatal("direction strings")
+	}
+}
+
+func TestNewRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestFullCircleArcOverlaps(t *testing.T) {
+	a := Arc{Lo: 0, Len: 10, N: 10}
+	b := Arc{Lo: 3, Len: 1, N: 10}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("full-circle arc must overlap everything")
+	}
+	empty := Arc{Lo: 0, Len: 0, N: 10}
+	if a.Overlaps(empty) || empty.Overlaps(a) {
+		t.Fatal("empty arc must overlap nothing")
+	}
+}

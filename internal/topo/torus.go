@@ -1,0 +1,84 @@
+package topo
+
+import "fmt"
+
+// Torus is an R×C torus of optical ring rows and columns, the §6.1
+// extension target. Node (r, c) has index r*C + c. Every row is a
+// C-node ring and every column is an R-node ring, so WRHT can run its
+// reduce stage per row and then synchronize representatives per column.
+type Torus struct {
+	Rows, Cols int
+}
+
+// NewTorus returns an r×c torus. It panics if either dimension is < 1.
+func NewTorus(r, c int) Torus {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("topo: torus %dx%d has empty dimension", r, c))
+	}
+	return Torus{Rows: r, Cols: c}
+}
+
+// N returns the node count.
+func (t Torus) N() int { return t.Rows * t.Cols }
+
+// Index returns the node id of coordinate (r, c).
+func (t Torus) Index(r, c int) int { return r*t.Cols + c }
+
+// Coord returns the (row, col) coordinate of node id.
+func (t Torus) Coord(id int) (r, c int) { return id / t.Cols, id % t.Cols }
+
+// RowRing returns the ring formed by row r together with the node ids in
+// ring order (position i on the ring is column i).
+func (t Torus) RowRing(r int) (Ring, []int) {
+	ids := make([]int, t.Cols)
+	for c := 0; c < t.Cols; c++ {
+		ids[c] = t.Index(r, c)
+	}
+	return NewRing(t.Cols), ids
+}
+
+// ColRing returns the ring formed by column c together with the node ids
+// in ring order (position i on the ring is row i).
+func (t Torus) ColRing(c int) (Ring, []int) {
+	ids := make([]int, t.Rows)
+	for r := 0; r < t.Rows; r++ {
+		ids[r] = t.Index(r, c)
+	}
+	return NewRing(t.Rows), ids
+}
+
+// Mesh is an R×C mesh: like Torus but without the wraparound links, the
+// second §6.1 extension target. On a mesh line (row or column) a circuit
+// from a to b occupies the segments between them; there is only one
+// route, so Direction degenerates to "toward higher index" / "toward
+// lower index".
+type Mesh struct {
+	Rows, Cols int
+}
+
+// NewMesh returns an r×c mesh. It panics if either dimension is < 1.
+func NewMesh(r, c int) Mesh {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("topo: mesh %dx%d has empty dimension", r, c))
+	}
+	return Mesh{Rows: r, Cols: c}
+}
+
+// N returns the node count.
+func (m Mesh) N() int { return m.Rows * m.Cols }
+
+// Index returns the node id of coordinate (r, c).
+func (m Mesh) Index(r, c int) int { return r*m.Cols + c }
+
+// Coord returns the (row, col) coordinate of node id.
+func (m Mesh) Coord(id int) (r, c int) { return id / m.Cols, id % m.Cols }
+
+// LineSegments returns the occupied segment interval [lo, hi) on a mesh
+// line for a circuit between positions a and b (segment i joins position
+// i and i+1).
+func LineSegments(a, b int) (lo, hi int) {
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}

@@ -1,0 +1,109 @@
+// Package trace records experiment outputs as structured JSON so runs
+// can be archived, diffed and re-plotted outside the repo (the paper's
+// figures are normalized line charts; the JSON carries the raw
+// series).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X string  `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Run is one recorded experiment.
+type Run struct {
+	Experiment string             `json:"experiment"`
+	Timestamp  time.Time          `json:"timestamp"`
+	Params     map[string]string  `json:"params,omitempty"`
+	Series     []Series           `json:"series,omitempty"`
+	Scalars    map[string]float64 `json:"scalars,omitempty"`
+}
+
+// Recorder accumulates runs and writes them as a JSON document.
+type Recorder struct {
+	Runs []Run
+}
+
+// Record appends a run, stamping it with the current time.
+func (r *Recorder) Record(run Run) {
+	if run.Timestamp.IsZero() {
+		run.Timestamp = time.Now().UTC()
+	}
+	r.Runs = append(r.Runs, run)
+}
+
+// NewRun builds a run from parallel X labels and named Y series.
+func NewRun(experiment string, xticks []string, series map[string][]float64, scalars map[string]float64) Run {
+	run := Run{Experiment: experiment, Scalars: scalars}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ys := series[name]
+		s := Series{Name: name}
+		for i, y := range ys {
+			x := fmt.Sprint(i)
+			if i < len(xticks) {
+				x = xticks[i]
+			}
+			s.Points = append(s.Points, Point{X: x, Y: y})
+		}
+		run.Series = append(run.Series, s)
+	}
+	return run
+}
+
+// WriteTo emits the recorded runs as indented JSON.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(struct {
+		Runs []Run `json:"runs"`
+	}{r.Runs}, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// WriteFile writes the recorded runs to path.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := r.WriteTo(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load reads a recorded document back.
+func Load(reader io.Reader) ([]Run, error) {
+	var doc struct {
+		Runs []Run `json:"runs"`
+	}
+	dec := json.NewDecoder(reader)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return doc.Runs, nil
+}

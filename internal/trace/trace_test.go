@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var rec Recorder
+	rec.Record(NewRun("exp1", []string{"a", "b"},
+		map[string][]float64{"s1": {1, 2}, "s0": {3, 4}},
+		map[string]float64{"nodes": 16}))
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Experiment != "exp1" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if len(runs[0].Series) != 2 || runs[0].Series[0].Name != "s0" {
+		t.Fatalf("series not sorted: %+v", runs[0].Series)
+	}
+	if runs[0].Series[1].Points[1].X != "b" || runs[0].Series[1].Points[1].Y != 2 {
+		t.Fatalf("points wrong: %+v", runs[0].Series[1].Points)
+	}
+	if runs[0].Scalars["nodes"] != 16 {
+		t.Fatalf("scalars: %+v", runs[0].Scalars)
+	}
+	if runs[0].Timestamp.IsZero() {
+		t.Fatal("timestamp not stamped")
+	}
+}
+
+func TestNewRunPadsMissingTicks(t *testing.T) {
+	run := NewRun("x", []string{"only"}, map[string][]float64{"s": {1, 2, 3}}, nil)
+	pts := run.Series[0].Points
+	if pts[0].X != "only" || pts[1].X != "1" || pts[2].X != "2" {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var rec Recorder
+	rec.Record(Run{Experiment: "f"})
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runs, err := Load(f)
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("load: %v %d", err, len(runs))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

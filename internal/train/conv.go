@@ -1,0 +1,180 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wrht/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution implemented as a matrix multiplication
+// over an im2col-unrolled input, as the paper's §3.1 notes ([32]): each
+// output position's receptive field is flattened into a column, turning
+// the convolution into GEMM so the Eq 1–3 matrix formulation covers
+// convolutional layers too. Input and output are flattened row-major
+// [channels × height × width] vectors.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC, K       int
+	Stride, Pad   int
+	OutH, OutW    int
+
+	w tensor.Vector // OutC×(InC·K·K) weights followed by OutC biases
+	g tensor.Vector
+
+	lastCols [][]float32 // per-sample im2col matrices, col-major patches
+}
+
+// NewConv2D builds a convolution layer with He-uniform initial weights.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	if stride < 1 || k < 1 {
+		panic(fmt.Sprintf("train: conv kernel %d stride %d invalid", k, stride))
+	}
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, K: k, Stride: stride, Pad: pad,
+		OutH: (inH+2*pad-k)/stride + 1,
+		OutW: (inW+2*pad-k)/stride + 1,
+	}
+	if c.OutH < 1 || c.OutW < 1 {
+		panic(fmt.Sprintf("train: conv output %dx%d empty", c.OutH, c.OutW))
+	}
+	fan := inC * k * k
+	c.w = tensor.New(outC*fan + outC)
+	c.g = tensor.New(outC*fan + outC)
+	limit := float32(math.Sqrt(6 / float64(fan)))
+	for i := 0; i < outC*fan; i++ {
+		c.w[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return c
+}
+
+// patchDim returns the im2col row width InC·K·K.
+func (c *Conv2D) patchDim() int { return c.InC * c.K * c.K }
+
+// im2col unrolls one sample into an [OutH·OutW × patchDim] matrix
+// stored row-major as a flat slice.
+func (c *Conv2D) im2col(x []float32) []float32 {
+	pd := c.patchDim()
+	cols := make([]float32, c.OutH*c.OutW*pd)
+	idx := 0
+	for oy := 0; oy < c.OutH; oy++ {
+		for ox := 0; ox < c.OutW; ox++ {
+			for ch := 0; ch < c.InC; ch++ {
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+							cols[idx] = x[(ch*c.InH+iy)*c.InW+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Forward implements Layer: out[o][p] = Σ w[o]·col[p] + b[o].
+func (c *Conv2D) Forward(in [][]float32) [][]float32 {
+	pd := c.patchDim()
+	np := c.OutH * c.OutW
+	c.lastCols = make([][]float32, len(in))
+	out := make([][]float32, len(in))
+	for b, x := range in {
+		if len(x) != c.InC*c.InH*c.InW {
+			panic(fmt.Sprintf("train: conv input %d, want %d", len(x), c.InC*c.InH*c.InW))
+		}
+		cols := c.im2col(x)
+		c.lastCols[b] = cols
+		y := make([]float32, c.OutC*np)
+		for o := 0; o < c.OutC; o++ {
+			wr := c.w[o*pd : (o+1)*pd]
+			bias := c.w[c.OutC*pd+o]
+			for p := 0; p < np; p++ {
+				col := cols[p*pd : (p+1)*pd]
+				acc := bias
+				for i, wv := range wr {
+					acc += wv * col[i]
+				}
+				y[o*np+p] = acc
+			}
+		}
+		out[b] = y
+	}
+	return out
+}
+
+// Backward implements Layer via the transposed GEMMs: dW[o] += Σ_p
+// dY[o][p]·col[p]; dcol[p] += Σ_o dY[o][p]·w[o]; then col2im folds the
+// patch gradients back onto the input image.
+func (c *Conv2D) Backward(gradOut [][]float32) [][]float32 {
+	pd := c.patchDim()
+	np := c.OutH * c.OutW
+	gradIn := make([][]float32, len(gradOut))
+	for b, gy := range gradOut {
+		cols := c.lastCols[b]
+		dcols := make([]float32, len(cols))
+		for o := 0; o < c.OutC; o++ {
+			wr := c.w[o*pd : (o+1)*pd]
+			gw := c.g[o*pd : (o+1)*pd]
+			var gb float32
+			for p := 0; p < np; p++ {
+				g := gy[o*np+p]
+				if g == 0 {
+					continue
+				}
+				gb += g
+				col := cols[p*pd : (p+1)*pd]
+				dcol := dcols[p*pd : (p+1)*pd]
+				for i := range wr {
+					gw[i] += g * col[i]
+					dcol[i] += g * wr[i]
+				}
+			}
+			c.g[c.OutC*pd+o] += gb
+		}
+		gradIn[b] = c.col2im(dcols)
+	}
+	return gradIn
+}
+
+// col2im scatters patch gradients back to image positions (the adjoint
+// of im2col).
+func (c *Conv2D) col2im(dcols []float32) []float32 {
+	dx := make([]float32, c.InC*c.InH*c.InW)
+	idx := 0
+	for oy := 0; oy < c.OutH; oy++ {
+		for ox := 0; ox < c.OutW; ox++ {
+			for ch := 0; ch < c.InC; ch++ {
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+							dx[(ch*c.InH+iy)*c.InW+ix] += dcols[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() (tensor.Vector, tensor.Vector) { return c.w, c.g }
+
+// ZeroGrad implements Layer.
+func (c *Conv2D) ZeroGrad() {
+	for i := range c.g {
+		c.g[i] = 0
+	}
+}
+
+// OutDim implements Layer.
+func (c *Conv2D) OutDim() int { return c.OutC * c.OutH * c.OutW }

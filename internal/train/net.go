@@ -1,0 +1,194 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"wrht/internal/tensor"
+)
+
+// Net is a sequential stack of layers with a flattened parameter view,
+// so the whole model's gradient is one vector — exactly the all-reduce
+// payload d of the communication model.
+type Net struct {
+	Layers []Layer
+}
+
+// NewNet validates that consecutive layers' widths chain and returns the
+// network.
+func NewNet(layers ...Layer) *Net {
+	return &Net{Layers: layers}
+}
+
+// NumParams returns the total trainable parameter count.
+func (n *Net) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		w, _ := l.Params()
+		total += len(w)
+	}
+	return total
+}
+
+// Forward runs the whole batch through the network.
+func (n *Net) Forward(in [][]float32) [][]float32 {
+	for _, l := range n.Layers {
+		in = l.Forward(in)
+	}
+	return in
+}
+
+// Backward propagates the loss gradient and accumulates parameter
+// gradients in every layer.
+func (n *Net) Backward(gradOut [][]float32) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		gradOut = n.Layers[i].Backward(gradOut)
+	}
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Net) ZeroGrad() {
+	for _, l := range n.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Gradients copies all layer gradients into a single flat vector.
+func (n *Net) Gradients() tensor.Vector {
+	out := tensor.New(n.NumParams())
+	at := 0
+	for _, l := range n.Layers {
+		_, g := l.Params()
+		copy(out[at:], g)
+		at += len(g)
+	}
+	return out
+}
+
+// SetGradients overwrites all layer gradients from a flat vector (the
+// result of the all-reduce).
+func (n *Net) SetGradients(v tensor.Vector) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("train: gradient vector %d, want %d", len(v), n.NumParams()))
+	}
+	at := 0
+	for _, l := range n.Layers {
+		_, g := l.Params()
+		copy(g, v[at:at+len(g)])
+		at += len(g)
+	}
+}
+
+// Weights copies all layer weights into a single flat vector.
+func (n *Net) Weights() tensor.Vector {
+	out := tensor.New(n.NumParams())
+	at := 0
+	for _, l := range n.Layers {
+		w, _ := l.Params()
+		copy(out[at:], w)
+		at += len(w)
+	}
+	return out
+}
+
+// SetWeights overwrites all layer weights from a flat vector.
+func (n *Net) SetWeights(v tensor.Vector) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("train: weight vector %d, want %d", len(v), n.NumParams()))
+	}
+	at := 0
+	for _, l := range n.Layers {
+		w, _ := l.Params()
+		copy(w, v[at:at+len(w)])
+		at += len(w)
+	}
+}
+
+// SGDStep applies W ← W − lr·∇W to every layer (Eq 4; the paper writes
+// the update with +σ∇W, absorbing the sign into the gradient).
+func (n *Net) SGDStep(lr float32) {
+	for _, l := range n.Layers {
+		w, g := l.Params()
+		if w == nil {
+			continue
+		}
+		tensor.AXPY(w, -lr, g)
+	}
+}
+
+// MSELoss computes the mean-squared-error loss over the batch and the
+// gradient with respect to the predictions: L = mean_b mean_i
+// (p−t)²/2. The mean over the batch makes gradient averaging across
+// data-parallel workers equal the full-batch gradient (Eq 5).
+func MSELoss(pred, target [][]float32) (float64, [][]float32) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("train: MSE batch %d vs %d", len(pred), len(target)))
+	}
+	grad := make([][]float32, len(pred))
+	var loss float64
+	inv := 1 / float32(len(pred))
+	for b := range pred {
+		g := make([]float32, len(pred[b]))
+		for i := range pred[b] {
+			d := pred[b][i] - target[b][i]
+			loss += float64(d) * float64(d) / 2
+			g[i] = d * inv
+		}
+		grad[b] = g
+	}
+	return loss / float64(len(pred)), grad
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss against
+// integer labels and its gradient with respect to the logits.
+func SoftmaxCrossEntropy(logits [][]float32, labels []int) (float64, [][]float32) {
+	if len(logits) != len(labels) {
+		panic(fmt.Sprintf("train: CE batch %d vs %d labels", len(logits), len(labels)))
+	}
+	grad := make([][]float32, len(logits))
+	var loss float64
+	inv := 1 / float32(len(logits))
+	for b, z := range logits {
+		maxv := z[0]
+		for _, v := range z {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range z {
+			sum += math.Exp(float64(v - maxv))
+		}
+		lse := math.Log(sum) + float64(maxv)
+		loss += lse - float64(z[labels[b]])
+		g := make([]float32, len(z))
+		for i, v := range z {
+			p := float32(math.Exp(float64(v) - lse))
+			g[i] = p * inv
+		}
+		g[labels[b]] -= inv
+		grad[b] = g
+	}
+	return loss / float64(len(logits)), grad
+}
+
+// Accuracy returns the fraction of samples whose argmax matches the
+// label.
+func Accuracy(logits [][]float32, labels []int) float64 {
+	if len(logits) == 0 {
+		return 0
+	}
+	hits := 0
+	for b, z := range logits {
+		best := 0
+		for i, v := range z {
+			if v > z[best] {
+				best = i
+			}
+		}
+		if best == labels[b] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(logits))
+}

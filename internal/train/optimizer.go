@@ -1,0 +1,104 @@
+package train
+
+import (
+	"fmt"
+
+	"wrht/internal/tensor"
+)
+
+// Optimizer updates a network's weights from its (already synchronised)
+// gradients. SGD with momentum is the optimizer the paper's workloads
+// historically train with (AlexNet/VGG/ResNet recipes), and its state
+// (velocity) is one more reason gradient synchronisation must be exact:
+// replicas integrate the same gradients into the same velocities, so a
+// single mismatched all-reduce diverges all future steps.
+type Optimizer interface {
+	// Step applies one update to the network in place.
+	Step(n *Net)
+}
+
+// SGD is plain stochastic gradient descent (Eq 4).
+type SGD struct {
+	LR float32
+}
+
+// Step implements Optimizer.
+func (o SGD) Step(n *Net) { n.SGDStep(o.LR) }
+
+// Momentum is SGD with heavy-ball momentum and optional L2 weight decay:
+//
+//	v ← µ·v + g + wd·w
+//	w ← w − lr·v
+type Momentum struct {
+	LR          float32
+	Mu          float32
+	WeightDecay float32
+	velocity    []tensor.Vector // one per layer, lazily initialised
+}
+
+// NewMomentum returns a momentum optimizer.
+func NewMomentum(lr, mu, weightDecay float32) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, WeightDecay: weightDecay}
+}
+
+// Step implements Optimizer.
+func (o *Momentum) Step(n *Net) {
+	if o.velocity == nil {
+		o.velocity = make([]tensor.Vector, len(n.Layers))
+		for i, l := range n.Layers {
+			w, _ := l.Params()
+			o.velocity[i] = tensor.New(len(w))
+		}
+	}
+	if len(o.velocity) != len(n.Layers) {
+		panic(fmt.Sprintf("train: momentum state for %d layers applied to %d", len(o.velocity), len(n.Layers)))
+	}
+	for i, l := range n.Layers {
+		w, g := l.Params()
+		if w == nil {
+			continue
+		}
+		v := o.velocity[i]
+		for j := range v {
+			v[j] = o.Mu*v[j] + g[j] + o.WeightDecay*w[j]
+			w[j] -= o.LR * v[j]
+		}
+	}
+}
+
+// StepWith runs one synchronous data-parallel iteration like
+// ParallelTrainer.Step but applies the provided per-replica optimizers
+// instead of plain SGD. Each replica must own its own optimizer value
+// (momentum state is per-replica, though identical across replicas by
+// construction).
+func (t *ParallelTrainer) StepWith(shardX [][][]float32, shardY [][]int, opts []Optimizer) (float64, error) {
+	if len(opts) != len(t.Nets) {
+		return 0, fmt.Errorf("train: %d optimizers for %d replicas", len(opts), len(t.Nets))
+	}
+	loss, err := t.stepGradients(shardX, shardY)
+	if err != nil {
+		return 0, err
+	}
+	for i, net := range t.Nets {
+		opts[i].Step(net)
+	}
+	return loss, nil
+}
+
+// stepGradients computes and synchronises gradients without applying an
+// update (factored out of Step so optimizers can vary).
+func (t *ParallelTrainer) stepGradients(shardX [][][]float32, shardY [][]int) (float64, error) {
+	n := len(t.Nets)
+	if len(shardX) != n || len(shardY) != n {
+		return 0, fmt.Errorf("train: %d shards for %d workers", len(shardX), n)
+	}
+	losses := make([]float64, n)
+	if err := t.computeAndSync(shardX, shardY, losses); err != nil {
+		return 0, err
+	}
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(n), nil
+}

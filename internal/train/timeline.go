@@ -1,0 +1,106 @@
+package train
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/des"
+	"wrht/internal/dnn"
+	"wrht/internal/optical"
+	"wrht/internal/workload"
+)
+
+// Timeline simulates the wall-clock structure of synchronous
+// data-parallel training: per iteration every worker computes for
+// ComputeSecPerIter (the paper's profiled GPU time), then the cluster
+// performs one all-reduce whose duration comes from the optical (or any
+// Eq-6-style) model. The simulation runs on the DES kernel so worker
+// compute phases genuinely interleave and the communication step is the
+// synchronisation barrier — the structure behind the paper's claim that
+// all-reduce takes 50–90% of iteration time at scale [35].
+type Timeline struct {
+	Workers    int
+	Iterations int
+	// ComputeSec is the per-iteration compute time per worker.
+	ComputeSec float64
+	// CommSec is the per-iteration all-reduce time.
+	CommSec float64
+	// Skew adds worker-index-proportional compute jitter (stragglers):
+	// worker i computes ComputeSec·(1 + Skew·i/(Workers−1)).
+	Skew float64
+}
+
+// Result summarises a timeline simulation.
+type TimelineResult struct {
+	TotalSec     float64
+	ComputeSec   float64 // critical-path compute time
+	CommSec      float64
+	CommFraction float64 // share of total spent in all-reduce
+}
+
+// Run simulates the timeline and returns the totals.
+func (tl Timeline) Run() TimelineResult {
+	if tl.Workers < 1 || tl.Iterations < 0 {
+		panic(fmt.Sprintf("train: timeline workers=%d iterations=%d invalid", tl.Workers, tl.Iterations))
+	}
+	var k des.Kernel
+	var res TimelineResult
+	slowest := tl.ComputeSec
+	if tl.Workers > 1 {
+		slowest = tl.ComputeSec * (1 + tl.Skew)
+	}
+	var iterate func(it int)
+	iterate = func(it int) {
+		if it >= tl.Iterations {
+			return
+		}
+		// All workers compute concurrently; the barrier fires when the
+		// slowest finishes.
+		done := 0
+		for wkr := 0; wkr < tl.Workers; wkr++ {
+			c := tl.ComputeSec
+			if tl.Workers > 1 {
+				c *= 1 + tl.Skew*float64(wkr)/float64(tl.Workers-1)
+			}
+			k.After(c, func() {
+				done++
+				if done == tl.Workers {
+					res.ComputeSec += slowest
+					// Synchronous all-reduce.
+					k.After(tl.CommSec, func() {
+						res.CommSec += tl.CommSec
+						iterate(it + 1)
+					})
+				}
+			})
+		}
+	}
+	iterate(0)
+	res.TotalSec = k.Run()
+	if res.TotalSec > 0 {
+		res.CommFraction = res.CommSec / res.TotalSec
+	}
+	return res
+}
+
+// EpochTimeline builds a Timeline for one training epoch of a workload
+// on n nodes, with the all-reduce time supplied by the optical model
+// for the given collective profile.
+func EpochTimeline(w workload.Workload, n, datasetSize int, comm float64) Timeline {
+	return Timeline{
+		Workers:    n,
+		Iterations: w.IterationsPerEpoch(datasetSize, n),
+		ComputeSec: w.ComputeSecPerIter,
+		CommSec:    comm,
+	}
+}
+
+// CommTimeForProfile is a convenience for building the per-iteration
+// all-reduce duration of a model's gradient on the optical system.
+func CommTimeForProfile(p optical.Params, pr core.Profile, m dnn.Model) (float64, error) {
+	res, err := optical.RunProfile(p, pr, float64(m.GradBytes()))
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}

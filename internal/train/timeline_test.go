@@ -1,0 +1,93 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/optical"
+	"wrht/internal/workload"
+)
+
+func TestTimelineBasicAccounting(t *testing.T) {
+	tl := Timeline{Workers: 4, Iterations: 10, ComputeSec: 0.08, CommSec: 0.02}
+	res := tl.Run()
+	if math.Abs(res.TotalSec-10*(0.08+0.02)) > 1e-9 {
+		t.Fatalf("total = %g, want 1.0", res.TotalSec)
+	}
+	if math.Abs(res.CommFraction-0.2) > 1e-9 {
+		t.Fatalf("comm fraction = %g, want 0.2", res.CommFraction)
+	}
+	if math.Abs(res.ComputeSec-0.8) > 1e-9 || math.Abs(res.CommSec-0.2) > 1e-9 {
+		t.Fatalf("split wrong: %+v", res)
+	}
+}
+
+func TestTimelineStragglerSkew(t *testing.T) {
+	// With 10% skew the barrier waits for the slowest worker: per
+	// iteration compute becomes ComputeSec × 1.1.
+	tl := Timeline{Workers: 8, Iterations: 5, ComputeSec: 0.1, CommSec: 0.01, Skew: 0.1}
+	res := tl.Run()
+	want := 5 * (0.1*1.1 + 0.01)
+	if math.Abs(res.TotalSec-want) > 1e-9 {
+		t.Fatalf("total = %g, want %g", res.TotalSec, want)
+	}
+}
+
+func TestTimelineZeroIterations(t *testing.T) {
+	res := Timeline{Workers: 2, Iterations: 0, ComputeSec: 1, CommSec: 1}.Run()
+	if res.TotalSec != 0 || res.CommFraction != 0 {
+		t.Fatalf("empty timeline: %+v", res)
+	}
+}
+
+func TestTimelinePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 workers")
+		}
+	}()
+	Timeline{Workers: 0, Iterations: 1}.Run()
+}
+
+func TestEpochTimelineCommShareGrowsWithStepHeavyAlgorithms(t *testing.T) {
+	// The paper's [35] motivation: at 1024 nodes, Ring's 2046 steps make
+	// communication dominate; WRHT reduces the share.
+	const n = 1024
+	w := workload.New(dnn.ResNet50(), workload.TitanXP(), 16)
+	p := optical.DefaultParams()
+	commFor := func(pr core.Profile) float64 {
+		res, err := optical.RunProfile(p, pr, w.GradBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	wrhtProf, err := collective.WRHTProfile(core.Config{N: n, Wavelengths: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrhtRes := EpochTimeline(w, n, 1281167, commFor(wrhtProf)).Run()
+	ringRes := EpochTimeline(w, n, 1281167, commFor(collective.RingProfile(n))).Run()
+	btRes := EpochTimeline(w, n, 1281167, commFor(collective.BTProfile(n))).Run()
+	if !(wrhtRes.CommFraction < ringRes.CommFraction && ringRes.CommFraction < btRes.CommFraction) {
+		t.Fatalf("comm shares out of order: wrht %.2f ring %.2f bt %.2f",
+			wrhtRes.CommFraction, ringRes.CommFraction, btRes.CommFraction)
+	}
+	if ringRes.CommFraction < 0.3 || ringRes.CommFraction > 0.95 {
+		t.Fatalf("Ring comm share %.2f outside the paper's 50-90%% ballpark", ringRes.CommFraction)
+	}
+}
+
+func TestCommTimeForProfile(t *testing.T) {
+	pr, err := collective.WRHTProfile(core.Config{N: 64, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := CommTimeForProfile(optical.DefaultParams(), pr, dnn.ResNet50())
+	if err != nil || tm <= 0 {
+		t.Fatalf("comm time: %v %g", err, tm)
+	}
+}

@@ -1,0 +1,357 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+)
+
+// numericalGradCheck compares analytic gradients against central finite
+// differences for a tiny network on one batch.
+func numericalGradCheck(t *testing.T, build func(rng *rand.Rand) *Net, inDim, outDim int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	net := build(rand.New(rand.NewSource(7)))
+	batch := 3
+	in := make([][]float32, batch)
+	labels := make([]int, batch)
+	for b := range in {
+		in[b] = make([]float32, inDim)
+		for i := range in[b] {
+			in[b][i] = rng.Float32()*2 - 1
+		}
+		labels[b] = rng.Intn(outDim)
+	}
+	lossAt := func() float64 {
+		logits := net.Forward(in)
+		l, _ := SoftmaxCrossEntropy(logits, labels)
+		return l
+	}
+	net.ZeroGrad()
+	logits := net.Forward(in)
+	_, g := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(g)
+	analytic := net.Gradients()
+	w := net.Weights()
+
+	const eps = 1e-2
+	checked := 0
+	for _, idx := range []int{0, 1, len(w) / 2, len(w) - 1} {
+		orig := w[idx]
+		w[idx] = orig + eps
+		net.SetWeights(w)
+		up := lossAt()
+		w[idx] = orig - eps
+		net.SetWeights(w)
+		down := lossAt()
+		w[idx] = orig
+		net.SetWeights(w)
+		numeric := (up - down) / (2 * eps)
+		if diff := math.Abs(numeric - float64(analytic[idx])); diff > 2e-2*(1+math.Abs(numeric)) {
+			t.Errorf("grad[%d]: analytic %g vs numeric %g", idx, analytic[idx], numeric)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no gradients checked")
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	numericalGradCheck(t, func(rng *rand.Rand) *Net {
+		return NewNet(NewDense(6, 10, rng), NewReLU(10), NewDense(10, 4, rng))
+	}, 6, 4)
+}
+
+func TestConvGradCheck(t *testing.T) {
+	numericalGradCheck(t, func(rng *rand.Rand) *Net {
+		conv := NewConv2D(2, 5, 5, 3, 3, 1, 1, rng)
+		return NewNet(conv, NewReLU(conv.OutDim()), NewDense(conv.OutDim(), 4, rng))
+	}, 2*5*5, 4)
+}
+
+func TestConvStrideAndPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(1, 6, 6, 2, 3, 2, 1, rng)
+	if c.OutH != 3 || c.OutW != 3 {
+		t.Fatalf("conv out %dx%d, want 3x3", c.OutH, c.OutW)
+	}
+	out := c.Forward([][]float32{make([]float32, 36)})
+	if len(out[0]) != c.OutDim() {
+		t.Fatalf("out dim %d vs %d", len(out[0]), c.OutDim())
+	}
+	// Zero input, positive bias: output equals bias everywhere.
+	w, _ := c.Params()
+	w[len(w)-2], w[len(w)-1] = 0.5, -0.25
+	out = c.Forward([][]float32{make([]float32, 36)})
+	for p := 0; p < 9; p++ {
+		if out[0][p] != 0.5 || out[0][9+p] != -0.25 {
+			t.Fatalf("bias broadcast wrong at %d: %g %g", p, out[0][p], out[0][9+p])
+		}
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// A 1×1 identity kernel must reproduce its input.
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(1, 4, 4, 1, 1, 1, 0, rng)
+	w, _ := c.Params()
+	for i := range w {
+		w[i] = 0
+	}
+	w[0] = 1
+	in := make([]float32, 16)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	out := c.Forward([][]float32{in})
+	for i := range in {
+		if out[0][i] != in[i] {
+			t.Fatalf("identity conv differs at %d: %g != %g", i, out[0][i], in[i])
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientSums(t *testing.T) {
+	logits := [][]float32{{1, 2, 3}, {0, 0, 0}}
+	labels := []int{2, 0}
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	if loss <= 0 {
+		t.Fatalf("loss = %g", loss)
+	}
+	// Per-sample gradients sum to zero (softmax property).
+	for b := range grad {
+		var s float64
+		for _, g := range grad[b] {
+			s += float64(g)
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("sample %d gradient sums to %g", b, s)
+		}
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	loss, grad := MSELoss([][]float32{{1, 2}}, [][]float32{{0, 0}})
+	if math.Abs(loss-2.5) > 1e-9 {
+		t.Fatalf("loss = %g, want 2.5", loss)
+	}
+	if grad[0][0] != 1 || grad[0][1] != 2 {
+		t.Fatalf("grad = %v", grad[0])
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := [][]float32{{0, 1}, {1, 0}, {0.2, 0.1}}
+	if acc := Accuracy(logits, []int{1, 0, 1}); math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func mlpFactory(seed int64, in, hidden, classes int) NetFactory {
+	return func() *Net {
+		rng := rand.New(rand.NewSource(seed))
+		return NewNet(NewDense(in, hidden, rng), NewReLU(hidden), NewDense(hidden, classes, rng))
+	}
+}
+
+func TestParallelTrainingConvergesWithWRHT(t *testing.T) {
+	const n, dim, classes = 8, 10, 4
+	sched, err := core.BuildWRHT(core.Config{N: n, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewParallelTrainer(n, mlpFactory(11, dim, 16, classes), sched, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := SyntheticClassification(640, dim, classes, 3)
+	losses, err := tr.Epochs(ds, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := losses[0], losses[len(losses)-1]
+	if last >= first*0.5 {
+		t.Fatalf("loss did not converge: %g -> %g", first, last)
+	}
+	if err := tr.ReplicasInSync(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelTrainingIdenticalAcrossSchedules(t *testing.T) {
+	// The all-reduce algorithm must not change training outcomes: WRHT,
+	// Ring and BT runs produce identical weights up to float reduction
+	// order (exact for BT/WRHT vs each other is not guaranteed, so use a
+	// small tolerance).
+	const n, dim, classes = 4, 8, 3
+	ds := SyntheticClassification(320, dim, classes, 9)
+	wsched, err := core.BuildWRHT(core.Config{N: n, Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s *core.Schedule) tensor.Vector {
+		tr, err := NewParallelTrainer(n, mlpFactory(21, dim, 12, classes), s, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Epochs(ds, 4, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ReplicasInSync(0); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Nets[0].Weights()
+	}
+	wW := run(wsched)
+	wR := run(collective.BuildRing(n))
+	wB := run(collective.BuildBT(n))
+	if !tensor.Equal(wW, wR, 1e-3) {
+		t.Fatalf("WRHT vs Ring training diverged: max diff %g", tensor.MaxAbsDiff(wW, wR))
+	}
+	if !tensor.Equal(wW, wB, 1e-3) {
+		t.Fatalf("WRHT vs BT training diverged: max diff %g", tensor.MaxAbsDiff(wW, wB))
+	}
+}
+
+func TestDataParallelMatchesSingleWorker(t *testing.T) {
+	// Eq 5: averaging shard gradients equals the full-batch gradient, so
+	// n workers with batch b must track 1 worker with batch n·b.
+	const dim, classes = 6, 3
+	ds := SyntheticClassification(240, dim, classes, 17)
+
+	single, err := NewParallelTrainer(1, mlpFactory(31, dim, 8, classes),
+		mustWRHT(t, 1, 1), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewParallelTrainer(4, mlpFactory(31, dim, 8, classes),
+		mustWRHT(t, 4, 2), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 10; it++ {
+		xs1, ys1 := ds.Shard(1, 16, it)
+		if _, err := single.Step(xs1, ys1); err != nil {
+			t.Fatal(err)
+		}
+		x4, y4 := ds.Shard(4, 4, it)
+		if _, err := multi.Step(x4, y4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1, w4 := single.Nets[0].Weights(), multi.Nets[0].Weights()
+	if !tensor.Equal(w1, w4, 1e-3) {
+		t.Fatalf("data-parallel drifted from single-worker: max diff %g", tensor.MaxAbsDiff(w1, w4))
+	}
+}
+
+func mustWRHT(t *testing.T, n, w int) *core.Schedule {
+	t.Helper()
+	s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrainerValidation(t *testing.T) {
+	if _, err := NewParallelTrainer(3, mlpFactory(1, 2, 2, 2), mustWRHT(t, 4, 2), 0.1); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+	// Non-deterministic factory must be rejected.
+	var calls int64
+	bad := func() *Net {
+		calls++
+		return NewNet(NewDense(2, 2, rand.New(rand.NewSource(calls))))
+	}
+	if _, err := NewParallelTrainer(2, bad, mustWRHT(t, 2, 1), 0.1); err == nil {
+		t.Fatal("non-deterministic factory accepted")
+	}
+}
+
+func TestShardWrapsAround(t *testing.T) {
+	ds := SyntheticClassification(10, 2, 2, 1)
+	xs, ys := ds.Shard(3, 4, 0)
+	if len(xs) != 3 || len(xs[0]) != 4 || len(ys[2]) != 4 {
+		t.Fatalf("shard shape wrong: %d %d", len(xs), len(xs[0]))
+	}
+}
+
+func TestMomentumTrainingConvergesFasterOrInSync(t *testing.T) {
+	const n, dim, classes = 4, 8, 3
+	ds := SyntheticClassification(320, dim, classes, 23)
+	sched := mustWRHT(t, n, 2)
+	tr, err := NewParallelTrainer(n, mlpFactory(51, dim, 12, classes), sched, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := make([]Optimizer, n)
+	for i := range opts {
+		opts[i] = NewMomentum(0.05, 0.9, 1e-4)
+	}
+	var first, last float64
+	for it := 0; it < 30; it++ {
+		xs, ys := ds.Shard(n, 4, it)
+		loss, err := tr.StepWith(xs, ys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first*0.6 {
+		t.Fatalf("momentum training did not converge: %g -> %g", first, last)
+	}
+	if err := tr.ReplicasInSync(0); err != nil {
+		t.Fatalf("momentum replicas diverged: %v", err)
+	}
+}
+
+func TestMomentumMatchesSGDAtZeroMu(t *testing.T) {
+	const n, dim, classes = 2, 6, 2
+	ds := SyntheticClassification(160, dim, classes, 31)
+	run := func(useMomentum bool) tensor.Vector {
+		tr, err := NewParallelTrainer(n, mlpFactory(61, dim, 8, classes), mustWRHT(t, n, 1), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := 0; it < 10; it++ {
+			xs, ys := ds.Shard(n, 4, it)
+			if useMomentum {
+				opts := []Optimizer{NewMomentum(0.05, 0, 0), NewMomentum(0.05, 0, 0)}
+				if _, err := tr.StepWith(xs, ys, opts); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := tr.Step(xs, ys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.Nets[0].Weights()
+	}
+	a, b := run(false), run(true)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatalf("µ=0 momentum differs from SGD: max diff %g", tensor.MaxAbsDiff(a, b))
+	}
+}
+
+func TestStepWithValidatesOptimizerCount(t *testing.T) {
+	tr, err := NewParallelTrainer(2, mlpFactory(71, 4, 4, 2), mustWRHT(t, 2, 1), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := SyntheticClassification(16, 4, 2, 1)
+	xs, ys := ds.Shard(2, 2, 0)
+	if _, err := tr.StepWith(xs, ys, []Optimizer{SGD{LR: 0.1}}); err == nil {
+		t.Fatal("optimizer count mismatch accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"wrht/internal/cluster"
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+)
+
+// Dataset is a labelled synthetic dataset (substituting MNIST/ImageNet,
+// which the offline build cannot download; §5.1's observation that the
+// dataset affects only total training time, not all-reduce behaviour,
+// makes this harmless).
+type Dataset struct {
+	X      [][]float32
+	Labels []int
+}
+
+// SyntheticClassification generates a linearly-separable-ish K-class
+// dataset of dim-dimensional points around K random centroids.
+func SyntheticClassification(samples, dim, classes int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centroids := make([][]float32, classes)
+	for c := range centroids {
+		centroids[c] = make([]float32, dim)
+		for i := range centroids[c] {
+			centroids[c][i] = rng.Float32()*4 - 2
+		}
+	}
+	ds := Dataset{X: make([][]float32, samples), Labels: make([]int, samples)}
+	for s := range ds.X {
+		c := rng.Intn(classes)
+		ds.Labels[s] = c
+		x := make([]float32, dim)
+		for i := range x {
+			x[i] = centroids[c][i] + float32(rng.NormFloat64())*0.4
+		}
+		ds.X[s] = x
+	}
+	return ds
+}
+
+// NetFactory builds one replica of the model. Each worker calls it once;
+// the factory must produce identical initial weights for every call
+// (seed it deterministically).
+type NetFactory func() *Net
+
+// ParallelTrainer runs synchronous data-parallel SGD over n replicas
+// whose gradients are combined by executing a real collective schedule
+// on the in-process cluster each iteration (Eq 5).
+type ParallelTrainer struct {
+	Nets     []*Net
+	Schedule *core.Schedule
+	LR       float32
+}
+
+// NewParallelTrainer builds n replicas and checks they start identical.
+func NewParallelTrainer(n int, factory NetFactory, schedule *core.Schedule, lr float32) (*ParallelTrainer, error) {
+	if schedule.Ring.N != n {
+		return nil, fmt.Errorf("train: schedule for %d nodes, want %d", schedule.Ring.N, n)
+	}
+	t := &ParallelTrainer{Schedule: schedule, LR: lr}
+	for i := 0; i < n; i++ {
+		t.Nets = append(t.Nets, factory())
+	}
+	w0 := t.Nets[0].Weights()
+	for i := 1; i < n; i++ {
+		if !tensor.Equal(w0, t.Nets[i].Weights(), 0) {
+			return nil, fmt.Errorf("train: replica %d starts with different weights; factory must be deterministic", i)
+		}
+	}
+	return t, nil
+}
+
+// Step runs one synchronous iteration: every worker computes the
+// gradient of its shard (in parallel goroutines, like the paper's
+// per-GPU backward pass), the shard gradients are averaged through the
+// collective schedule, and every replica applies the same SGD update.
+// It returns the mean loss across workers.
+func (t *ParallelTrainer) Step(shardX [][][]float32, shardY [][]int) (float64, error) {
+	n := len(t.Nets)
+	if len(shardX) != n || len(shardY) != n {
+		return 0, fmt.Errorf("train: %d shards for %d workers", len(shardX), n)
+	}
+	losses := make([]float64, n)
+	if err := t.computeAndSync(shardX, shardY, losses); err != nil {
+		return 0, err
+	}
+	var meanLoss float64
+	for i := 0; i < n; i++ {
+		t.Nets[i].SGDStep(t.LR)
+		meanLoss += losses[i]
+	}
+	return meanLoss / float64(n), nil
+}
+
+// computeAndSync runs the per-replica forward/backward passes in
+// parallel, all-reduces the shard gradients through the schedule, and
+// leaves the averaged gradient installed in every replica.
+func (t *ParallelTrainer) computeAndSync(shardX [][][]float32, shardY [][]int, losses []float64) error {
+	n := len(t.Nets)
+	grads := make([]tensor.Vector, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net := t.Nets[i]
+			net.ZeroGrad()
+			logits := net.Forward(shardX[i])
+			loss, g := SoftmaxCrossEntropy(logits, shardY[i])
+			net.Backward(g)
+			losses[i] = loss
+			grads[i] = net.Gradients()
+		}()
+	}
+	wg.Wait()
+
+	// Gradient synchronisation: a real all-reduce over the schedule.
+	cl, err := cluster.New(grads)
+	if err != nil {
+		return err
+	}
+	if err := cl.AllReduce(t.Schedule, true); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		t.Nets[i].SetGradients(cl.Vector(i))
+	}
+	return nil
+}
+
+// ReplicasInSync reports whether all replicas hold elementwise-equal
+// weights within tol (they must, after every synchronous step).
+func (t *ParallelTrainer) ReplicasInSync(tol float64) error {
+	w0 := t.Nets[0].Weights()
+	for i := 1; i < len(t.Nets); i++ {
+		if !tensor.Equal(w0, t.Nets[i].Weights(), tol) {
+			return fmt.Errorf("train: replica %d diverged (max diff %g)", i, tensor.MaxAbsDiff(w0, t.Nets[i].Weights()))
+		}
+	}
+	return nil
+}
+
+// Shard splits the dataset round-robin into n worker shards of batch
+// samples each, starting at iteration it (wrapping).
+func (d Dataset) Shard(n, batch, it int) ([][][]float32, [][]int) {
+	xs := make([][][]float32, n)
+	ys := make([][]int, n)
+	total := len(d.X)
+	base := it * n * batch
+	for w := 0; w < n; w++ {
+		for b := 0; b < batch; b++ {
+			idx := (base + w*batch + b) % total
+			xs[w] = append(xs[w], d.X[idx])
+			ys[w] = append(ys[w], d.Labels[idx])
+		}
+	}
+	return xs, ys
+}
+
+// Epochs runs the given number of passes over the dataset, returning the
+// per-iteration losses.
+func (t *ParallelTrainer) Epochs(d Dataset, batch, epochs int) ([]float64, error) {
+	n := len(t.Nets)
+	itersPerEpoch := len(d.X) / (n * batch)
+	if itersPerEpoch < 1 {
+		itersPerEpoch = 1
+	}
+	var losses []float64
+	for e := 0; e < epochs; e++ {
+		for it := 0; it < itersPerEpoch; it++ {
+			xs, ys := d.Shard(n, batch, e*itersPerEpoch+it)
+			loss, err := t.Step(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			losses = append(losses, loss)
+		}
+	}
+	return losses, nil
+}

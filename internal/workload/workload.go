@@ -1,0 +1,116 @@
+// Package workload synthesizes the per-workload measurements the paper
+// collected with the TensorFlow profiler on 8× GTX TITAN XP GPUs (§5.1):
+// per-iteration GPU compute time, peak memory, and the transferred
+// gradient size. The paper observes that only the transferred size
+// matters for all-reduce performance — that size comes straight from the
+// model's parameter count, which internal/dnn reproduces — so a
+// FLOPs-based compute model is a faithful substitute for the traces.
+package workload
+
+import (
+	"fmt"
+
+	"wrht/internal/dnn"
+)
+
+// GPUProfile describes the accelerator used for compute-time estimation.
+type GPUProfile struct {
+	Name string
+	// PeakFLOPS is the peak fp32 throughput in FLOP/s.
+	PeakFLOPS float64
+	// Efficiency is the achieved fraction of peak for DNN training
+	// (im2col'd convolutions and GEMMs typically sustain 30–50%).
+	Efficiency float64
+	// MemoryBytes is the device memory capacity, which bounds the batch
+	// size (the paper tunes batch sizes to fully use GPU memory).
+	MemoryBytes float64
+}
+
+// TitanXP returns the GTX TITAN XP profile used by the paper's testbed:
+// 12.15 TFLOPS peak fp32, 12 GB memory.
+func TitanXP() GPUProfile {
+	return GPUProfile{Name: "TITAN XP", PeakFLOPS: 12.15e12, Efficiency: 0.38, MemoryBytes: 12e9}
+}
+
+// Workload is one distributed-training workload: a model, the per-GPU
+// batch size, and the synthesized profile numbers.
+type Workload struct {
+	Model     dnn.Model
+	BatchSize int
+	// ComputeSecPerIter is the modeled per-iteration forward+backward
+	// GPU time for the batch.
+	ComputeSecPerIter float64
+	// GradBytes is the all-reduce payload d (float32 gradient bytes).
+	GradBytes float64
+	// PeakMemBytes is the modeled activation+parameter memory at the
+	// chosen batch size.
+	PeakMemBytes float64
+}
+
+// activationBytesPerSample is a coarse per-model activation footprint
+// estimate: activations dominate DNN training memory and scale linearly
+// with batch size. Empirically, stored activations cost roughly two
+// float32 values per 100 MACs (≈ 8 bytes per 400 FLOPs) across CNN and
+// transformer models; this puts BEiT-L at ~2.5 GB/sample and ResNet50
+// at ~160 MB/sample, consistent with fp32 training footprints on the
+// paper's 12 GB TITAN XP cards.
+func activationBytesPerSample(m dnn.Model) float64 {
+	return float64(m.ForwardFLOPs()) * 8 / 400
+}
+
+// TuneBatchSize picks the largest power-of-two batch size whose modeled
+// memory footprint (weights + gradients + optimizer + activations) fits
+// the GPU, matching the paper's "batch sizes that fully utilize GPU
+// memory" methodology.
+func TuneBatchSize(m dnn.Model, gpu GPUProfile) int {
+	fixed := float64(m.GradBytes()) * 3 // weights + grads + momentum
+	per := activationBytesPerSample(m)
+	b := 1
+	for float64(2*b)*per+fixed <= gpu.MemoryBytes && b < 4096 {
+		b *= 2
+	}
+	return b
+}
+
+// New builds the workload for a model on a GPU at the given batch size
+// (0 = auto-tune to memory).
+func New(m dnn.Model, gpu GPUProfile, batch int) Workload {
+	if batch <= 0 {
+		batch = TuneBatchSize(m, gpu)
+	}
+	flops := float64(m.TrainFLOPs()) * float64(batch)
+	return Workload{
+		Model:             m,
+		BatchSize:         batch,
+		ComputeSecPerIter: flops / (gpu.PeakFLOPS * gpu.Efficiency),
+		GradBytes:         float64(m.GradBytes()),
+		PeakMemBytes:      float64(m.GradBytes())*3 + float64(batch)*activationBytesPerSample(m),
+	}
+}
+
+// PaperWorkloads returns the four §5.1 workloads with auto-tuned batch
+// sizes on the TITAN XP profile, in figure order.
+func PaperWorkloads() []Workload {
+	gpu := TitanXP()
+	models := dnn.Workloads()
+	out := make([]Workload, len(models))
+	for i, m := range models {
+		out[i] = New(m, gpu, 0)
+	}
+	return out
+}
+
+func (w Workload) String() string {
+	return fmt.Sprintf("%s(batch=%d, grad=%.0fMB, compute=%.1fms)",
+		w.Model.Name, w.BatchSize, w.GradBytes/1e6, w.ComputeSecPerIter*1e3)
+}
+
+// IterationsPerEpoch returns the iteration count for one epoch over a
+// dataset of the given size with n data-parallel workers.
+func (w Workload) IterationsPerEpoch(datasetSize, n int) int {
+	global := w.BatchSize * n
+	if global < 1 {
+		return 0
+	}
+	return (datasetSize + global - 1) / global
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"wrht/internal/dnn"
+)
+
+func TestTuneBatchSizeFitsMemory(t *testing.T) {
+	gpu := TitanXP()
+	for _, m := range dnn.Workloads() {
+		b := TuneBatchSize(m, gpu)
+		if b < 1 {
+			t.Fatalf("%s: batch %d", m.Name, b)
+		}
+		w := New(m, gpu, b)
+		if w.PeakMemBytes > gpu.MemoryBytes {
+			t.Errorf("%s: peak memory %.1f GB exceeds GPU %.1f GB at tuned batch %d",
+				m.Name, w.PeakMemBytes/1e9, gpu.MemoryBytes/1e9, b)
+		}
+	}
+}
+
+func TestBiggerModelSmallerBatch(t *testing.T) {
+	gpu := TitanXP()
+	beit := TuneBatchSize(dnn.BEiTLarge(), gpu)
+	resnet := TuneBatchSize(dnn.ResNet50(), gpu)
+	if beit > resnet {
+		t.Fatalf("BEiT batch %d > ResNet50 batch %d", beit, resnet)
+	}
+}
+
+func TestComputeTimeScalesWithBatch(t *testing.T) {
+	gpu := TitanXP()
+	m := dnn.ResNet50()
+	w1 := New(m, gpu, 8)
+	w2 := New(m, gpu, 16)
+	if w2.ComputeSecPerIter <= w1.ComputeSecPerIter {
+		t.Fatal("compute time must grow with batch")
+	}
+	if w2.ComputeSecPerIter/w1.ComputeSecPerIter != 2 {
+		t.Fatalf("compute should scale linearly: %g vs %g", w1.ComputeSecPerIter, w2.ComputeSecPerIter)
+	}
+}
+
+func TestGradBytesIndependentOfBatch(t *testing.T) {
+	// §5.1's key observation: the transferred size depends only on the
+	// model, not the batch or dataset.
+	gpu := TitanXP()
+	m := dnn.VGG16()
+	if New(m, gpu, 2).GradBytes != New(m, gpu, 64).GradBytes {
+		t.Fatal("gradient size must not depend on batch")
+	}
+}
+
+func TestPaperWorkloads(t *testing.T) {
+	ws := PaperWorkloads()
+	if len(ws) != 4 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	for _, w := range ws {
+		if w.BatchSize < 1 || w.ComputeSecPerIter <= 0 || w.GradBytes <= 0 {
+			t.Errorf("%s: bad workload %+v", w.Model.Name, w)
+		}
+		if !strings.Contains(w.String(), w.Model.Name) {
+			t.Errorf("String() = %q lacks model name", w.String())
+		}
+	}
+}
+
+func TestIterationsPerEpoch(t *testing.T) {
+	w := New(dnn.ResNet50(), TitanXP(), 16)
+	if got := w.IterationsPerEpoch(1024*16*10, 1024); got != 10 {
+		t.Fatalf("iters = %d, want 10", got)
+	}
+	if got := w.IterationsPerEpoch(1, 1024); got != 1 {
+		t.Fatalf("tiny dataset iters = %d, want 1 (ceil)", got)
+	}
+}
