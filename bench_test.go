@@ -37,11 +37,15 @@ func printFirst(key string, f func()) {
 // BenchmarkTable1Steps regenerates Table 1 (communication step counts at
 // N=1024, w=64) and measures the cost of computing it.
 func BenchmarkTable1Steps(b *testing.B) {
-	printFirst("table1", func() { b.Log("\n" + exp.Table1().String()) })
+	t1, err := exp.Table1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printFirst("table1", func() { b.Log("\n" + t1.String()) })
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if exp.Table1() == nil {
-			b.Fatal("nil table")
+		if t, err := exp.Table1(); err != nil || t == nil {
+			b.Fatal("table1:", err)
 		}
 	}
 }
@@ -49,12 +53,15 @@ func BenchmarkTable1Steps(b *testing.B) {
 // BenchmarkFig4GroupedNodes regenerates Figure 4 (grouped-node sweep).
 func BenchmarkFig4GroupedNodes(b *testing.B) {
 	o := exp.Defaults()
-	printFirst("fig4", func() { b.Log("\n" + exp.Fig4(o).String()) })
 	for i := 0; i < b.N; i++ {
-		fig := exp.Fig4(o)
+		fig, err := exp.Fig4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(fig.Series) != 4 {
 			b.Fatal("unexpected series count")
 		}
+		printFirst("fig4", func() { b.Log("\n" + fig.String()) })
 	}
 }
 
@@ -64,8 +71,11 @@ func BenchmarkFig4GroupedNodes(b *testing.B) {
 func BenchmarkFig5Wavelengths(b *testing.B) {
 	o := exp.Defaults()
 	var r exp.Fig5Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig5(o)
+		if r, err = exp.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
 	}
 	printFirst("fig5", func() {
 		for _, f := range r.Figures {
@@ -86,8 +96,11 @@ func BenchmarkFig6NodeScaling(b *testing.B) {
 			o := exp.Defaults()
 			o.Granularity = g
 			var r exp.Fig6Result
+			var err error
 			for i := 0; i < b.N; i++ {
-				r = exp.Fig6(o)
+				if r, err = exp.Fig6(o); err != nil {
+					b.Fatal(err)
+				}
 			}
 			printFirst("fig6-"+g.String(), func() {
 				for _, f := range r.Figures {
@@ -107,8 +120,11 @@ func BenchmarkFig6NodeScaling(b *testing.B) {
 func BenchmarkFig7OpticalVsElectrical(b *testing.B) {
 	o := exp.Defaults()
 	var r exp.Fig7Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig7(o)
+		if r, err = exp.Fig7(o); err != nil {
+			b.Fatal(err)
+		}
 	}
 	printFirst("fig7", func() {
 		for _, f := range r.Figures {
@@ -256,13 +272,12 @@ func topoTorus() topo.Torus { return topo.NewTorus(32, 32) }
 // table (time, wavelength feasibility, energy) at the Table-1 setting.
 func BenchmarkExtrasComparison(b *testing.B) {
 	o := exp.Defaults()
-	printFirst("extras", func() {
-		b.Log("\n" + exp.Extras(o, dnn.ResNet50(), 1024, 64).String())
-	})
 	for i := 0; i < b.N; i++ {
-		if exp.Extras(o, dnn.ResNet50(), 1024, 64) == nil {
-			b.Fatal("nil table")
+		t, err := exp.Extras(o, dnn.ResNet50(), 1024, 64)
+		if err != nil || t == nil {
+			b.Fatal("extras:", err)
 		}
+		printFirst("extras", func() { b.Log("\n" + t.String()) })
 	}
 }
 
@@ -379,7 +394,11 @@ func BenchmarkStragglerSensitivity(b *testing.B) {
 	o := exp.Defaults()
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = exp.Stragglers(o, dnn.ResNet50(), 128, 64, 0.2, 5, 1).String()
+		t, err := exp.Stragglers(o, dnn.ResNet50(), 128, 64, 0.2, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = t.String()
 	}
 	printFirst("stragglers", func() { b.Log("\n" + out) })
 }

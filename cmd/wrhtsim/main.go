@@ -24,8 +24,14 @@ import (
 	"wrht/internal/workload"
 )
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+	os.Exit(1)
+}
+
 func main() {
 	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "write raw figure series to this JSON file")
 	schedN := flag.Int("n", 64, "schedule subcommand: ring size")
 	schedW := flag.Int("w", 8, "schedule subcommand: wavelengths")
@@ -40,6 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	o := exp.Defaults()
+	o.Workers = *workers
 	switch *gran {
 	case "fused":
 		o.Granularity = exp.Fused
@@ -68,17 +75,27 @@ func main() {
 		return
 	}
 	if cmd == "table1" || cmd == "all" {
-		fmt.Println(exp.Table1())
+		t, err := exp.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
 		ran = true
 	}
 	if cmd == "fig4" || cmd == "all" {
-		fig := exp.Fig4(o)
+		fig, err := exp.Fig4(o)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println(fig)
 		rec.Record(exp.FigureRun("fig4", fig))
 		ran = true
 	}
 	if cmd == "fig5" || cmd == "all" {
-		r := exp.Fig5(o)
+		r, err := exp.Fig5(o)
+		if err != nil {
+			fatal(err)
+		}
 		for i, f := range r.Figures {
 			fmt.Println(f)
 			rec.Record(exp.FigureRun(fmt.Sprintf("fig5-%d", i), f))
@@ -88,7 +105,10 @@ func main() {
 		ran = true
 	}
 	if cmd == "fig6" || cmd == "all" {
-		r := exp.Fig6(o)
+		r, err := exp.Fig6(o)
+		if err != nil {
+			fatal(err)
+		}
 		for i, f := range r.Figures {
 			fmt.Println(f)
 			rec.Record(exp.FigureRun(fmt.Sprintf("fig6-%d", i), f))
@@ -98,7 +118,10 @@ func main() {
 		ran = true
 	}
 	if cmd == "fig7" || cmd == "all" {
-		r := exp.Fig7(o)
+		r, err := exp.Fig7(o)
+		if err != nil {
+			fatal(err)
+		}
 		for i, f := range r.Figures {
 			fmt.Println(f)
 			rec.Record(exp.FigureRun(fmt.Sprintf("fig7-%d", i), f))
@@ -112,12 +135,21 @@ func main() {
 		ran = true
 	}
 	if cmd == "stragglers" || cmd == "all" {
-		fmt.Println(exp.Stragglers(o, dnn.ResNet50(), 256, 64, 0.2, 20, 1))
+		t, err := exp.Stragglers(o, dnn.ResNet50(), 256, 64, 0.2, 20, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
 		ran = true
 	}
 	if cmd == "extras" || cmd == "all" {
-		fmt.Println(exp.Extras(o, dnn.ResNet50(), 1024, 64))
-		fmt.Println(exp.Extras(o, dnn.BEiTLarge(), 1024, 64))
+		for _, m := range []dnn.Model{dnn.ResNet50(), dnn.BEiTLarge()} {
+			t, err := exp.Extras(o, m, 1024, 64)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t)
+		}
 		ran = true
 	}
 	if cmd == "hybrid" || cmd == "all" {

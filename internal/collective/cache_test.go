@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"wrht/internal/core"
+)
+
+func TestProfileCacheMatchesDirectConstruction(t *testing.T) {
+	c := NewProfileCache()
+	cfg := core.Config{N: 1024, Wavelengths: 64}
+	got, err := c.WRHT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := WRHTProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cached WRHT profile differs from direct construction")
+	}
+	if !reflect.DeepEqual(c.Ring(1024), RingProfile(1024)) {
+		t.Errorf("cached Ring profile differs")
+	}
+	if !reflect.DeepEqual(c.HRing(1024, 5, 64), HRingProfile(1024, 5, 64)) {
+		t.Errorf("cached H-Ring profile differs")
+	}
+	if !reflect.DeepEqual(c.BT(1024), BTProfile(1024)) {
+		t.Errorf("cached BT profile differs")
+	}
+}
+
+// TestProfileCacheConcurrentSingleBuild hammers one logical key from
+// many goroutines — half asking with the explicit Lemma-1 group size,
+// half with the GroupSize-0 default that canonicalizes to it — and
+// requires exactly one construction.
+func TestProfileCacheConcurrentSingleBuild(t *testing.T) {
+	c := NewProfileCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := core.Config{N: 1024, Wavelengths: 64}
+			if g%2 == 0 {
+				cfg.GroupSize = 129 // = 2w+1, the canonical form of GroupSize 0
+			}
+			if _, err := c.WRHT(cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Builds(); got != 1 {
+		t.Errorf("concurrent identical requests built %d profiles, want 1", got)
+	}
+}
+
+func TestProfileCacheMemoizesErrors(t *testing.T) {
+	c := NewProfileCache()
+	bad := core.Config{N: 0, Wavelengths: 64}
+	_, err1 := c.WRHT(bad)
+	_, err2 := c.WRHT(bad)
+	if err1 == nil || err2 == nil {
+		t.Fatal("invalid config should error")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("memoized error changed: %v vs %v", err1, err2)
+	}
+	if got := c.Builds(); got != 1 {
+		t.Errorf("failed build attempted %d times, want 1", got)
+	}
+}
+
+func TestProfileCacheDistinctKeysDoNotCollide(t *testing.T) {
+	c := NewProfileCache()
+	// Ring(64) and BT(64) share cfg{N:64} but differ in kind.
+	ring := c.Ring(64)
+	bt := c.BT(64)
+	if ring.Algorithm == bt.Algorithm {
+		t.Errorf("Ring and BT collided in the cache: both %q", ring.Algorithm)
+	}
+	if got := c.Builds(); got != 2 {
+		t.Errorf("builds = %d, want 2", got)
+	}
+}

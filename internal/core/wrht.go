@@ -50,6 +50,17 @@ func (c Config) EffectiveGroupSize() int {
 	return m
 }
 
+// Canonical returns the configuration with GroupSize resolved to
+// EffectiveGroupSize. Two configurations with equal canonical forms
+// build identical schedules (GroupSize is only ever read through
+// EffectiveGroupSize), so caches key on the canonical value: an
+// explicit GroupSize of 2w+1 shares a cache entry with the
+// GroupSize-0 default at the same wavelength budget.
+func (c Config) Canonical() Config {
+	c.GroupSize = c.EffectiveGroupSize()
+	return c
+}
+
 func (c Config) validate() error {
 	if c.N < 1 {
 		return fmt.Errorf("core: wrht: N=%d < 1", c.N)

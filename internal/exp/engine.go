@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/electrical"
+	"wrht/internal/optical"
+)
+
+// engine executes one sweep: it owns the bounded worker pool and the
+// per-sweep profile cache. Every exported figure entry point builds a
+// fresh engine, so memoized profiles never outlive a sweep and one
+// figure's output cannot depend on what ran before it.
+type engine struct {
+	opts     Options
+	workers  int
+	profiles *collective.ProfileCache
+}
+
+func newEngine(o Options) *engine {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &engine{opts: o, workers: w, profiles: collective.NewProfileCache()}
+}
+
+// sweep evaluates fn(i) for every i in [0, n) on e's worker pool and
+// returns the values in index order, so figures assembled from the
+// result are byte-identical to a sequential run. Point functions must
+// be pure (they may share e's caches, which synchronise internally).
+// On failure the lowest-index error is returned — again independent
+// of goroutine scheduling.
+func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	vals := make([]T, n)
+	errs := make([]error, n)
+	if workers := min(e.workers, n); workers <= 1 {
+		for i := 0; i < n; i++ {
+			vals[i], errs[i] = fn(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					vals[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: sweep point %d: %w", i, err)
+		}
+	}
+	return vals, nil
+}
+
+// wrht returns the memoized WRHT profile for n nodes, w wavelengths and
+// an optional explicit group size m (0 = Lemma-1 optimum).
+func (e *engine) wrht(n, w, m int) (core.Profile, error) {
+	pr, err := e.profiles.WRHT(core.Config{N: n, Wavelengths: w, GroupSize: m})
+	if err != nil {
+		return core.Profile{}, fmt.Errorf("wrht profile (N=%d, w=%d, m=%d): %w", n, w, m, err)
+	}
+	return pr, nil
+}
+
+func (e *engine) ring(n int) core.Profile        { return e.profiles.Ring(n) }
+func (e *engine) hring(n, m, w int) core.Profile { return e.profiles.HRing(n, m, w) }
+func (e *engine) bt(n int) core.Profile          { return e.profiles.BT(n) }
+
+// opticalTime times one collective profile for one model on the
+// optical system.
+func (e *engine) opticalTime(pr core.Profile, m dnn.Model) (float64, error) {
+	res, err := optical.RunBuckets(e.opts.Optical, pr, e.opts.payloads(m))
+	if err != nil {
+		return 0, fmt.Errorf("optical timing (%s, %s): %w", pr.Algorithm, m.Name, err)
+	}
+	return res.Time, nil
+}
+
+// electricalTime times one collective schedule for one model on the
+// fat-tree. Network is safe for concurrent use: RunSchedule keeps all
+// mutable state (the step memo, the fluid-model flows) local.
+func (e *engine) electricalTime(nw *electrical.Network, s *core.Schedule, m dnn.Model) (float64, error) {
+	var total float64
+	for _, d := range e.opts.payloads(m) {
+		res, err := nw.RunSchedule(s, d)
+		if err != nil {
+			return 0, fmt.Errorf("electrical timing (%s, %s): %w", s.Algorithm, m.Name, err)
+		}
+		total += res.Time
+	}
+	return total, nil
+}
+
+// baselineModel finds the paper's normalization workload by name, so
+// reordering dnn.Workloads() cannot silently change every normalized
+// figure.
+func baselineModel(models []dnn.Model, name string) (dnn.Model, error) {
+	for _, m := range models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return dnn.Model{}, fmt.Errorf("exp: baseline workload %q not in dnn.Workloads()", name)
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wrht/internal/dnn"
+)
+
+// renderFig5 serialises every subfigure plus the headline reductions in
+// exact hex-float form, so two runs compare bit-for-bit.
+func renderFig5(r Fig5Result) string {
+	var b strings.Builder
+	for _, f := range r.Figures {
+		b.WriteString(f.String())
+	}
+	fmt.Fprintf(&b, "%x %x %x", r.VsRing, r.VsHRing, r.VsBT)
+	return b.String()
+}
+
+func renderFig6(r Fig6Result) string {
+	var b strings.Builder
+	for _, f := range r.Figures {
+		b.WriteString(f.String())
+	}
+	fmt.Fprintf(&b, "%x %x %x", r.VsRing, r.VsHRing, r.VsBT)
+	return b.String()
+}
+
+func renderFig7(r Fig7Result) string {
+	var b strings.Builder
+	for _, f := range r.Figures {
+		b.WriteString(f.String())
+	}
+	fmt.Fprintf(&b, "%x %x %x", r.ORingVsERing, r.WRHTVsERing, r.WRHTVsERD)
+	return b.String()
+}
+
+// TestParallelMatchesSequential is the engine's safety proof: every
+// figure rendered on the full worker pool is byte-identical to the
+// sequential (Workers=1) baseline, including the exact float bits of
+// the headline reduction percentages.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name   string
+		render func(Options) (string, error)
+	}{
+		{"fig4", func(o Options) (string, error) {
+			f, err := Fig4(o)
+			if err != nil {
+				return "", err
+			}
+			return f.String(), nil
+		}},
+		{"fig5", func(o Options) (string, error) {
+			r, err := Fig5(o)
+			if err != nil {
+				return "", err
+			}
+			return renderFig5(r), nil
+		}},
+		{"fig6-bucketed", func(o Options) (string, error) {
+			o.Granularity = Bucketed
+			r, err := Fig6(o)
+			if err != nil {
+				return "", err
+			}
+			return renderFig6(r), nil
+		}},
+		{"fig7-small", func(o Options) (string, error) {
+			r, err := fig7At(o, []int{64, 128})
+			if err != nil {
+				return "", err
+			}
+			return renderFig7(r), nil
+		}},
+		{"extras", func(o Options) (string, error) {
+			tab, err := Extras(o, dnn.ResNet50(), 256, 64)
+			if err != nil {
+				return "", err
+			}
+			return tab.String(), nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := Defaults()
+			seq.Workers = 1
+			par := Defaults()
+			par.Workers = 8
+			want, err := tc.render(seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			got, err := tc.render(par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if got != want {
+				t.Errorf("parallel output differs from sequential baseline:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestProfileCacheBuildsEachConfigOnce proves the memoization claim:
+// one sweep builds each distinct collective configuration exactly once,
+// however many (model, point) pairs revisit it.
+func TestProfileCacheBuildsEachConfigOnce(t *testing.T) {
+	// Fig 4 touches 4 distinct WRHT configs (m ∈ {17,33,65,129}) across
+	// 16 sweep points.
+	e := newEngine(Defaults())
+	if _, err := e.fig4(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.profiles.Builds(); got != 4 {
+		t.Errorf("fig4 built %d profiles, want 4 (one per distinct m)", got)
+	}
+	// Re-running on the same engine adds no builds.
+	if _, err := e.fig4(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.profiles.Builds(); got != 4 {
+		t.Errorf("fig4 rerun rebuilt profiles: %d builds", got)
+	}
+
+	// Fig 5 touches 4 WRHT (canonical m per w ∈ {4,16,64,256}; the
+	// normalization base shares the w=256 entry), 1 Ring, 4 H-Ring and
+	// 1 BT config = 10 distinct profiles across 65 point evaluations.
+	e = newEngine(Defaults())
+	if _, err := e.fig5(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.profiles.Builds(); got != 10 {
+		t.Errorf("fig5 built %d profiles, want 10", got)
+	}
+}
+
+// TestSweepDeterministicOrderAndError pins the two determinism
+// guarantees of the pool: results land in index order, and the
+// lowest-index error wins regardless of goroutine scheduling.
+func TestSweepDeterministicOrderAndError(t *testing.T) {
+	e := newEngine(Options{Workers: 8})
+	vals, err := sweep(e, 100, func(i int) (float64, error) { return float64(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != float64(i) {
+			t.Fatalf("vals[%d] = %g, want %d", i, v, i)
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		_, err := sweep(e, 100, func(i int) (float64, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return 0, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "point 3:") {
+			t.Fatalf("trial %d: error = %v, want lowest-index point 3", trial, err)
+		}
+	}
+}
+
+// TestBaselineModelLookup guards the normalization bugfix: the baseline
+// is found by name, and a missing name is a loud error rather than a
+// silently skewed figure.
+func TestBaselineModelLookup(t *testing.T) {
+	m, err := baselineModel(dnn.Workloads(), baselineWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "ResNet50" {
+		t.Fatalf("baseline = %s, want ResNet50", m.Name)
+	}
+	if _, err := baselineModel(dnn.Workloads(), "NoSuchNet"); err == nil {
+		t.Fatal("missing baseline workload should error")
+	}
+	// Reordering the workload list must not change the baseline.
+	ws := dnn.Workloads()
+	for i, j := 0, len(ws)-1; i < j; i, j = i+1, j-1 {
+		ws[i], ws[j] = ws[j], ws[i]
+	}
+	m2, err := baselineModel(ws, baselineWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != m.Name {
+		t.Fatalf("baseline after reorder = %s, want %s", m2.Name, m.Name)
+	}
+}

@@ -4,6 +4,13 @@
 // Fig 7 (optical vs electrical), plus the §4.4 constraint analysis and
 // the ablation studies DESIGN.md lists. The cmd/wrhtsim binary and the
 // root bench_test.go both drive these entry points.
+//
+// Each sweep runs on a bounded worker pool (see engine.go): points fan
+// out across up to Options.Workers goroutines, collective profiles are
+// memoized per sweep so each distinct core.Config is built exactly
+// once, and results are assembled in index order so the output is
+// byte-identical to a sequential (Workers=1) run. Errors propagate —
+// nothing in this package panics on timing or profile failures.
 package exp
 
 import (
@@ -18,6 +25,9 @@ import (
 	"wrht/internal/phys"
 	"wrht/internal/trace"
 )
+
+// baselineWorkload is the workload the paper normalizes Figs 5-7 by.
+const baselineWorkload = "ResNet50"
 
 // Granularity selects how the per-iteration gradient is handed to the
 // all-reduce.
@@ -49,6 +59,10 @@ type Options struct {
 	Optical     optical.Params
 	Electrical  electrical.Params
 	Granularity Granularity
+	// Workers bounds the sweep worker pool: 0 (the default) uses
+	// GOMAXPROCS, 1 forces the sequential baseline path. Output is
+	// identical whatever the value.
+	Workers int
 }
 
 // Defaults returns the Table-2 configuration with fused granularity.
@@ -68,47 +82,13 @@ func (o Options) payloads(m dnn.Model) []float64 {
 	return []float64{float64(m.GradBytes())}
 }
 
-// opticalTime times one collective profile for one model on the optical
-// system.
-func (o Options) opticalTime(pr core.Profile, m dnn.Model) float64 {
-	res, err := optical.RunBuckets(o.Optical, pr, o.payloads(m))
-	if err != nil {
-		panic(fmt.Sprintf("exp: optical timing failed: %v", err))
-	}
-	return res.Time
-}
-
-// electricalTime times one collective schedule for one model on the
-// fat-tree.
-func (o Options) electricalTime(nw *electrical.Network, s *core.Schedule, m dnn.Model) float64 {
-	var total float64
-	for _, d := range o.payloads(m) {
-		res, err := nw.RunSchedule(s, d)
-		if err != nil {
-			panic(fmt.Sprintf("exp: electrical timing failed: %v", err))
-		}
-		total += res.Time
-	}
-	return total
-}
-
-// wrhtProfile builds the WRHT profile for n nodes, w wavelengths and an
-// optional explicit group size m (0 = Lemma-1 optimum).
-func wrhtProfile(n, w, m int) core.Profile {
-	pr, err := collective.WRHTProfile(core.Config{N: n, Wavelengths: w, GroupSize: m})
-	if err != nil {
-		panic(fmt.Sprintf("exp: wrht profile: %v", err))
-	}
-	return pr
-}
-
 // Table1 reproduces Table 1: communication step counts of the four
 // algorithms at N=1024, w=64 (H-Ring m=5, WRHT m=129).
-func Table1() *metrics.Table {
+func Table1() (*metrics.Table, error) {
 	const n, w = 1024, 64
 	st, err := core.StepsWRHT(core.Config{N: n, Wavelengths: w, GroupSize: 129})
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("exp: table 1: %w", err)
 	}
 	t := &metrics.Table{
 		Title:   "Table 1: communication steps, N=1024, w=64",
@@ -118,16 +98,30 @@ func Table1() *metrics.Table {
 	t.AddRow("H-Ring (m=5)", "2(m^2+N)/m - 3", fmt.Sprint(core.StepsHRingPaper(n, 5, w)), "417")
 	t.AddRow("BT", "2ceil(log2 N)", fmt.Sprint(core.StepsBT(n)), "20")
 	t.AddRow("WRHT (m=129)", "2ceil(log_m N) - 1", fmt.Sprint(st.Total), "3")
-	return t
+	return t, nil
 }
 
 // Fig4 reproduces Figure 4: WRHT communication time on a 1024-node ring
 // with grouped-node counts m ∈ {17, 33, 65, 129}, per DNN workload,
 // normalized by WRHT₃ (m=129) within each workload.
-func Fig4(o Options) *metrics.Figure {
+func Fig4(o Options) (*metrics.Figure, error) { return newEngine(o).fig4() }
+
+func (e *engine) fig4() (*metrics.Figure, error) {
 	const n, w = 1024, 64
 	ms := []int{17, 33, 65, 129}
 	models := dnn.Workloads()
+	// One sweep point per (workload, m), model-major.
+	times, err := sweep(e, len(models)*len(ms), func(i int) (float64, error) {
+		model, m := models[i/len(ms)], ms[i%len(ms)]
+		pr, err := e.wrht(n, w, m)
+		if err != nil {
+			return 0, err
+		}
+		return e.opticalTime(pr, model)
+	})
+	if err != nil {
+		return nil, err
+	}
 	fig := &metrics.Figure{
 		Title:  "Figure 4: WRHT vs grouped nodes m, N=1024, w=64 (normalized per workload by m=129)",
 		XLabel: "workload",
@@ -137,22 +131,49 @@ func Fig4(o Options) *metrics.Figure {
 	for i, m := range ms {
 		series[i] = metrics.Series{Name: fmt.Sprintf("WRHT_%d (m=%d)", i, m)}
 	}
-	for _, model := range models {
+	for mi, model := range models {
 		fig.XTicks = append(fig.XTicks, model.Name)
-		base := o.opticalTime(wrhtProfile(n, w, ms[len(ms)-1]), model)
-		for i, m := range ms {
-			tm := o.opticalTime(wrhtProfile(n, w, m), model)
-			series[i].Y = append(series[i].Y, tm/base)
+		base := times[mi*len(ms)+len(ms)-1]
+		for i := range ms {
+			series[i].Y = append(series[i].Y, times[mi*len(ms)+i]/base)
 		}
 	}
 	fig.Series = series
 	steps := make([]string, len(ms))
 	for i, m := range ms {
-		st, _ := core.StepsWRHT(core.Config{N: n, Wavelengths: w, GroupSize: m})
+		st, err := core.StepsWRHT(core.Config{N: n, Wavelengths: w, GroupSize: m})
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig 4 steps (m=%d): %w", m, err)
+		}
 		steps[i] = fmt.Sprintf("m=%d:θ=%d", m, st.Total)
 	}
 	fig.Comment = fmt.Sprintf("step counts: %v (paper: time falls with m, then plateaus)", steps)
-	return fig
+	return fig, nil
+}
+
+// optAlgos enumerates the four §5 algorithms in the order the *All
+// accumulation slices use: WRHT, Ring, H-Ring (m=5), BT.
+const numOptAlgos = 4
+
+// optAlgoTime times algorithm ai ∈ [0, numOptAlgos) for one model at
+// (n, w), building profiles through the per-sweep cache.
+func (e *engine) optAlgoTime(ai, n, w int, model dnn.Model) (float64, error) {
+	var pr core.Profile
+	switch ai {
+	case 0:
+		var err error
+		pr, err = e.wrht(n, w, 0)
+		if err != nil {
+			return 0, err
+		}
+	case 1:
+		pr = e.ring(n)
+	case 2:
+		pr = e.hring(n, 5, w)
+	default:
+		pr = e.bt(n)
+	}
+	return e.opticalTime(pr, model)
 }
 
 // Fig5Result bundles the wavelength-sweep subfigures with the paper-style
@@ -167,15 +188,37 @@ type Fig5Result struct {
 // Fig5 reproduces Figure 5: the four algorithms on a 1024-node optical
 // ring under w ∈ {4, 16, 64, 256} wavelengths (H-Ring m=5), one
 // subfigure per DNN, normalized by WRHT on ResNet50 at 256 wavelengths.
-func Fig5(o Options) Fig5Result {
+func Fig5(o Options) (Fig5Result, error) { return newEngine(o).fig5() }
+
+func (e *engine) fig5() (Fig5Result, error) {
 	const n = 1024
 	ws := []int{4, 16, 64, 256}
 	models := dnn.Workloads()
-	base := o.opticalTime(wrhtProfile(n, 256, 0), models[len(models)-1]) // WRHT, ResNet50, w=256
+	baseModel, err := baselineModel(models, baselineWorkload)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	basePr, err := e.wrht(n, 256, 0)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	base, err := e.opticalTime(basePr, baseModel) // WRHT, ResNet50, w=256
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	// One sweep point per (workload, wavelength, algorithm).
+	times, err := sweep(e, len(models)*len(ws)*numOptAlgos, func(i int) (float64, error) {
+		model := models[i/(len(ws)*numOptAlgos)]
+		w := ws[(i/numOptAlgos)%len(ws)]
+		return e.optAlgoTime(i%numOptAlgos, n, w, model)
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
 
 	var out Fig5Result
 	var wrhtAll, ringAll, hringAll, btAll []float64
-	for _, model := range models {
+	for mi, model := range models {
 		fig := &metrics.Figure{
 			Title:  fmt.Sprintf("Figure 5 (%s): communication time vs wavelengths, N=1024", model.Name),
 			XLabel: "wavelengths",
@@ -185,12 +228,10 @@ func Fig5(o Options) Fig5Result {
 		ringS := metrics.Series{Name: "Ring"}
 		hringS := metrics.Series{Name: "H-Ring"}
 		btS := metrics.Series{Name: "BT"}
-		for _, w := range ws {
+		for wi, w := range ws {
 			fig.XTicks = append(fig.XTicks, fmt.Sprint(w))
-			tw := o.opticalTime(wrhtProfile(n, w, 0), model)
-			tr := o.opticalTime(collective.RingProfile(n), model)
-			th := o.opticalTime(collective.HRingProfile(n, 5, w), model)
-			tb := o.opticalTime(collective.BTProfile(n), model)
+			p := (mi*len(ws) + wi) * numOptAlgos
+			tw, tr, th, tb := times[p], times[p+1], times[p+2], times[p+3]
 			wrhtS.Y = append(wrhtS.Y, tw/base)
 			ringS.Y = append(ringS.Y, tr/base)
 			hringS.Y = append(hringS.Y, th/base)
@@ -203,10 +244,16 @@ func Fig5(o Options) Fig5Result {
 		fig.Series = []metrics.Series{ringS, hringS, btS, wrhtS}
 		out.Figures = append(out.Figures, fig)
 	}
-	out.VsRing = metrics.MeanReduction(wrhtAll, ringAll)
-	out.VsHRing = metrics.MeanReduction(wrhtAll, hringAll)
-	out.VsBT = metrics.MeanReduction(wrhtAll, btAll)
-	return out
+	if out.VsRing, err = metrics.MeanReduction(wrhtAll, ringAll); err != nil {
+		return Fig5Result{}, err
+	}
+	if out.VsHRing, err = metrics.MeanReduction(wrhtAll, hringAll); err != nil {
+		return Fig5Result{}, err
+	}
+	if out.VsBT, err = metrics.MeanReduction(wrhtAll, btAll); err != nil {
+		return Fig5Result{}, err
+	}
+	return out, nil
 }
 
 // Fig6Result bundles the node-scaling subfigures with the headline
@@ -221,15 +268,37 @@ type Fig6Result struct {
 // Fig6 reproduces Figure 6: the four algorithms on optical rings of
 // N ∈ {1024, 2048, 3072, 4096} nodes at w=64 (H-Ring m=5), one subfigure
 // per DNN, normalized by WRHT on ResNet50 at N=1024.
-func Fig6(o Options) Fig6Result {
+func Fig6(o Options) (Fig6Result, error) { return newEngine(o).fig6() }
+
+func (e *engine) fig6() (Fig6Result, error) {
 	const w = 64
 	ns := []int{1024, 2048, 3072, 4096}
 	models := dnn.Workloads()
-	base := o.opticalTime(wrhtProfile(ns[0], w, 0), models[len(models)-1])
+	baseModel, err := baselineModel(models, baselineWorkload)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	basePr, err := e.wrht(ns[0], w, 0)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	base, err := e.opticalTime(basePr, baseModel) // WRHT, ResNet50, N=1024
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	// One sweep point per (workload, node count, algorithm).
+	times, err := sweep(e, len(models)*len(ns)*numOptAlgos, func(i int) (float64, error) {
+		model := models[i/(len(ns)*numOptAlgos)]
+		n := ns[(i/numOptAlgos)%len(ns)]
+		return e.optAlgoTime(i%numOptAlgos, n, w, model)
+	})
+	if err != nil {
+		return Fig6Result{}, err
+	}
 
 	var out Fig6Result
 	var wrhtAll, ringAll, hringAll, btAll []float64
-	for _, model := range models {
+	for mi, model := range models {
 		fig := &metrics.Figure{
 			Title:  fmt.Sprintf("Figure 6 (%s): communication time vs nodes, w=64", model.Name),
 			XLabel: "nodes",
@@ -239,12 +308,10 @@ func Fig6(o Options) Fig6Result {
 		ringS := metrics.Series{Name: "Ring"}
 		hringS := metrics.Series{Name: "H-Ring"}
 		btS := metrics.Series{Name: "BT"}
-		for _, n := range ns {
+		for ni, n := range ns {
 			fig.XTicks = append(fig.XTicks, fmt.Sprint(n))
-			tw := o.opticalTime(wrhtProfile(n, w, 0), model)
-			tr := o.opticalTime(collective.RingProfile(n), model)
-			th := o.opticalTime(collective.HRingProfile(n, 5, w), model)
-			tb := o.opticalTime(collective.BTProfile(n), model)
+			p := (mi*len(ns) + ni) * numOptAlgos
+			tw, tr, th, tb := times[p], times[p+1], times[p+2], times[p+3]
 			wrhtS.Y = append(wrhtS.Y, tw/base)
 			ringS.Y = append(ringS.Y, tr/base)
 			hringS.Y = append(hringS.Y, th/base)
@@ -257,10 +324,16 @@ func Fig6(o Options) Fig6Result {
 		fig.Series = []metrics.Series{ringS, hringS, btS, wrhtS}
 		out.Figures = append(out.Figures, fig)
 	}
-	out.VsRing = metrics.MeanReduction(wrhtAll, ringAll)
-	out.VsHRing = metrics.MeanReduction(wrhtAll, hringAll)
-	out.VsBT = metrics.MeanReduction(wrhtAll, btAll)
-	return out
+	if out.VsRing, err = metrics.MeanReduction(wrhtAll, ringAll); err != nil {
+		return Fig6Result{}, err
+	}
+	if out.VsHRing, err = metrics.MeanReduction(wrhtAll, hringAll); err != nil {
+		return Fig6Result{}, err
+	}
+	if out.VsBT, err = metrics.MeanReduction(wrhtAll, btAll); err != nil {
+		return Fig6Result{}, err
+	}
+	return out, nil
 }
 
 // Fig7Result bundles the optical-vs-electrical subfigures with the
@@ -277,18 +350,33 @@ type Fig7Result struct {
 // electrical fat-tree versus Ring and WRHT on the optical ring, for
 // N ∈ {128, 256, 512, 1024} and w=64, one subfigure per DNN, normalized
 // by WRHT on ResNet50 at N=128.
-func Fig7(o Options) Fig7Result {
+func Fig7(o Options) (Fig7Result, error) {
 	return fig7At(o, []int{128, 256, 512, 1024})
 }
 
 // fig7At runs the Fig-7 comparison over an explicit node list (the test
 // suite uses a smaller sweep to keep the flow simulation fast).
-func fig7At(o Options, ns []int) Fig7Result {
-	const w = 64
-	models := dnn.Workloads()
-	base := o.opticalTime(wrhtProfile(ns[0], w, 0), models[len(models)-1])
+func fig7At(o Options, ns []int) (Fig7Result, error) { return newEngine(o).fig7(ns) }
 
-	// Electrical schedules and networks per N (shared across models).
+func (e *engine) fig7(ns []int) (Fig7Result, error) {
+	const w = 64
+	const numAlgos = 4 // E-Ring, E-RD, O-Ring, WRHT
+	models := dnn.Workloads()
+	baseModel, err := baselineModel(models, baselineWorkload)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	basePr, err := e.wrht(ns[0], w, 0)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	base, err := e.opticalTime(basePr, baseModel)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+
+	// Electrical schedules and networks per N, built once up front and
+	// shared read-only across all models and workers.
 	type nets struct {
 		nw   *electrical.Network
 		ring *core.Schedule
@@ -296,20 +384,46 @@ func fig7At(o Options, ns []int) Fig7Result {
 	}
 	byN := map[int]nets{}
 	for _, n := range ns {
-		nw, err := electrical.NewNetwork(n, o.Electrical)
+		nw, err := electrical.NewNetwork(n, e.opts.Electrical)
 		if err != nil {
-			panic(err)
+			return Fig7Result{}, fmt.Errorf("exp: fig 7 network (N=%d): %w", n, err)
 		}
 		rd, err := collective.BuildRD(n)
 		if err != nil {
-			panic(err)
+			return Fig7Result{}, fmt.Errorf("exp: fig 7 RD schedule (N=%d): %w", n, err)
 		}
 		byN[n] = nets{nw: nw, ring: collective.BuildRing(n), rd: rd}
 	}
 
+	// One sweep point per (workload, node count, algorithm). The
+	// electrical points dominate the runtime, so fanning them out is
+	// where the pool pays off.
+	times, err := sweep(e, len(models)*len(ns)*numAlgos, func(i int) (float64, error) {
+		model := models[i/(len(ns)*numAlgos)]
+		n := ns[(i/numAlgos)%len(ns)]
+		nn := byN[n]
+		switch i % numAlgos {
+		case 0:
+			return e.electricalTime(nn.nw, nn.ring, model)
+		case 1:
+			return e.electricalTime(nn.nw, nn.rd, model)
+		case 2:
+			return e.opticalTime(e.ring(n), model)
+		default:
+			pr, err := e.wrht(n, w, 0)
+			if err != nil {
+				return 0, err
+			}
+			return e.opticalTime(pr, model)
+		}
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+
 	var out Fig7Result
 	var wrhtAll, oringAll, eringAll, erdAll []float64
-	for _, model := range models {
+	for mi, model := range models {
 		fig := &metrics.Figure{
 			Title:  fmt.Sprintf("Figure 7 (%s): electrical vs optical, w=64", model.Name),
 			XLabel: "nodes",
@@ -319,13 +433,10 @@ func fig7At(o Options, ns []int) Fig7Result {
 		erdS := metrics.Series{Name: "E-RD"}
 		oringS := metrics.Series{Name: "O-Ring"}
 		wrhtS := metrics.Series{Name: "WRHT"}
-		for _, n := range ns {
+		for ni, n := range ns {
 			fig.XTicks = append(fig.XTicks, fmt.Sprint(n))
-			nn := byN[n]
-			te := o.electricalTime(nn.nw, nn.ring, model)
-			td := o.electricalTime(nn.nw, nn.rd, model)
-			to := o.opticalTime(collective.RingProfile(n), model)
-			tw := o.opticalTime(wrhtProfile(n, w, 0), model)
+			p := (mi*len(ns) + ni) * numAlgos
+			te, td, to, tw := times[p], times[p+1], times[p+2], times[p+3]
 			eringS.Y = append(eringS.Y, te/base)
 			erdS.Y = append(erdS.Y, td/base)
 			oringS.Y = append(oringS.Y, to/base)
@@ -338,10 +449,16 @@ func fig7At(o Options, ns []int) Fig7Result {
 		fig.Series = []metrics.Series{eringS, erdS, oringS, wrhtS}
 		out.Figures = append(out.Figures, fig)
 	}
-	out.ORingVsERing = metrics.MeanReduction(oringAll, eringAll)
-	out.WRHTVsERing = metrics.MeanReduction(wrhtAll, eringAll)
-	out.WRHTVsERD = metrics.MeanReduction(wrhtAll, erdAll)
-	return out
+	if out.ORingVsERing, err = metrics.MeanReduction(oringAll, eringAll); err != nil {
+		return Fig7Result{}, err
+	}
+	if out.WRHTVsERing, err = metrics.MeanReduction(wrhtAll, eringAll); err != nil {
+		return Fig7Result{}, err
+	}
+	if out.WRHTVsERD, err = metrics.MeanReduction(wrhtAll, erdAll); err != nil {
+		return Fig7Result{}, err
+	}
+	return out, nil
 }
 
 // FigureRun converts a rendered figure into a trace.Run for JSON export.

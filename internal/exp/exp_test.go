@@ -8,7 +8,11 @@ import (
 )
 
 func TestTable1ReproducesPaper(t *testing.T) {
-	out := Table1().String()
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
 	for _, cell := range []string{"2046", "417", "20", "3"} {
 		if !strings.Contains(out, cell) {
 			t.Errorf("Table 1 missing %q:\n%s", cell, out)
@@ -17,7 +21,10 @@ func TestTable1ReproducesPaper(t *testing.T) {
 }
 
 func TestFig4ShapeMatchesPaper(t *testing.T) {
-	fig := Fig4(Defaults())
+	fig, err := Fig4(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig.Series) != 4 || len(fig.XTicks) != 4 {
 		t.Fatalf("fig4 shape: %d series, %d ticks", len(fig.Series), len(fig.XTicks))
 	}
@@ -39,7 +46,10 @@ func TestFig4ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig5ShapeMatchesPaper(t *testing.T) {
-	r := Fig5(Defaults())
+	r, err := Fig5(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Figures) != 4 {
 		t.Fatalf("fig5 has %d subfigures", len(r.Figures))
 	}
@@ -95,7 +105,10 @@ func TestFig6ShapeMatchesPaper(t *testing.T) {
 	for _, g := range []Granularity{Fused, Bucketed} {
 		o := Defaults()
 		o.Granularity = g
-		r := Fig6(o)
+		r, err := Fig6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(r.Figures) != 4 {
 			t.Fatalf("fig6 has %d subfigures", len(r.Figures))
 		}
@@ -126,7 +139,10 @@ func TestFig6ShapeMatchesPaper(t *testing.T) {
 	// headline reductions.
 	o := Defaults()
 	o.Granularity = Bucketed
-	r := Fig6(o)
+	r, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.VsRing < 50 {
 		t.Errorf("bucketed fig6 vs Ring = %.2f%%, want >50%% (paper 65.23%%)", r.VsRing)
 	}
@@ -174,7 +190,11 @@ func TestPayloadsSumToGradient(t *testing.T) {
 }
 
 func TestExtrasTable(t *testing.T) {
-	out := Extras(Defaults(), dnn.ResNet50(), 1024, 64).String()
+	tab, err := Extras(Defaults(), dnn.ResNet50(), 1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
 	for _, want := range []string{"WRHT", "DBTree", "RD", "NO", "Ring"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("extras table missing %q:\n%s", want, out)
@@ -184,8 +204,15 @@ func TestExtrasTable(t *testing.T) {
 
 func TestStragglersDeterministicAndOrdered(t *testing.T) {
 	o := Defaults()
-	a := Stragglers(o, dnn.ResNet50(), 64, 8, 0.2, 5, 7).String()
-	b := Stragglers(o, dnn.ResNet50(), 64, 8, 0.2, 5, 7).String()
+	ta, err := Stragglers(o, dnn.ResNet50(), 64, 8, 0.2, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Stragglers(o, dnn.ResNet50(), 64, 8, 0.2, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ta.String(), tb.String()
 	if a != b {
 		t.Fatal("straggler study not deterministic for a fixed seed")
 	}
@@ -198,7 +225,10 @@ func TestStragglersDeterministicAndOrdered(t *testing.T) {
 
 func TestFig7ShapeMatchesPaper(t *testing.T) {
 	// Scaled-down sweep (the flow solver dominates at N=1024).
-	r := fig7At(Defaults(), []int{64, 128})
+	r, err := fig7At(Defaults(), []int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Figures) != 4 {
 		t.Fatalf("fig7 has %d subfigures", len(r.Figures))
 	}

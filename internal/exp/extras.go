@@ -16,41 +16,64 @@ import (
 // recursive halving/doubling on the optical ring) and an energy column,
 // for one workload at the Table-1 configuration. It answers the obvious
 // reviewer question "how does WRHT fare against NCCL's tree?" that the
-// paper leaves open.
-func Extras(o Options, model dnn.Model, n, w int) *metrics.Table {
+// paper leaves open. Rows are timed on the sweep worker pool and
+// emitted in a fixed order.
+func Extras(o Options, model dnn.Model, n, w int) (*metrics.Table, error) {
+	e := newEngine(o)
 	t := &metrics.Table{
 		Title: fmt.Sprintf("Beyond-paper comparison: %s (%.0f MB), N=%d, w=%d",
 			model.Name, float64(model.GradBytes())/1e6, n, w),
 		Headers: []string{"Algorithm", "Steps", "λ used", "fits w?", "Time (ms)", "Energy (J)"},
 	}
 	ep := optical.DefaultEnergyParams(phys.DefaultBudget())
-	add := func(name string, pr core.Profile) {
-		res, err := optical.RunBuckets(o.Optical, pr, o.payloads(model))
+	type entry struct {
+		name string
+		pr   core.Profile
+	}
+	wrhtPr, err := e.wrht(n, w, 0)
+	if err != nil {
+		return nil, fmt.Errorf("exp: extras: %w", err)
+	}
+	entries := []entry{
+		{"Ring", e.ring(n)},
+		{"H-Ring (m=5)", e.hring(n, 5, w)},
+		{"BT", e.bt(n)},
+		{"DBTree", collective.DBTreeProfile(n)},
+	}
+	// RD requires a power-of-two node count; skip the row otherwise,
+	// like the paper skips infeasible cells.
+	if rd, err := collective.RDProfile(n); err == nil {
+		entries = append(entries, entry{"RD (halving/doubling)", rd})
+	}
+	entries = append(entries,
+		entry{"WRHT", wrhtPr},
+		entry{"WDM-HRing (m=32)", collective.WDMHRingProfile(n, 32, w)},
+	)
+	rows, err := sweep(e, len(entries), func(i int) ([]string, error) {
+		en := entries[i]
+		res, err := optical.RunBuckets(e.opts.Optical, en.pr, e.opts.payloads(model))
 		if err != nil {
-			panic(fmt.Sprintf("exp: extras: %v", err))
+			return nil, fmt.Errorf("extras %s: %w", en.name, err)
 		}
 		maxW := 0
-		for _, g := range pr.Groups {
+		for _, g := range en.pr.Groups {
 			if g.Wavelengths > maxW {
 				maxW = g.Wavelengths
 			}
 		}
-		e := optical.EnergyOfProfile(o.Optical, ep, pr, float64(model.GradBytes()))
+		eg := optical.EnergyOfProfile(e.opts.Optical, ep, en.pr, float64(model.GradBytes()))
 		fits := "yes"
 		if maxW > w {
 			fits = "NO"
 		}
-		t.AddRow(name, fmt.Sprint(pr.NumSteps()), fmt.Sprint(maxW), fits,
-			fmt.Sprintf("%.2f", res.Time*1e3), fmt.Sprintf("%.3f", e.Total()))
+		return []string{en.name, fmt.Sprint(en.pr.NumSteps()), fmt.Sprint(maxW), fits,
+			fmt.Sprintf("%.2f", res.Time*1e3), fmt.Sprintf("%.3f", eg.Total())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	add("Ring", collective.RingProfile(n))
-	add("H-Ring (m=5)", collective.HRingProfile(n, 5, w))
-	add("BT", collective.BTProfile(n))
-	add("DBTree", collective.DBTreeProfile(n))
-	if rd, err := collective.RDProfile(n); err == nil {
-		add("RD (halving/doubling)", rd)
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
-	add("WRHT", wrhtProfile(n, w, 0))
-	add("WDM-HRing (m=32)", collective.WDMHRingProfile(n, 32, w))
-	return t
+	return t, nil
 }

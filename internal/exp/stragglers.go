@@ -18,8 +18,9 @@ import (
 // with many small steps (Ring) absorbs jitter differently from one with
 // few large steps (WRHT): Ring pays max-of-N on every one of its 2(N−1)
 // steps but each straggle is small, while WRHT pays max-of-N on 3 steps
-// of full-gradient size.
-func Stragglers(o Options, model dnn.Model, n, w int, sigma float64, trials int, seed int64) *metrics.Table {
+// of full-gradient size. Trials stay sequential — they share one seeded
+// RNG, and reproducibility for a fixed seed is part of the contract.
+func Stragglers(o Options, model dnn.Model, n, w int, sigma float64, trials int, seed int64) (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title: fmt.Sprintf("Straggler sensitivity: %s, N=%d, w=%d, per-transfer jitter ~|N(0,%.2f)| (%d trials)",
 			model.Name, n, w, sigma, trials),
@@ -35,7 +36,7 @@ func Stragglers(o Options, model dnn.Model, n, w int, sigma float64, trials int,
 	for _, s := range scheds {
 		clean, err := optical.RunScheduleDES(o.Optical, s, d, nil)
 		if err != nil {
-			panic(fmt.Sprintf("exp: stragglers: %v", err))
+			return nil, fmt.Errorf("exp: stragglers (%s): %w", s.Algorithm, err)
 		}
 		var sum float64
 		for tr := 0; tr < trials; tr++ {
@@ -47,7 +48,7 @@ func Stragglers(o Options, model dnn.Model, n, w int, sigma float64, trials int,
 				return nominal * (1 + f)
 			})
 			if err != nil {
-				panic(fmt.Sprintf("exp: stragglers: %v", err))
+				return nil, fmt.Errorf("exp: stragglers (%s, trial %d): %w", s.Algorithm, tr, err)
 			}
 			sum += res.Time
 		}
@@ -57,5 +58,5 @@ func Stragglers(o Options, model dnn.Model, n, w int, sigma float64, trials int,
 			fmt.Sprintf("%.2f", mean*1e3),
 			fmt.Sprintf("%.3fx", mean/clean.Time))
 	}
-	return t
+	return t, nil
 }

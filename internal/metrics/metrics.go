@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -118,10 +119,12 @@ func seriesNames(ss []Series) []string {
 
 // MeanReduction returns the paper-style average reduction of "ours"
 // versus "base" across paired samples: mean over i of 1 − ours[i]/base[i],
-// as a percentage. Pairs with a non-positive base are skipped.
-func MeanReduction(ours, base []float64) float64 {
+// as a percentage. Pairs with a non-positive base are skipped. Mismatched
+// lengths are a caller bug and yield NaN with an error rather than a
+// panic, so experiment drivers can propagate the failure.
+func MeanReduction(ours, base []float64) (float64, error) {
 	if len(ours) != len(base) {
-		panic(fmt.Sprintf("metrics: MeanReduction length mismatch %d != %d", len(ours), len(base)))
+		return math.NaN(), fmt.Errorf("metrics: MeanReduction length mismatch %d != %d", len(ours), len(base))
 	}
 	var sum float64
 	var n int
@@ -133,9 +136,9 @@ func MeanReduction(ours, base []float64) float64 {
 		n++
 	}
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	return 100 * sum / float64(n)
+	return 100 * sum / float64(n), nil
 }
 
 // Pct formats a percentage with two decimals, e.g. "65.23%".

@@ -52,29 +52,30 @@ func TestFigureStringShortSeries(t *testing.T) {
 
 func TestMeanReduction(t *testing.T) {
 	// ours = half of base everywhere → 50%.
-	if got := MeanReduction([]float64{1, 2}, []float64{2, 4}); math.Abs(got-50) > 1e-9 {
-		t.Fatalf("MeanReduction = %g", got)
+	if got, err := MeanReduction([]float64{1, 2}, []float64{2, 4}); err != nil || math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MeanReduction = %g, %v", got, err)
 	}
 	// Negative reduction when ours is slower.
-	if got := MeanReduction([]float64{4}, []float64{2}); got >= 0 {
-		t.Fatalf("MeanReduction = %g, want negative", got)
+	if got, err := MeanReduction([]float64{4}, []float64{2}); err != nil || got >= 0 {
+		t.Fatalf("MeanReduction = %g, %v, want negative", got, err)
 	}
 	// Non-positive bases are skipped.
-	if got := MeanReduction([]float64{1, 1}, []float64{0, 2}); math.Abs(got-50) > 1e-9 {
-		t.Fatalf("MeanReduction with zero base = %g", got)
+	if got, err := MeanReduction([]float64{1, 1}, []float64{0, 2}); err != nil || math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MeanReduction with zero base = %g, %v", got, err)
 	}
-	if MeanReduction(nil, nil) != 0 {
-		t.Fatal("empty input should give 0")
+	if got, err := MeanReduction(nil, nil); err != nil || got != 0 {
+		t.Fatalf("empty input should give 0, got %g, %v", got, err)
 	}
 }
 
-func TestMeanReductionPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch did not panic")
-		}
-	}()
-	MeanReduction([]float64{1}, []float64{1, 2})
+func TestMeanReductionErrorsOnMismatch(t *testing.T) {
+	got, err := MeanReduction([]float64{1}, []float64{1, 2})
+	if err == nil {
+		t.Fatal("length mismatch did not error")
+	}
+	if !math.IsNaN(got) {
+		t.Fatalf("mismatch value = %g, want NaN", got)
+	}
 }
 
 func TestPct(t *testing.T) {

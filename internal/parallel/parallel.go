@@ -145,14 +145,16 @@ func (sim Sim) Run() (Result, error) {
 	pipe, bubble := sim.pipeline(fwd, xfer)
 
 	// Gradient sync: every stage group runs its segment WRHT on its own
-	// shard concurrently; the iteration waits for the slowest.
+	// shard concurrently; the iteration waits for the slowest. The
+	// profile depends only on (D, wavelengths), not the stage, so it is
+	// built once rather than P times.
+	prof, err := segmentProfile(sim.Strat.Replicas, sim.Optical.Wavelengths)
+	if err != nil {
+		return Result{}, err
+	}
 	var arMax float64
 	var maxShard float64
 	for s := 0; s < p; s++ {
-		prof, err := segmentProfile(sim.Strat.Replicas, sim.Optical.Wavelengths)
-		if err != nil {
-			return Result{}, err
-		}
 		d := float64(stages[s].GradBytes())
 		if d > maxShard {
 			maxShard = d
