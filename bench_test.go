@@ -16,6 +16,7 @@ import (
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/exp"
+	"wrht/internal/fabric"
 	"wrht/internal/optical"
 	"wrht/internal/parallel"
 	"wrht/internal/phys"
@@ -386,6 +387,52 @@ func BenchmarkAblationDoubleRing(b *testing.B) {
 			b.Log(r)
 		}
 	})
+}
+
+// BenchmarkFabricOverlap measures the unified engine on the paper-scale
+// WRHT schedule (N=4096, w=64, 100 MB) with and without
+// reconfiguration–communication overlap, reporting the hidden setup
+// time in microseconds (bounded by (θ−1)·a = 50 µs at θ=3).
+func BenchmarkFabricOverlap(b *testing.B) {
+	p := optical.DefaultParams()
+	f, err := p.Fabric()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.BuildWRHT(core.Config{N: 4096, Wavelengths: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base, over fabric.Result
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if base, err = (fabric.Engine{Fabric: f}).RunSchedule(s, 100e6); err != nil {
+			b.Fatal(err)
+		}
+		eng := fabric.Engine{Fabric: f, Opts: fabric.Options{Overlap: true}}
+		if over, err = eng.RunSchedule(s, 100e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+	printFirst("fabric-overlap", func() {
+		b.Logf("WRHT N=4096 w=64 d=100MB: sequential %.4fs, overlapped %.4fs (hid %.1f µs of reconfig)",
+			base.Time, over.Time, over.OverlapSaved*1e6)
+	})
+	b.ReportMetric(over.OverlapSaved*1e6, "overlap-us")
+}
+
+// BenchmarkCrossFabric regenerates the cross-fabric table: identical
+// explicit schedules timed by one engine on both the WDM ring and the
+// fat-tree.
+func BenchmarkCrossFabric(b *testing.B) {
+	o := exp.Defaults()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.CrossFabric(o, 128, 16, 25e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("crossfabric", func() { b.Log("\n" + r.Table.String()) })
+	}
 }
 
 // BenchmarkStragglerSensitivity regenerates the DES-mode jitter study

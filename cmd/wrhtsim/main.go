@@ -6,17 +6,19 @@
 //
 // Usage:
 //
-//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|hybrid|extras|stragglers|schedule|all>
+//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/exp"
+	"wrht/internal/fabric"
 	"wrht/internal/metrics"
 	"wrht/internal/optical"
 	"wrht/internal/parallel"
@@ -33,11 +35,12 @@ func main() {
 	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "write raw figure series to this JSON file")
-	schedN := flag.Int("n", 64, "schedule subcommand: ring size")
-	schedW := flag.Int("w", 8, "schedule subcommand: wavelengths")
+	schedN := flag.Int("n", 64, "schedule/crossfabric subcommands: ring size")
+	schedW := flag.Int("w", 8, "schedule/crossfabric subcommands: wavelengths")
 	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
+	payloadMB := flag.Float64("d", 100, "crossfabric subcommand: payload per node in MB")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|hybrid|extras|stragglers|schedule|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -180,6 +183,24 @@ func main() {
 				fmt.Sprintf("%.1f", res.TotalSec*1e3))
 		}
 		fmt.Println(t)
+		ran = true
+	}
+	if cmd == "crossfabric" || cmd == "all" {
+		// One engine, two backends: the -n/-w ring and the same-size
+		// fat-tree time identical explicit schedules; -d sets the payload.
+		r, err := exp.CrossFabric(o, *schedN, *schedW, *payloadMB*1e6)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Table)
+		names := make([]string, 0, len(r.Runs))
+		for name := range r.Runs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rec.Record(fabric.BreakdownRun("crossfabric/"+name, r.Runs[name]))
+		}
 		ran = true
 	}
 	if cmd == "crossover" || cmd == "all" {

@@ -154,10 +154,3 @@ func HRingProfile(n, m, w int) core.Profile {
 	}
 	return p
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -229,10 +229,3 @@ func WDMHRingProfile(n, m, w int) core.Profile {
 	p.Groups = append(p.Groups, intra)
 	return p
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -238,10 +238,3 @@ func BuildWRHT(cfg Config) (*Schedule, error) {
 	}
 	return s, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -143,16 +143,9 @@ func norm(m *Model, name string, ch int, tokens int) {
 	m.Layers = append(m.Layers, Layer{
 		Name: name, Kind: Norm,
 		Params:   2 * int64(ch),
-		FLOPs:    4 * int64(ch) * int64(maxi(tokens, 1)),
-		OutElems: int64(ch) * int64(maxi(tokens, 1)),
+		FLOPs:    4 * int64(ch) * int64(max(tokens, 1)),
+		OutElems: int64(ch) * int64(max(tokens, 1)),
 	})
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // AlexNet returns the (ungrouped) AlexNet model on 224×224×3 inputs,

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"wrht/internal/core"
+	"wrht/internal/fabric"
 	"wrht/internal/topo"
 )
 
@@ -102,37 +103,26 @@ type Result struct {
 	Time      float64
 }
 
-// stepKey memoizes step durations: collectives like Ring repeat the same
-// (src, dst, bytes) pattern for thousands of steps, so identical steps
-// are solved once.
-type stepKey struct {
-	sig string
-}
-
 // RunSchedule times a collective schedule carrying a dBytes per-node
 // vector across the fat-tree. Steps are barrier-synchronised, matching
 // the bulk-synchronous collectives benchmarked on SimGrid in [19]: a
 // step's duration is the completion time of its slowest flow.
+//
+// Deprecated: RunSchedule is a thin shim kept for incremental migration;
+// new code should run a fabric.Engine over Network.Fabric, which also
+// exposes the per-step cost breakdown.
 func (nw *Network) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
-	if s.Ring.N > nw.Tree.Hosts {
-		return Result{}, fmt.Errorf("electrical: schedule needs %d hosts, network has %d", s.Ring.N, nw.Tree.Hosts)
+	r, err := fabric.Engine{Fabric: nw.Fabric()}.RunSchedule(s, dBytes)
+	if err != nil {
+		return Result{}, err
 	}
-	elems := int(dBytes / 4)
-	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
-	memo := map[stepKey]float64{}
-	for _, st := range s.Steps {
-		key := stepSignature(st, elems)
-		dur, ok := memo[key]
-		if !ok {
-			dur = nw.stepDuration(st, elems)
-			memo[key] = dur
-		}
-		res.Time += dur
-	}
-	return res, nil
+	return Result{Algorithm: r.Algorithm, Steps: r.Steps, Time: r.Time}, nil
 }
 
-func stepSignature(st core.Step, elems int) stepKey {
+// stepSignature fingerprints a step for memoization: collectives like
+// Ring repeat the same (src, dst, bytes) pattern for thousands of steps,
+// so identical steps are solved once.
+func stepSignature(st core.Step, elems int) string {
 	type rec struct {
 		s, d int
 		b    int64
@@ -156,7 +146,7 @@ func stepSignature(st core.Step, elems int) stepKey {
 		sig = appendInt(sig, int64(r.d))
 		sig = appendInt(sig, r.b)
 	}
-	return stepKey{sig: string(sig)}
+	return string(sig)
 }
 
 func appendInt(b []byte, v int64) []byte {
@@ -169,8 +159,9 @@ func appendInt(b []byte, v int64) []byte {
 // stepDuration solves the fluid model for one step: repeatedly compute
 // max–min fair rates for the unfinished flows, advance to the next flow
 // completion, and repeat. The step ends when the last flow has drained
-// and cleared its router pipeline latency.
-func (nw *Network) stepDuration(st core.Step, elems int) float64 {
+// and cleared its router pipeline latency; drain is the instant the last
+// byte left the wire, so end−drain is the residual router-pipeline tail.
+func (nw *Network) stepDuration(st core.Step, elems int) (end, drain float64) {
 	p := nw.Params
 	flows := make([]*flow, 0, len(st.Transfers))
 	for _, t := range st.Transfers {
@@ -188,7 +179,6 @@ func (nw *Network) stepDuration(st core.Step, elems int) float64 {
 		})
 	}
 	var now float64
-	var end float64
 	active := 0
 	for _, f := range flows {
 		if f.bytes > 0 {
@@ -229,7 +219,7 @@ func (nw *Network) stepDuration(st core.Step, elems int) float64 {
 			}
 		}
 	}
-	return end
+	return end, now
 }
 
 // fairShare computes max–min fair rates (bytes/s) for the unfinished

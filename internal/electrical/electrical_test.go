@@ -23,18 +23,11 @@ func mustNet(t *testing.T, n int, p Params) *Network {
 func oneFlowStep(src, dst int, chunk tensor.Chunk) *core.Schedule {
 	return &core.Schedule{
 		Algorithm: "single",
-		Ring:      topo.NewRing(maxi(src, dst) + 1),
+		Ring:      topo.NewRing(max(src, dst) + 1),
 		Steps: []core.Step{{
 			Transfers: []core.Transfer{{Src: src, Dst: dst, Chunk: chunk, Dir: topo.CW}},
 		}},
 	}
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func TestSingleIntraEdgeFlow(t *testing.T) {

@@ -9,17 +9,23 @@ import (
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/electrical"
-	"wrht/internal/optical"
+	"wrht/internal/fabric"
 )
 
-// engine executes one sweep: it owns the bounded worker pool and the
-// per-sweep profile cache. Every exported figure entry point builds a
-// fresh engine, so memoized profiles never outlive a sweep and one
-// figure's output cannot depend on what ran before it.
+// engine executes one sweep: it owns the bounded worker pool, the
+// per-sweep profile cache and the optical fabric backend. Every exported
+// figure entry point builds a fresh engine, so memoized profiles never
+// outlive a sweep and one figure's output cannot depend on what ran
+// before it.
 type engine struct {
 	opts     Options
 	workers  int
 	profiles *collective.ProfileCache
+	// optFab is the optical backend shared by every sweep point (it is
+	// stateless); optFabErr defers parameter-validation failures to the
+	// first timing call so newEngine stays infallible.
+	optFab    fabric.Fabric
+	optFabErr error
 }
 
 func newEngine(o Options) *engine {
@@ -27,7 +33,9 @@ func newEngine(o Options) *engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &engine{opts: o, workers: w, profiles: collective.NewProfileCache()}
+	e := &engine{opts: o, workers: w, profiles: collective.NewProfileCache()}
+	e.optFab, e.optFabErr = o.Optical.Fabric()
+	return e
 }
 
 // sweep evaluates fn(i) for every i in [0, n) on e's worker pool and
@@ -84,22 +92,33 @@ func (e *engine) hring(n, m, w int) core.Profile { return e.profiles.HRing(n, m,
 func (e *engine) bt(n int) core.Profile          { return e.profiles.BT(n) }
 
 // opticalTime times one collective profile for one model on the
-// optical system.
+// optical system through the shared fabric engine.
 func (e *engine) opticalTime(pr core.Profile, m dnn.Model) (float64, error) {
-	res, err := optical.RunBuckets(e.opts.Optical, pr, e.opts.payloads(m))
+	res, err := e.opticalBuckets(pr, e.opts.payloads(m))
 	if err != nil {
 		return 0, fmt.Errorf("optical timing (%s, %s): %w", pr.Algorithm, m.Name, err)
 	}
 	return res.Time, nil
 }
 
+// opticalBuckets runs a profile over per-bucket payloads on the optical
+// fabric. Fabric backends are stateless, so one instance serves all
+// sweep workers.
+func (e *engine) opticalBuckets(pr core.Profile, buckets []float64) (fabric.Result, error) {
+	if e.optFabErr != nil {
+		return fabric.Result{}, e.optFabErr
+	}
+	return fabric.Engine{Fabric: e.optFab}.RunBuckets(pr, buckets)
+}
+
 // electricalTime times one collective schedule for one model on the
-// fat-tree. Network is safe for concurrent use: RunSchedule keeps all
-// mutable state (the step memo, the fluid-model flows) local.
+// fat-tree. The backend is safe for concurrent use: the engine keeps all
+// mutable state (the step memo, the fluid-model flows) local to a run.
 func (e *engine) electricalTime(nw *electrical.Network, s *core.Schedule, m dnn.Model) (float64, error) {
+	eng := fabric.Engine{Fabric: nw.Fabric()}
 	var total float64
 	for _, d := range e.opts.payloads(m) {
-		res, err := nw.RunSchedule(s, d)
+		res, err := eng.RunSchedule(s, d)
 		if err != nil {
 			return 0, fmt.Errorf("electrical timing (%s, %s): %w", s.Algorithm, m.Name, err)
 		}

@@ -51,7 +51,7 @@ func Extras(o Options, model dnn.Model, n, w int) (*metrics.Table, error) {
 	)
 	rows, err := sweep(e, len(entries), func(i int) ([]string, error) {
 		en := entries[i]
-		res, err := optical.RunBuckets(e.opts.Optical, en.pr, e.opts.payloads(model))
+		res, err := e.opticalBuckets(en.pr, e.opts.payloads(model))
 		if err != nil {
 			return nil, fmt.Errorf("extras %s: %w", en.name, err)
 		}

@@ -1,0 +1,163 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"wrht/internal/core"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// ValidateWavelengths checks explicit schedules for structural
+	// sanity and wavelength conflict-freedom against the fabric's
+	// circuit budget before timing them.
+	ValidateWavelengths bool
+	// UseFiberMultiplicity widens the circuit budget by the fabric's
+	// fibers-per-direction multiplicity (TeraRack's second fiber ring
+	// per direction, §3.2) when validating. The fabric reports an error
+	// if its multiplicity is configured below one.
+	UseFiberMultiplicity bool
+	// Overlap pipelines each step's circuit setup under the previous
+	// step's transmission when the two steps' (direction, wavelength)
+	// circuits are disjoint per the internal/rwa conflict model. Only
+	// explicit schedules carry circuits, so profile runs reject it.
+	Overlap bool
+}
+
+// Engine executes collective schedules and analytic profiles on a
+// Fabric. The zero Options value reproduces the pre-engine simulators
+// bit for bit (asserted by the parity tests in internal/optical and
+// internal/electrical).
+type Engine struct {
+	Fabric Fabric
+	Opts   Options
+}
+
+// StepReport is the per-step outcome of an explicit schedule run.
+type StepReport struct {
+	Phase core.Phase
+	Cost  StepCost
+	// Overlapped is how much of Cost.Setup was hidden under the
+	// previous step's transmission (zero unless Options.Overlap).
+	Overlapped float64
+}
+
+// Duration returns the step's wall-clock contribution after overlap.
+func (r StepReport) Duration() float64 { return r.Cost.Total - r.Overlapped }
+
+// Result is the outcome of executing one collective on a fabric.
+type Result struct {
+	Fabric    string
+	Algorithm string
+	Steps     int
+	// Time is the total communication time in seconds.
+	Time float64
+	// TransferTime accumulates the serialization + O-E-O components,
+	// OverheadTime the circuit-setup components and RouterTime the
+	// router pipeline latencies.
+	TransferTime float64
+	OverheadTime float64
+	RouterTime   float64
+	// OverlapSaved is the total setup time hidden by overlap mode; it
+	// is bounded by (θ−1)·a and already subtracted from Time.
+	OverlapSaved float64
+	// PerStep is the per-step breakdown (populated by RunSchedule only;
+	// profile runs stay O(groups)).
+	PerStep []StepReport
+}
+
+// RunSchedule executes an explicit schedule carrying a dBytes-sized
+// per-node vector and returns the simulated timing.
+func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
+	f := e.Fabric
+	if err := f.CheckSchedule(s); err != nil {
+		return Result{}, err
+	}
+	budget, err := f.CircuitBudget(e.Opts.UseFiberMultiplicity)
+	if err != nil {
+		return Result{}, err
+	}
+	if e.Opts.ValidateWavelengths {
+		if err := s.Validate(budget); err != nil {
+			return Result{}, err
+		}
+	}
+	elems := int(dBytes / 4)
+	res := Result{Fabric: f.Name(), Algorithm: s.Algorithm, Steps: s.NumSteps()}
+	var memo map[string]StepCost
+	var prevTransmit float64
+	for k, st := range s.Steps {
+		var c StepCost
+		if key, ok := f.StepKey(st, elems); ok {
+			if memo == nil {
+				memo = make(map[string]StepCost)
+			}
+			c, ok = memo[key]
+			if !ok {
+				c = f.StepCost(st, elems)
+				memo[key] = c
+			}
+		} else {
+			c = f.StepCost(st, elems)
+		}
+		var hidden float64
+		if e.Opts.Overlap && k > 0 && c.Setup > 0 && prevTransmit > 0 &&
+			disjointSteps(s.Ring, s.Steps[k-1], st) {
+			hidden = math.Min(c.Setup, prevTransmit)
+		}
+		res.Time += c.Total - hidden
+		res.TransferTime += c.Serialization + c.OEO
+		res.OverheadTime += c.Setup
+		res.RouterTime += c.RouterDelay
+		res.OverlapSaved += hidden
+		res.PerStep = append(res.PerStep, StepReport{Phase: st.Phase, Cost: c, Overlapped: hidden})
+		prevTransmit = c.Transmission()
+	}
+	return res, nil
+}
+
+// RunProfile times an analytic step profile in O(groups) work,
+// equivalent to RunSchedule on the schedule the profile describes.
+// Payload fractions apply to dBytes directly (the rounding of uneven
+// chunk splits is below packet granularity for all paper workloads).
+// Profiles carry no circuits, so overlap mode is rejected.
+func (e Engine) RunProfile(pr core.Profile, dBytes float64) (Result, error) {
+	if e.Opts.Overlap {
+		return Result{}, fmt.Errorf("fabric: overlap mode needs an explicit schedule, not a profile (%s)", pr.Algorithm)
+	}
+	if _, err := e.Fabric.CircuitBudget(e.Opts.UseFiberMultiplicity); err != nil {
+		return Result{}, err
+	}
+	res := Result{Fabric: e.Fabric.Name(), Algorithm: pr.Algorithm, Steps: pr.NumSteps()}
+	for _, g := range pr.Groups {
+		c := e.Fabric.GroupCost(g.FracOfD * dBytes)
+		steps := float64(g.Steps)
+		res.Time += steps * c.Total
+		res.TransferTime += steps * (c.Serialization + c.OEO)
+		res.OverheadTime += steps * c.Setup
+		res.RouterTime += steps * c.RouterDelay
+	}
+	return res, nil
+}
+
+// RunBuckets times a collective invoked once per gradient bucket
+// (per-layer or fused-bucket granularity): the profile is evaluated for
+// every bucket size and the times add up, because synchronous
+// data-parallel training serializes the bucket all-reduces on the same
+// fabric.
+func (e Engine) RunBuckets(pr core.Profile, bucketBytes []float64) (Result, error) {
+	total := Result{Fabric: e.Fabric.Name(), Algorithm: pr.Algorithm}
+	for _, b := range bucketBytes {
+		r, err := e.RunProfile(pr, b)
+		if err != nil {
+			return Result{}, err
+		}
+		total.Steps += r.Steps
+		total.Time += r.Time
+		total.TransferTime += r.TransferTime
+		total.OverheadTime += r.OverheadTime
+		total.RouterTime += r.RouterTime
+	}
+	return total, nil
+}

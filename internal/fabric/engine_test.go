@@ -1,0 +1,261 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+	"wrht/internal/trace"
+)
+
+// stubFabric is a minimal deterministic backend: setup is a constant,
+// transmission is perByte times the step's largest payload.
+type stubFabric struct {
+	setup     float64
+	perByte   float64
+	keyed     bool
+	budget    int
+	budgetErr error
+	checkErr  error
+	costCalls int
+}
+
+func (f *stubFabric) Name() string                       { return "stub" }
+func (f *stubFabric) CheckSchedule(*core.Schedule) error { return f.checkErr }
+func (f *stubFabric) CircuitBudget(bool) (int, error)    { return f.budget, f.budgetErr }
+func (f *stubFabric) GroupCost(bytes float64) StepCost {
+	ser := bytes * f.perByte
+	return StepCost{Setup: f.setup, Serialization: ser, Total: f.setup + ser, MaxBytes: bytes}
+}
+
+func (f *stubFabric) StepCost(st core.Step, elems int) StepCost {
+	f.costCalls++
+	var maxBytes float64
+	for _, t := range st.Transfers {
+		if b := float64(t.Chunk.Bytes(elems)); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	return f.GroupCost(maxBytes)
+}
+
+func (f *stubFabric) StepKey(st core.Step, elems int) (string, bool) {
+	if !f.keyed {
+		return "", false
+	}
+	var sb strings.Builder
+	for _, t := range st.Transfers {
+		fmt.Fprintf(&sb, "%d>%d:%d;", t.Src, t.Dst, t.Chunk.Bytes(elems))
+	}
+	return sb.String(), true
+}
+
+func whole() tensor.Chunk { return tensor.Chunk{Index: 0, Of: 1} }
+
+// step builds a one-transfer step src->dst on wavelength w, CW.
+func step(src, dst, w int) core.Step {
+	return core.Step{Transfers: []core.Transfer{
+		{Src: src, Dst: dst, Chunk: whole(), Dir: topo.CW, Wavelength: w},
+	}}
+}
+
+func sched(n int, steps ...core.Step) *core.Schedule {
+	return &core.Schedule{Algorithm: "test", Ring: topo.NewRing(n), Steps: steps}
+}
+
+func TestMemoizationSolvesIdenticalStepsOnce(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 1, keyed: true}
+	s := sched(8, step(0, 1, 0), step(0, 1, 0), step(2, 3, 0), step(0, 1, 0))
+	res, err := Engine{Fabric: f}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.costCalls != 2 {
+		t.Errorf("StepCost called %d times for 2 distinct steps", f.costCalls)
+	}
+	if res.Steps != 4 || len(res.PerStep) != 4 {
+		t.Errorf("result covers %d/%d steps, want 4/4", res.Steps, len(res.PerStep))
+	}
+	f2 := &stubFabric{setup: 1, perByte: 1}
+	res2, err := Engine{Fabric: f2}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.costCalls != 4 {
+		t.Errorf("unkeyed fabric should cost every step, got %d calls", f2.costCalls)
+	}
+	if res2.Time != res.Time {
+		t.Errorf("memoized time %g != unmemoized %g", res.Time, res2.Time)
+	}
+}
+
+func TestOverlapHidesSetupUnderDisjointPreviousStep(t *testing.T) {
+	// Steps 0->1 and 2->3 share (CW, λ0) but their ring arcs are
+	// disjoint, so step 2's setup can retune under step 1's transmission.
+	f := &stubFabric{setup: 1, perByte: 0.1}
+	s := sched(8, step(0, 1, 0), step(2, 3, 0))
+	dBytes := 400.0 // transmission 40 >> setup 1
+	base, err := Engine{Fabric: f}.RunSchedule(s, dBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s, dBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.OverlapSaved != f.setup {
+		t.Errorf("OverlapSaved = %g, want full setup %g", over.OverlapSaved, f.setup)
+	}
+	if got, want := base.Time-over.Time, over.OverlapSaved; got != want {
+		t.Errorf("time drop %g != OverlapSaved %g", got, want)
+	}
+	if over.PerStep[0].Overlapped != 0 {
+		t.Error("first step can never overlap: there is no previous transmission")
+	}
+	if over.PerStep[1].Overlapped != f.setup {
+		t.Errorf("step 1 overlapped %g, want %g", over.PerStep[1].Overlapped, f.setup)
+	}
+	// OverheadTime still reports the full setup cost; only Time shrinks.
+	if over.OverheadTime != base.OverheadTime {
+		t.Errorf("OverheadTime changed under overlap: %g != %g", over.OverheadTime, base.OverheadTime)
+	}
+}
+
+func TestOverlapClampsToPreviousTransmission(t *testing.T) {
+	// Transmission 0.4 < setup 1: only 0.4 of the setup can hide.
+	f := &stubFabric{setup: 1, perByte: 0.001}
+	s := sched(8, step(0, 1, 0), step(2, 3, 0))
+	over, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine recovers the previous transmission as Total − Setup,
+	// so the expectation mirrors that expression.
+	wantHidden := (f.setup + 400*0.001) - f.setup
+	if over.OverlapSaved != wantHidden {
+		t.Errorf("OverlapSaved = %g, want clamp to previous transmission %g", over.OverlapSaved, wantHidden)
+	}
+}
+
+func TestOverlapRejectedOnConflictingSteps(t *testing.T) {
+	// Arcs [0,4) and [2,6) overlap on the same (CW, λ0) resources: the
+	// rwa validator must reject the boundary and the engine must fall
+	// back to sequential setup.
+	f := &stubFabric{setup: 1, perByte: 0.1}
+	s := sched(8, step(0, 4, 0), step(2, 6, 0))
+	over, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.OverlapSaved != 0 {
+		t.Errorf("conflicting circuits overlapped: saved %g", over.OverlapSaved)
+	}
+	// Same arcs on different wavelengths are disjoint again.
+	s2 := sched(8, step(0, 4, 0), step(2, 6, 1))
+	over2, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over2.OverlapSaved != f.setup {
+		t.Errorf("distinct-wavelength circuits should overlap, saved %g", over2.OverlapSaved)
+	}
+}
+
+func TestOverlapNoopWhenSetupFree(t *testing.T) {
+	f := &stubFabric{setup: 0, perByte: 0.1}
+	s := sched(8, step(0, 1, 0), step(2, 3, 0))
+	over, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.OverlapSaved != 0 {
+		t.Errorf("setup-free fabric saved %g", over.OverlapSaved)
+	}
+}
+
+func TestProfileRunRejectsOverlap(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 1}
+	pr := core.Profile{Algorithm: "p", Groups: []core.ProfileGroup{{Steps: 2, FracOfD: 1}}}
+	if _, err := (Engine{Fabric: f, Opts: Options{Overlap: true}}).RunProfile(pr, 100); err == nil {
+		t.Fatal("profile run accepted overlap mode")
+	}
+	res, err := Engine{Fabric: f}.RunProfile(pr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * (1 + 100.0); res.Time != want {
+		t.Errorf("profile time %g, want %g", res.Time, want)
+	}
+}
+
+func TestEngineSurfacesFabricErrors(t *testing.T) {
+	boom := errors.New("boom")
+	s := sched(8, step(0, 1, 0))
+	if _, err := (Engine{Fabric: &stubFabric{checkErr: boom}}).RunSchedule(s, 100); !errors.Is(err, boom) {
+		t.Errorf("CheckSchedule error lost: %v", err)
+	}
+	if _, err := (Engine{Fabric: &stubFabric{budgetErr: boom}}).RunSchedule(s, 100); !errors.Is(err, boom) {
+		t.Errorf("CircuitBudget error lost: %v", err)
+	}
+	pr := core.Profile{Groups: []core.ProfileGroup{{Steps: 1, FracOfD: 1}}}
+	if _, err := (Engine{Fabric: &stubFabric{budgetErr: boom}}).RunProfile(pr, 100); !errors.Is(err, boom) {
+		t.Errorf("profile CircuitBudget error lost: %v", err)
+	}
+}
+
+func TestValidateWavelengthsEnforcesBudget(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 1, budget: 1}
+	s := sched(8, step(0, 1, 3)) // wavelength 3 beyond budget 1
+	if _, err := (Engine{Fabric: f, Opts: Options{ValidateWavelengths: true}}).RunSchedule(s, 100); err == nil {
+		t.Fatal("over-budget wavelength accepted")
+	}
+	if _, err := (Engine{Fabric: f}).RunSchedule(s, 100); err != nil {
+		t.Fatalf("validation off should not reject: %v", err)
+	}
+}
+
+func TestBreakdownRunShape(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 0.1}
+	s := sched(8, step(0, 1, 0), step(2, 3, 0))
+	res, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := BreakdownRun("breakdown", res)
+	bySeries := map[string][]trace.Point{}
+	for _, s := range run.Series {
+		bySeries[s.Name] = s.Points
+	}
+	for _, name := range []string{"reconfig", "serialization", "oeo", "router-delay", "overlapped"} {
+		if len(bySeries[name]) != 2 {
+			t.Errorf("series %q has %d points, want 2", name, len(bySeries[name]))
+		}
+	}
+	if pt := bySeries["overlapped"][1]; pt.Y != f.setup || !strings.HasPrefix(pt.X, "1:") {
+		t.Errorf("overlapped[1] = %+v, want setup %g hidden at step 1", pt, f.setup)
+	}
+	if run.Scalars["overlap-saved"] != res.OverlapSaved || run.Scalars["time"] != res.Time {
+		t.Errorf("scalars %v disagree with result %+v", run.Scalars, res)
+	}
+	if run.Params["fabric"] != "stub" || run.Params["algorithm"] != "test" {
+		t.Errorf("params %v", run.Params)
+	}
+}
+
+func TestRunBucketsSumsProfiles(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 1}
+	pr := core.Profile{Algorithm: "p", Groups: []core.ProfileGroup{{Steps: 3, FracOfD: 0.5}}}
+	res, err := Engine{Fabric: f}.RunBuckets(pr, []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := Engine{Fabric: f}.RunProfile(pr, 100)
+	two, _ := Engine{Fabric: f}.RunProfile(pr, 200)
+	if res.Time != one.Time+two.Time || res.Steps != one.Steps+two.Steps {
+		t.Errorf("buckets %+v != %+v + %+v", res, one, two)
+	}
+}

@@ -1,0 +1,44 @@
+package fabric
+
+import (
+	"fmt"
+
+	"wrht/internal/trace"
+)
+
+// BreakdownRun exports a schedule run's per-step cost decomposition as a
+// trace.Run: one series per cost component (reconfig, serialization,
+// oeo, router-delay, overlapped), X ticks "step:phase", plus scalar
+// totals. Recorded documents can be diffed and re-plotted outside the
+// repo like every other figure trace.
+func BreakdownRun(name string, res Result) trace.Run {
+	n := len(res.PerStep)
+	xticks := make([]string, n)
+	series := map[string][]float64{
+		"reconfig":      make([]float64, n),
+		"serialization": make([]float64, n),
+		"oeo":           make([]float64, n),
+		"router-delay":  make([]float64, n),
+		"overlapped":    make([]float64, n),
+	}
+	for i, sr := range res.PerStep {
+		xticks[i] = fmt.Sprintf("%d:%s", i, sr.Phase)
+		series["reconfig"][i] = sr.Cost.Setup
+		series["serialization"][i] = sr.Cost.Serialization
+		series["oeo"][i] = sr.Cost.OEO
+		series["router-delay"][i] = sr.Cost.RouterDelay
+		series["overlapped"][i] = sr.Overlapped
+	}
+	run := trace.NewRun(name, xticks, series, map[string]float64{
+		"time":          res.Time,
+		"transfer-time": res.TransferTime,
+		"overhead-time": res.OverheadTime,
+		"router-time":   res.RouterTime,
+		"overlap-saved": res.OverlapSaved,
+	})
+	run.Params = map[string]string{
+		"fabric":    res.Fabric,
+		"algorithm": res.Algorithm,
+	}
+	return run
+}

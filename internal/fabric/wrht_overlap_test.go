@@ -1,0 +1,83 @@
+package fabric_test
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/fabric"
+	"wrht/internal/optical"
+)
+
+func wrhtEngine(t *testing.T, overlap bool) (fabric.Engine, optical.Params) {
+	t.Helper()
+	p := optical.DefaultParams()
+	f, err := p.Fabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fabric.Engine{Fabric: f, Opts: fabric.Options{Overlap: overlap}}, p
+}
+
+func runWRHT(t *testing.T, cfg core.Config, dBytes float64, overlap bool) (fabric.Result, optical.Params) {
+	t.Helper()
+	s, err := core.BuildWRHT(cfg)
+	if err != nil {
+		t.Fatalf("BuildWRHT(%+v): %v", cfg, err)
+	}
+	eng, p := wrhtEngine(t, overlap)
+	res, err := eng.RunSchedule(s, dBytes)
+	if err != nil {
+		t.Fatalf("RunSchedule(%+v): %v", cfg, err)
+	}
+	return res, p
+}
+
+// TestOverlapSavesOnWRHT pins the paper-scale configuration where the
+// WRHT schedule has an overlap-eligible step boundary: at N=4096, w=64
+// the topmost reduce step's circuits are rwa-disjoint from the following
+// step's, so exactly that boundary's reconfiguration hides under the
+// preceding transmission. The saving must be positive and bounded by
+// (θ−1)·a — the first step can never overlap.
+func TestOverlapSavesOnWRHT(t *testing.T) {
+	cfg := core.Config{N: 4096, Wavelengths: 64}
+	const dBytes = 100e6 // 100 MB: transmissions dwarf the 25 µs setup
+	base, _ := runWRHT(t, cfg, dBytes, false)
+	over, p := runWRHT(t, cfg, dBytes, true)
+	if over.OverlapSaved <= 0 {
+		t.Fatalf("no overlap saving at N=%d w=%d", cfg.N, cfg.Wavelengths)
+	}
+	bound := float64(over.Steps-1) * p.ReconfigDelay
+	if over.OverlapSaved > bound {
+		t.Fatalf("saved %g exceeds (θ−1)·a = %g", over.OverlapSaved, bound)
+	}
+	// Subtracting a 25 µs hide from a multi-second accumulated sum loses
+	// low bits, so the drop matches the saving only to rounding.
+	if got := base.Time - over.Time; math.Abs(got-over.OverlapSaved) > 1e-12*base.Time {
+		t.Errorf("time drop %g != OverlapSaved %g", got, over.OverlapSaved)
+	}
+	// With 100 MB payloads every transmission exceeds a, so each hidden
+	// boundary hides a full reconfiguration.
+	if over.OverlapSaved != p.ReconfigDelay {
+		t.Errorf("saved %g, want exactly one full reconfiguration %g", over.OverlapSaved, p.ReconfigDelay)
+	}
+	if base.OverheadTime != over.OverheadTime || base.TransferTime != over.TransferTime {
+		t.Error("overlap must only shift time, not change component totals")
+	}
+}
+
+// TestOverlapFallsBackOnConflictingWRHT pins a configuration whose
+// consecutive steps all share (direction, wavelength) arcs: at N=1024,
+// w=64 every boundary conflicts under the rwa model and the engine must
+// keep the sequential setup-then-transmit behaviour throughout.
+func TestOverlapFallsBackOnConflictingWRHT(t *testing.T) {
+	cfg := core.Config{N: 1024, Wavelengths: 64}
+	base, _ := runWRHT(t, cfg, 100e6, false)
+	over, _ := runWRHT(t, cfg, 100e6, true)
+	if over.OverlapSaved != 0 {
+		t.Fatalf("conflicting boundaries overlapped: saved %g", over.OverlapSaved)
+	}
+	if over.Time != base.Time {
+		t.Errorf("overlap-on time %g != overlap-off time %g despite zero saving", over.Time, base.Time)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"wrht/internal/core"
+	"wrht/internal/fabric"
 )
 
 // Params holds the optical-system parameters of Table 2.
@@ -33,10 +34,12 @@ type Params struct {
 	OEOPerPacket float64
 	// PacketBytes is the packet size used for O/E/O accounting (72 B).
 	PacketBytes int
-	// FibersPerDirection records the physical ring multiplicity
-	// (TeraRack routes traffic over two fiber rings per direction). The
-	// conflict model conservatively uses a single fiber per direction;
-	// the field is informational.
+	// FibersPerDirection is the physical ring multiplicity (TeraRack
+	// routes traffic over two fiber rings per direction). The conflict
+	// model conservatively uses a single fiber per direction unless the
+	// engine is run with Options.UseFiberMultiplicity, which widens the
+	// circuit budget to Wavelengths × FibersPerDirection and rejects
+	// multiplicities below one.
 	FibersPerDirection int
 }
 
@@ -74,13 +77,20 @@ func (p Params) validate() error {
 	return nil
 }
 
-// transferTime returns the serialization plus O/E/O time of one payload.
-func (p Params) transferTime(bytes float64) float64 {
+// transferParts returns the serialization and O/E/O components of one
+// payload's transfer time.
+func (p Params) transferParts(bytes float64) (ser, oeo float64) {
 	if bytes <= 0 {
-		return 0
+		return 0, 0
 	}
 	packets := math.Ceil(bytes / float64(p.PacketBytes))
-	return bytes*8/p.BandwidthBps + packets*p.OEOPerPacket
+	return bytes * 8 / p.BandwidthBps, packets * p.OEOPerPacket
+}
+
+// transferTime returns the serialization plus O/E/O time of one payload.
+func (p Params) transferTime(bytes float64) float64 {
+	ser, oeo := p.transferParts(bytes)
+	return ser + oeo
 }
 
 // StepReport records the simulated timing of one step.
@@ -105,55 +115,63 @@ type Result struct {
 	PerStep []StepReport
 }
 
+// fromFabric converts an engine result to the legacy optical result.
+func fromFabric(r fabric.Result) Result {
+	res := Result{
+		Algorithm:    r.Algorithm,
+		Steps:        r.Steps,
+		Time:         r.Time,
+		TransferTime: r.TransferTime,
+		OverheadTime: r.OverheadTime,
+	}
+	for _, sr := range r.PerStep {
+		res.PerStep = append(res.PerStep, StepReport{
+			Phase:    sr.Phase,
+			Duration: sr.Duration(),
+			MaxBytes: sr.Cost.MaxBytes,
+		})
+	}
+	return res
+}
+
 // RunSchedule executes an explicit schedule carrying a dBytes-sized
 // per-node vector and returns the simulated timing. If validateW is
 // true the schedule is first checked for wavelength conflicts against
 // the configured budget, returning an error on violation.
+//
+// Deprecated: RunSchedule is a thin shim kept for incremental migration;
+// new code should run a fabric.Engine over Params.Fabric, which also
+// exposes the per-step cost breakdown and the overlap mode.
 func RunSchedule(p Params, s *core.Schedule, dBytes float64, validateW bool) (Result, error) {
-	if err := p.validate(); err != nil {
+	f, err := p.Fabric()
+	if err != nil {
 		return Result{}, err
 	}
-	if validateW {
-		if err := s.Validate(p.Wavelengths); err != nil {
-			return Result{}, err
-		}
+	eng := fabric.Engine{Fabric: f, Opts: fabric.Options{ValidateWavelengths: validateW}}
+	r, err := eng.RunSchedule(s, dBytes)
+	if err != nil {
+		return Result{}, err
 	}
-	elems := int(dBytes / 4)
-	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
-	for _, st := range s.Steps {
-		var maxBytes float64
-		for _, t := range st.Transfers {
-			b := float64(t.Chunk.Bytes(elems))
-			if b > maxBytes {
-				maxBytes = b
-			}
-		}
-		dur := p.ReconfigDelay + p.transferTime(maxBytes)
-		res.PerStep = append(res.PerStep, StepReport{Phase: st.Phase, Duration: dur, MaxBytes: maxBytes})
-		res.Time += dur
-		res.TransferTime += p.transferTime(maxBytes)
-		res.OverheadTime += p.ReconfigDelay
-	}
-	return res, nil
+	return fromFabric(r), nil
 }
 
 // RunProfile times an analytic step profile, equivalent to RunSchedule
 // on the schedule the profile describes but in O(groups) work. Payload
 // fractions are applied to dBytes directly (the rounding of uneven
 // chunk splits is below packet granularity for all paper workloads).
+//
+// Deprecated: RunProfile is a thin shim kept for incremental migration;
+// new code should run a fabric.Engine over Params.Fabric.
 func RunProfile(p Params, pr core.Profile, dBytes float64) (Result, error) {
-	if err := p.validate(); err != nil {
+	f, err := p.Fabric()
+	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Algorithm: pr.Algorithm, Steps: pr.NumSteps()}
-	for _, g := range pr.Groups {
-		bytes := g.FracOfD * dBytes
-		tt := p.transferTime(bytes)
-		res.Time += float64(g.Steps) * (p.ReconfigDelay + tt)
-		res.TransferTime += float64(g.Steps) * tt
-		res.OverheadTime += float64(g.Steps) * p.ReconfigDelay
+	r, err := fabric.Engine{Fabric: f}.RunProfile(pr, dBytes)
+	if err != nil {
+		return Result{}, err
 	}
-	return res, nil
+	return fromFabric(r), nil
 }
 
 // FeasibleWavelengths reports whether the profile's per-step wavelength
@@ -172,19 +190,19 @@ func (p Params) FeasibleWavelengths(pr core.Profile) bool {
 // the profile is evaluated for every bucket size and the times add up,
 // because synchronous data-parallel training serializes the bucket
 // all-reduces on the same ring.
+//
+// Deprecated: RunBuckets is a thin shim kept for incremental migration;
+// new code should run a fabric.Engine over Params.Fabric.
 func RunBuckets(p Params, pr core.Profile, bucketBytes []float64) (Result, error) {
-	total := Result{Algorithm: pr.Algorithm}
-	for _, b := range bucketBytes {
-		r, err := RunProfile(p, pr, b)
-		if err != nil {
-			return Result{}, err
-		}
-		total.Steps += r.Steps
-		total.Time += r.Time
-		total.TransferTime += r.TransferTime
-		total.OverheadTime += r.OverheadTime
+	f, err := p.Fabric()
+	if err != nil {
+		return Result{}, err
 	}
-	return total, nil
+	r, err := fabric.Engine{Fabric: f}.RunBuckets(pr, bucketBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromFabric(r), nil
 }
 
 // EffectiveWavelengths returns the per-direction circuit capacity

@@ -1,0 +1,53 @@
+package rwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+// FuzzAssign checks the two assignment strategies against the conflict
+// validator on arbitrary request sets: every assignment Assign produces
+// must validate conflict-free, and every wavelength id must stay inside
+// the count Assign reports.
+func FuzzAssign(f *testing.F) {
+	f.Add(8, int64(1), []byte{0x01, 0x52, 0x13, 0x34})
+	f.Add(16, int64(7), []byte{0xff, 0x00, 0x80, 0x7f, 0x21})
+	f.Add(3, int64(42), []byte{})
+	f.Fuzz(func(t *testing.T, n int, seed int64, data []byte) {
+		if n < 2 {
+			n = 2
+		}
+		if n > 64 {
+			n = 64
+		}
+		ring := topo.NewRing(n)
+		// Three fuzz bytes make one request: source, hop distance (1..n-1
+		// so src != dst) and direction.
+		var reqs []Request
+		for i := 0; i+2 < len(data) && len(reqs) < 128; i += 3 {
+			src := int(data[i]) % n
+			dst := (src + 1 + int(data[i+1])%(n-1)) % n
+			dir := topo.CW
+			if data[i+2]%2 == 1 {
+				dir = topo.CCW
+			}
+			reqs = append(reqs, Request{Src: src, Dst: dst, Dir: dir})
+		}
+		for _, strat := range []Strategy{FirstFit, RandomFit} {
+			asn, used := Assign(ring, reqs, strat, rand.New(rand.NewSource(seed)))
+			if len(asn) != len(reqs) {
+				t.Fatalf("%v: %d assignments for %d requests", strat, len(asn), len(reqs))
+			}
+			for i, w := range asn {
+				if w < 0 || w >= used {
+					t.Fatalf("%v: request %d got wavelength %d outside [0,%d)", strat, i, w, used)
+				}
+			}
+			if err := Validate(ring, reqs, asn, used); err != nil {
+				t.Fatalf("%v: assignment rejected by validator: %v", strat, err)
+			}
+		}
+	})
+}

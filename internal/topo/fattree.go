@@ -132,7 +132,7 @@ func (f FatTree) Route(src, dst int) Path {
 	// this core and the destination edge). Spread flows over them by a
 	// mix of source slot and source edge so that hosts of one edge and
 	// same-slot hosts of different edges land on different links.
-	lpp := maxInt(1, f.LinksPerPair)
+	lpp := max(1, f.LinksPerPair)
 	dslot := core + f.Cores*((slot/f.Cores+se)%lpp)
 	if dslot >= f.HostsPerEdge {
 		dslot = core
@@ -150,10 +150,3 @@ func (f FatTree) Route(src, dst int) Path {
 
 // NumRouters returns the total router count (edge + core).
 func (f FatTree) NumRouters() int { return f.Edges + f.Cores }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

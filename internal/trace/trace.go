@@ -37,12 +37,20 @@ type Run struct {
 // Recorder accumulates runs and writes them as a JSON document.
 type Recorder struct {
 	Runs []Run
+	// Now supplies the timestamp Record stamps runs with; nil means
+	// time.Now. Inject a fixed clock to make recorded documents
+	// byte-stable (golden tests, reproducible archives).
+	Now func() time.Time
 }
 
-// Record appends a run, stamping it with the current time.
+// Record appends a run, stamping it with the recorder's clock.
 func (r *Recorder) Record(run Run) {
 	if run.Timestamp.IsZero() {
-		run.Timestamp = time.Now().UTC()
+		now := time.Now
+		if r.Now != nil {
+			now = r.Now
+		}
+		run.Timestamp = now().UTC()
 	}
 	r.Runs = append(r.Runs, run)
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -67,5 +68,33 @@ func TestWriteFile(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestInjectedClockMakesDocumentsByteStable(t *testing.T) {
+	fixed := time.Date(2023, 8, 7, 12, 0, 0, 0, time.UTC)
+	render := func() []byte {
+		rec := Recorder{Now: func() time.Time { return fixed }}
+		rec.Record(NewRun("exp", []string{"a"}, map[string][]float64{"s": {1}}, nil))
+		var buf bytes.Buffer
+		if _, err := rec.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Fatal("fixed-clock documents differ between renders")
+	}
+	if !bytes.Contains(first, []byte("2023-08-07T12:00:00Z")) {
+		t.Fatalf("injected timestamp missing from document:\n%s", first)
+	}
+}
+
+func TestNilClockStillStamps(t *testing.T) {
+	var rec Recorder
+	rec.Record(Run{Experiment: "exp"})
+	if rec.Runs[0].Timestamp.IsZero() {
+		t.Fatal("nil-clock recorder left a zero timestamp")
 	}
 }
