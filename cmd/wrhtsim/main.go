@@ -7,12 +7,17 @@
 // Usage:
 //
 //	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>
+//
+// -cpuprofile and -memprofile write pprof profiles covering the run
+// (any subcommand), for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"wrht/internal/core"
@@ -26,9 +31,11 @@ import (
 	"wrht/internal/workload"
 )
 
-func fatal(err error) {
+// fatal prints the error and returns the failure exit code; run's
+// callers (not os.Exit) unwind so the pprof writers always flush.
+func fatal(err error) int {
 	fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
-	os.Exit(1)
+	return 1
 }
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 	schedW := flag.Int("w", 8, "schedule/crossfabric subcommands: wavelengths")
 	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
 	payloadMB := flag.Float64("d", 100, "crossfabric subcommand: payload per node in MB")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>\n")
 		flag.PrintDefaults()
@@ -48,6 +57,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	code := run(gran, workers, jsonOut, schedN, schedW, schedM, payloadMB)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+func run(gran *string, workers *int, jsonOut *string, schedN, schedW, schedM *int, payloadMB *float64) int {
 	o := exp.Defaults()
 	o.Workers = *workers
 	switch *gran {
@@ -57,7 +99,7 @@ func main() {
 		o.Granularity = exp.Bucketed
 	default:
 		fmt.Fprintf(os.Stderr, "wrhtsim: unknown granularity %q\n", *gran)
-		os.Exit(2)
+		return 2
 	}
 
 	cmd := flag.Arg(0)
@@ -68,19 +110,17 @@ func main() {
 		// control plane or core.ReadSchedule).
 		s, err := core.BuildWRHT(core.Config{N: *schedN, Wavelengths: *schedW, GroupSize: *schedM})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
-			os.Exit(1)
+			return fatal(err)
 		}
 		if _, err := s.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
-			os.Exit(1)
+			return fatal(err)
 		}
-		return
+		return 0
 	}
 	if cmd == "table1" || cmd == "all" {
 		t, err := exp.Table1()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println(t)
 		ran = true
@@ -88,7 +128,7 @@ func main() {
 	if cmd == "fig4" || cmd == "all" {
 		fig, err := exp.Fig4(o)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println(fig)
 		rec.Record(exp.FigureRun("fig4", fig))
@@ -97,7 +137,7 @@ func main() {
 	if cmd == "fig5" || cmd == "all" {
 		r, err := exp.Fig5(o)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		for i, f := range r.Figures {
 			fmt.Println(f)
@@ -110,7 +150,7 @@ func main() {
 	if cmd == "fig6" || cmd == "all" {
 		r, err := exp.Fig6(o)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		for i, f := range r.Figures {
 			fmt.Println(f)
@@ -123,7 +163,7 @@ func main() {
 	if cmd == "fig7" || cmd == "all" {
 		r, err := exp.Fig7(o)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		for i, f := range r.Figures {
 			fmt.Println(f)
@@ -140,7 +180,7 @@ func main() {
 	if cmd == "stragglers" || cmd == "all" {
 		t, err := exp.Stragglers(o, dnn.ResNet50(), 256, 64, 0.2, 20, 1)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println(t)
 		ran = true
@@ -174,7 +214,7 @@ func main() {
 			res, err := sim.Run()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "wrhtsim: hybrid: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			t.AddRow(fmt.Sprintf("%d x %d", p, nodes/p),
 				fmt.Sprintf("%.1f", res.PipelineSec*1e3),
@@ -190,7 +230,7 @@ func main() {
 		// fat-tree time identical explicit schedules; -d sets the payload.
 		r, err := exp.CrossFabric(o, *schedN, *schedW, *payloadMB*1e6)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println(r.Table)
 		names := make([]string, 0, len(r.Runs))
@@ -219,13 +259,14 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "wrhtsim: unknown command %q\n", cmd)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if *jsonOut != "" && len(rec.Runs) > 0 {
 		if err := rec.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("raw series written to %s\n", *jsonOut)
 	}
+	return 0
 }

@@ -3,8 +3,48 @@ package core
 import (
 	"testing"
 
+	"wrht/internal/rwa"
 	"wrht/internal/topo"
 )
+
+// TestAllToAllWavelengthsVsFirstFit compares the paper's ⌈r²/8⌉ formula
+// (AllToAllWavelengths) with the wavelength count first-fit actually
+// produces on the all-to-all step's request set — all ordered pairs
+// among r representatives routed the shortest ring direction, exactly as
+// allToAllStep builds them. The deterministic greedy tracks the formula
+// from below within 1 (odd r, where the true optimum is (r²-1)/8) and
+// from above within 50% (≈30% beyond tiny rings, ≈20% at r=64); a few
+// exact values are pinned so any drift in Assign shows up here.
+func TestAllToAllWavelengthsVsFirstFit(t *testing.T) {
+	pinned := map[int]int{2: 1, 8: 10, 15: 32, 22: 73, 33: 165, 64: 615}
+	for r := 2; r <= 64; r++ {
+		ring := topo.NewRing(r)
+		var reqs []rwa.Request
+		for src := 0; src < r; src++ {
+			for dst := 0; dst < r; dst++ {
+				if src == dst {
+					continue
+				}
+				dir, _ := ring.ShortestDir(src, dst)
+				reqs = append(reqs, rwa.Request{Src: src, Dst: dst, Dir: dir})
+			}
+		}
+		asn, used := rwa.Assign(ring, reqs, rwa.FirstFit, nil)
+		if err := rwa.Validate(ring, reqs, asn, used); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		bound := AllToAllWavelengths(r)
+		if used < bound-1 {
+			t.Errorf("r=%d: first-fit used %d wavelengths, below paper bound %d - 1", r, used, bound)
+		}
+		if used > bound+bound/2 {
+			t.Errorf("r=%d: first-fit used %d wavelengths, beyond 1.5× paper bound %d", r, used, bound)
+		}
+		if want, ok := pinned[r]; ok && used != want {
+			t.Errorf("r=%d: first-fit used %d wavelengths, pinned value %d", r, used, want)
+		}
+	}
+}
 
 func TestAllToAllRequirementMeetsPaperBoundOddK(t *testing.T) {
 	// For odd k the tiling construction meets ⌈k²/8⌉ exactly.

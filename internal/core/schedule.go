@@ -111,6 +111,10 @@ func (s *Schedule) WavelengthsNeeded() int {
 // and (if wavelengths > 0) every wavelength within budget.
 func (s *Schedule) Validate(wavelengths int) error {
 	n := s.Ring.N
+	// One occupancy index serves every step: the per-step conflict check
+	// is near-linear in the transfer count, and the arcs are computed
+	// once here rather than recomputed inside the validator.
+	ix := rwa.NewIndex(s.Ring)
 	for si, st := range s.Steps {
 		reqs := make([]rwa.Request, 0, len(st.Transfers))
 		asn := make(rwa.Assignment, 0, len(st.Transfers))
@@ -127,7 +131,7 @@ func (s *Schedule) Validate(wavelengths int) error {
 			reqs = append(reqs, rwa.Request{Src: t.Src, Dst: t.Dst, Dir: t.Dir})
 			asn = append(asn, t.Wavelength)
 		}
-		if err := rwa.Validate(s.Ring, reqs, asn, wavelengths); err != nil {
+		if err := ix.Validate(reqs, rwa.ArcsOf(s.Ring, reqs), asn, wavelengths); err != nil {
 			return fmt.Errorf("core: step %d: %w", si, err)
 		}
 	}

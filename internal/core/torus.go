@@ -122,6 +122,10 @@ func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
 		row bool
 		idx int
 	}
+	// Row and column rings each get one reusable occupancy index; every
+	// per-domain check below is near-linear in its transfer count.
+	rowRing, colRing := topo.NewRing(t.Cols), topo.NewRing(t.Rows)
+	rowIx, colIx := rwa.NewIndex(rowRing), rwa.NewIndex(colRing)
 	for si, st := range s.Steps {
 		byDomain := map[domain][]int{}
 		for ti, tr := range st.Transfers {
@@ -137,9 +141,9 @@ func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
 			}
 		}
 		for dom, tis := range byDomain {
-			ring := topo.NewRing(t.Cols)
+			ring, ix := rowRing, rowIx
 			if !dom.row {
-				ring = topo.NewRing(t.Rows)
+				ring, ix = colRing, colIx
 			}
 			reqs := make([]rwa.Request, 0, len(tis))
 			asn := make(rwa.Assignment, 0, len(tis))
@@ -156,7 +160,7 @@ func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
 				reqs = append(reqs, rwa.Request{Src: src, Dst: dst, Dir: tr.Dir})
 				asn = append(asn, tr.Wavelength)
 			}
-			if err := rwa.Validate(ring, reqs, asn, wavelengths); err != nil {
+			if err := ix.Validate(reqs, rwa.ArcsOf(ring, reqs), asn, wavelengths); err != nil {
 				return fmt.Errorf("core: torus step %d (%v ring %d): %w", si, dom.row, dom.idx, err)
 			}
 		}

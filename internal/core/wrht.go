@@ -167,7 +167,7 @@ func allToAllStep(r topo.Ring, reps []int, strat rwa.Strategy, rng *rand.Rand) S
 			reqs = append(reqs, rwa.Request{Src: src, Dst: dst, Dir: dir})
 		}
 	}
-	asn, _ := rwa.Assign(r, reqs, strat, rng)
+	asn, _ := rwa.AssignArcs(r, reqs, rwa.ArcsOf(r, reqs), strat, rng)
 	for i, q := range reqs {
 		st.Transfers = append(st.Transfers, Transfer{
 			Src: q.Src, Dst: q.Dst,

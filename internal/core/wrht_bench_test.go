@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"wrht/internal/rwa"
+)
+
+// BenchmarkBuildWRHT constructs the full explicit WRHT schedule at the
+// paper's wavelength budget (w=64, Lemma-1 group size) for large rings.
+// The random-fit variants route the final exchange through rwa.Assign,
+// so schedule construction cost tracks the RWA layer directly.
+func BenchmarkBuildWRHT(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		for _, strat := range []rwa.Strategy{rwa.FirstFit, rwa.RandomFit} {
+			cfg := Config{N: n, Wavelengths: 64, Strategy: strat, Seed: 1}
+			b.Run(fmt.Sprintf("%v/N%d", strat, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := BuildWRHT(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBuildWRHTValidate measures full-schedule conflict validation
+// — every transfer of every step checked through the bitset occupancy
+// index — which before this index was quadratic in per-step transfers.
+func BenchmarkBuildWRHTValidate(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		s, err := BuildWRHT(Config{N: n, Wavelengths: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Validate(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -12,42 +12,24 @@ import (
 // (direction, wavelength) resource that an active step-k circuit holds
 // on an overlapping fiber arc, because retuning a resonator onto a
 // wavelength that is passing live traffic corrupts it. The decision is
-// delegated to the internal/rwa conflict validator: the two steps'
-// circuits are pooled and any same-direction, same-wavelength arc
-// overlap rejects the boundary, falling back to the sequential
-// setup-then-transmit behaviour for that step.
+// delegated to the internal/rwa conflict model: the two steps' circuits
+// are pooled with their already-assigned wavelengths and checked against
+// a bitset occupancy index, one near-linear pass per boundary. A clash
+// rejects the boundary, falling back to the sequential setup-then-
+// transmit behaviour for that step.
 
 // disjointSteps reports whether steps a and b can have their circuits up
 // simultaneously: the pooled request set of both steps must be
-// conflict-free under the rwa model. Requests are bucketed by
-// (direction, wavelength) first — only same-bucket pairs can ever
-// conflict — so the check stays near-linear on the grouped schedules
-// WRHT produces instead of quadratic in total transfer count.
+// conflict-free under the rwa model.
 func disjointSteps(ring topo.Ring, a, b core.Step) bool {
-	type slot struct {
-		dir topo.Direction
-		w   int
-	}
-	buckets := make(map[slot][]rwa.Request)
-	add := func(st core.Step) {
+	reqs := make([]rwa.Request, 0, len(a.Transfers)+len(b.Transfers))
+	asn := make(rwa.Assignment, 0, len(a.Transfers)+len(b.Transfers))
+	for _, st := range []core.Step{a, b} {
 		for _, t := range st.Transfers {
-			k := slot{t.Dir, t.Wavelength}
-			buckets[k] = append(buckets[k], rwa.Request{Src: t.Src, Dst: t.Dst, Dir: t.Dir})
+			reqs = append(reqs, rwa.Request{Src: t.Src, Dst: t.Dst, Dir: t.Dir})
+			asn = append(asn, t.Wavelength)
 		}
 	}
-	add(a)
-	add(b)
-	for k, reqs := range buckets {
-		if len(reqs) < 2 {
-			continue
-		}
-		asn := make(rwa.Assignment, len(reqs))
-		for i := range asn {
-			asn[i] = k.w
-		}
-		if rwa.Validate(ring, reqs, asn, 0) != nil {
-			return false
-		}
-	}
-	return true
+	arcs := rwa.ArcsOf(ring, reqs)
+	return rwa.NewIndex(ring).ConflictFree(reqs, arcs, asn)
 }

@@ -1,0 +1,83 @@
+package rwa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+// BenchmarkRWAAssign measures wavelength assignment over R = N random
+// requests on an N-node ring — the shape of the final all-to-all among
+// representatives at large N. "bitset" is the production path (fresh
+// index per call, as Assign does), "steady" reuses one Index and
+// assignment buffer (zero allocations per op), and "legacy" is the
+// quadratic reference oracle, capped at N=4096 to keep the CI smoke run
+// short. BENCH_rwa.json records the before/after numbers.
+func BenchmarkRWAAssign(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		r := topo.NewRing(n)
+		reqs := randomRequests(rand.New(rand.NewSource(int64(n))), n, n)
+		arcs := ArcsOf(r, reqs)
+		for _, strat := range []Strategy{FirstFit, RandomFit} {
+			b.Run(fmt.Sprintf("bitset/%v/N%d", strat, n), func(b *testing.B) {
+				b.ReportAllocs()
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < b.N; i++ {
+					Assign(r, reqs, strat, rng)
+				}
+			})
+			b.Run(fmt.Sprintf("steady/%v/N%d", strat, n), func(b *testing.B) {
+				ix := NewIndex(r)
+				asn := make(Assignment, len(reqs))
+				rng := rand.New(rand.NewSource(1))
+				ix.AssignInto(asn, reqs, arcs, strat, rng) // warm up capacity
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ix.AssignInto(asn, reqs, arcs, strat, rng)
+				}
+			})
+			if n <= 4096 {
+				b.Run(fmt.Sprintf("legacy/%v/N%d", strat, n), func(b *testing.B) {
+					b.ReportAllocs()
+					rng := rand.New(rand.NewSource(1))
+					for i := 0; i < b.N; i++ {
+						assignQuadratic(r, reqs, strat, rng)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRWAValidate measures conflict validation of a first-fit
+// coloring of N random requests, bitset vs the quadratic oracle.
+func BenchmarkRWAValidate(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		r := topo.NewRing(n)
+		reqs := randomRequests(rand.New(rand.NewSource(int64(n))), n, n)
+		arcs := ArcsOf(r, reqs)
+		asn, used := Assign(r, reqs, FirstFit, nil)
+		b.Run(fmt.Sprintf("bitset/N%d", n), func(b *testing.B) {
+			ix := NewIndex(r)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ix.Validate(reqs, arcs, asn, used); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if n <= 4096 {
+			b.Run(fmt.Sprintf("legacy/N%d", n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := validateQuadratic(r, reqs, asn, used); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

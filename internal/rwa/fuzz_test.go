@@ -7,10 +7,12 @@ import (
 	"wrht/internal/topo"
 )
 
-// FuzzAssign checks the two assignment strategies against the conflict
-// validator on arbitrary request sets: every assignment Assign produces
-// must validate conflict-free, and every wavelength id must stay inside
-// the count Assign reports.
+// FuzzAssign is a differential fuzz of the bitset assignment path
+// against the legacy quadratic oracle on arbitrary request sets: both
+// strategies must produce bit-identical assignments and wavelength
+// counts (RandomFit from identical RNG draws), every assignment must
+// validate conflict-free under both validators, and every wavelength id
+// must stay inside the count Assign reports.
 func FuzzAssign(f *testing.F) {
 	f.Add(8, int64(1), []byte{0x01, 0x52, 0x13, 0x34})
 	f.Add(16, int64(7), []byte{0xff, 0x00, 0x80, 0x7f, 0x21})
@@ -40,6 +42,15 @@ func FuzzAssign(f *testing.F) {
 			if len(asn) != len(reqs) {
 				t.Fatalf("%v: %d assignments for %d requests", strat, len(asn), len(reqs))
 			}
+			ref, refUsed := assignQuadratic(ring, reqs, strat, rand.New(rand.NewSource(seed)))
+			if used != refUsed {
+				t.Fatalf("%v: bitset used %d wavelengths, oracle %d", strat, used, refUsed)
+			}
+			for i := range reqs {
+				if asn[i] != ref[i] {
+					t.Fatalf("%v: request %d: bitset λ%d, oracle λ%d", strat, i, asn[i], ref[i])
+				}
+			}
 			for i, w := range asn {
 				if w < 0 || w >= used {
 					t.Fatalf("%v: request %d got wavelength %d outside [0,%d)", strat, i, w, used)
@@ -47,6 +58,9 @@ func FuzzAssign(f *testing.F) {
 			}
 			if err := Validate(ring, reqs, asn, used); err != nil {
 				t.Fatalf("%v: assignment rejected by validator: %v", strat, err)
+			}
+			if err := validateQuadratic(ring, reqs, asn, used); err != nil {
+				t.Fatalf("%v: assignment rejected by oracle validator: %v", strat, err)
 			}
 		}
 	})

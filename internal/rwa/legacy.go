@@ -1,0 +1,111 @@
+package rwa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrht/internal/topo"
+)
+
+// This file keeps the original pairwise (quadratic) RWA implementation as
+// an unexported reference oracle. The production path in index.go must
+// stay bit-identical to it: FirstFit picks the same wavelengths
+// deterministically, and RandomFit consumes the exact same RNG draws
+// (one Intn per request, with the same argument). The differential fuzz
+// in fuzz_test.go and the parity tests in rwa_test.go enforce this.
+
+// assignQuadratic is the original O(R²·λ) greedy: for every request it
+// rebuilds the set of wavelengths used by earlier same-direction
+// overlapping requests in a fresh map, then picks from it.
+func assignQuadratic(r topo.Ring, reqs []Request, strat Strategy, rng *rand.Rand) (Assignment, int) {
+	asn := make(Assignment, len(reqs))
+	arcs := make([]topo.Arc, len(reqs))
+	for i, q := range reqs {
+		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
+	}
+	maxUsed := 0
+	for i := range reqs {
+		used := map[int]bool{}
+		for j := 0; j < i; j++ {
+			if reqs[j].Dir != reqs[i].Dir {
+				continue
+			}
+			if arcs[j].Overlaps(arcs[i]) {
+				used[asn[j]] = true
+			}
+		}
+		w := pickQuadratic(used, strat, rng)
+		asn[i] = w
+		if w+1 > maxUsed {
+			maxUsed = w + 1
+		}
+	}
+	return asn, maxUsed
+}
+
+// pickQuadratic selects a wavelength outside the used set. RandomFit
+// materialises the free list below max(used)+2 and draws one index —
+// the bitset path reproduces exactly this draw without the allocation.
+func pickQuadratic(used map[int]bool, strat Strategy, rng *rand.Rand) int {
+	switch strat {
+	case FirstFit:
+		for w := 0; ; w++ {
+			if !used[w] {
+				return w
+			}
+		}
+	case RandomFit:
+		if rng == nil {
+			panic("rwa: RandomFit requires a rand source")
+		}
+		// Random fit chooses uniformly among the free wavelengths below
+		// max(used)+2, which always includes at least one free slot.
+		limit := 0
+		for w := range used {
+			if w+1 > limit {
+				limit = w + 1
+			}
+		}
+		limit++ // ensure at least one candidate above all used
+		var free []int
+		for w := 0; w < limit; w++ {
+			if !used[w] {
+				free = append(free, w)
+			}
+		}
+		return free[rng.Intn(len(free))]
+	default:
+		panic("rwa: unknown strategy")
+	}
+}
+
+// validateQuadratic is the original O(R²·λ) conflict check. The fast
+// Validate defers to it whenever it detects any problem, so error values
+// (including which Conflict pair is reported) are identical to the
+// original implementation.
+func validateQuadratic(r topo.Ring, reqs []Request, asn Assignment, wavelengths int) error {
+	if len(reqs) != len(asn) {
+		return fmt.Errorf("rwa: %d requests but %d assignments", len(reqs), len(asn))
+	}
+	arcs := make([]topo.Arc, len(reqs))
+	for i, q := range reqs {
+		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
+	}
+	for i := range reqs {
+		if asn[i] < 0 {
+			return fmt.Errorf("rwa: request %d has negative wavelength %d", i, asn[i])
+		}
+		if wavelengths > 0 && asn[i] >= wavelengths {
+			return fmt.Errorf("rwa: request %d uses wavelength %d beyond budget %d", i, asn[i], wavelengths)
+		}
+		for j := i + 1; j < len(reqs); j++ {
+			if reqs[i].Dir != reqs[j].Dir || asn[i] != asn[j] {
+				continue
+			}
+			if arcs[i].Overlaps(arcs[j]) {
+				return Conflict{I: i, J: j, Wavelength: asn[i]}
+			}
+		}
+	}
+	return nil
+}

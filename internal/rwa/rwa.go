@@ -10,6 +10,12 @@
 // wavelengths differ. The TeraRack node has an independent Tx/Rx array
 // per direction, so circuits in opposite directions never conflict even
 // on the same wavelength (§3.3).
+//
+// Assignment and validation run on a bitset occupancy Index (one
+// wavelength bitmask per fiber segment per direction) instead of pairwise
+// arc-overlap checks, so both cost O(R · arcLen · λ/64) rather than
+// O(R²·λ). The original quadratic implementation survives in legacy.go as
+// a reference oracle; the production path is bit-identical to it.
 package rwa
 
 import (
@@ -51,6 +57,17 @@ func (s Strategy) String() string {
 	}
 }
 
+// ArcsOf returns the fiber arc occupied by each request on ring r.
+// Callers that both assign and validate a request set compute the arcs
+// once and pass them to AssignArcs/ValidateArcs.
+func ArcsOf(r topo.Ring, reqs []Request) []topo.Arc {
+	arcs := make([]topo.Arc, len(reqs))
+	for i, q := range reqs {
+		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
+	}
+	return arcs
+}
+
 // Assign colors the requests on ring r using the given strategy. rng is
 // required for RandomFit and ignored for FirstFit. The returned
 // assignment uses wavelength indices starting at 0; the second result is
@@ -61,62 +78,15 @@ func (s Strategy) String() string {
 // graph per direction is an interval graph within each group and groups
 // are segment-disjoint).
 func Assign(r topo.Ring, reqs []Request, strat Strategy, rng *rand.Rand) (Assignment, int) {
-	asn := make(Assignment, len(reqs))
-	arcs := make([]topo.Arc, len(reqs))
-	for i, q := range reqs {
-		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
-	}
-	maxUsed := 0
-	for i := range reqs {
-		used := map[int]bool{}
-		for j := 0; j < i; j++ {
-			if reqs[j].Dir != reqs[i].Dir {
-				continue
-			}
-			if arcs[j].Overlaps(arcs[i]) {
-				used[asn[j]] = true
-			}
-		}
-		w := pick(used, strat, rng)
-		asn[i] = w
-		if w+1 > maxUsed {
-			maxUsed = w + 1
-		}
-	}
-	return asn, maxUsed
+	return AssignArcs(r, reqs, ArcsOf(r, reqs), strat, rng)
 }
 
-func pick(used map[int]bool, strat Strategy, rng *rand.Rand) int {
-	switch strat {
-	case FirstFit:
-		for w := 0; ; w++ {
-			if !used[w] {
-				return w
-			}
-		}
-	case RandomFit:
-		if rng == nil {
-			panic("rwa: RandomFit requires a rand source")
-		}
-		// Random fit chooses uniformly among the free wavelengths below
-		// max(used)+2, which always includes at least one free slot.
-		limit := 0
-		for w := range used {
-			if w+1 > limit {
-				limit = w + 1
-			}
-		}
-		limit++ // ensure at least one candidate above all used
-		var free []int
-		for w := 0; w < limit; w++ {
-			if !used[w] {
-				free = append(free, w)
-			}
-		}
-		return free[rng.Intn(len(free))]
-	default:
-		panic("rwa: unknown strategy")
-	}
+// AssignArcs is Assign with the request arcs already computed
+// (arcs[i] = r.ArcOf(reqs[i]...)).
+func AssignArcs(r topo.Ring, reqs []Request, arcs []topo.Arc, strat Strategy, rng *rand.Rand) (Assignment, int) {
+	asn := make(Assignment, len(reqs))
+	used := NewIndex(r).AssignInto(asn, reqs, arcs, strat, rng)
+	return asn, used
 }
 
 // Conflict describes a wavelength clash between two circuits.
@@ -136,25 +106,10 @@ func Validate(r topo.Ring, reqs []Request, asn Assignment, wavelengths int) erro
 	if len(reqs) != len(asn) {
 		return fmt.Errorf("rwa: %d requests but %d assignments", len(reqs), len(asn))
 	}
-	arcs := make([]topo.Arc, len(reqs))
-	for i, q := range reqs {
-		arcs[i] = r.ArcOf(q.Src, q.Dst, q.Dir)
-	}
-	for i := range reqs {
-		if asn[i] < 0 {
-			return fmt.Errorf("rwa: request %d has negative wavelength %d", i, asn[i])
-		}
-		if wavelengths > 0 && asn[i] >= wavelengths {
-			return fmt.Errorf("rwa: request %d uses wavelength %d beyond budget %d", i, asn[i], wavelengths)
-		}
-		for j := i + 1; j < len(reqs); j++ {
-			if reqs[i].Dir != reqs[j].Dir || asn[i] != asn[j] {
-				continue
-			}
-			if arcs[i].Overlaps(arcs[j]) {
-				return Conflict{I: i, J: j, Wavelength: asn[i]}
-			}
-		}
-	}
-	return nil
+	return ValidateArcs(r, reqs, ArcsOf(r, reqs), asn, wavelengths)
+}
+
+// ValidateArcs is Validate with the request arcs already computed.
+func ValidateArcs(r topo.Ring, reqs []Request, arcs []topo.Arc, asn Assignment, wavelengths int) error {
+	return NewIndex(r).Validate(reqs, arcs, asn, wavelengths)
 }

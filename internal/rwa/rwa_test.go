@@ -127,6 +127,160 @@ func TestAssignQuickProperty(t *testing.T) {
 	}
 }
 
+// TestAssignMatchesQuadraticOracle pins the bitset path to the legacy
+// pairwise implementation: identical assignments and wavelength counts
+// for both strategies, with RandomFit consuming identical RNG draws.
+func TestAssignMatchesQuadraticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(60)
+		r := topo.NewRing(n)
+		reqs := randomRequests(rng, n, rng.Intn(80))
+		seed := rng.Int63()
+		for _, strat := range []Strategy{FirstFit, RandomFit} {
+			got, gotUsed := Assign(r, reqs, strat, rand.New(rand.NewSource(seed)))
+			want, wantUsed := assignQuadratic(r, reqs, strat, rand.New(rand.NewSource(seed)))
+			if gotUsed != wantUsed {
+				t.Fatalf("trial %d %v: used %d, oracle %d", trial, strat, gotUsed, wantUsed)
+			}
+			for i := range reqs {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %v: request %d got λ%d, oracle λ%d", trial, strat, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestValidateMatchesQuadraticOracle checks that the fast validator and
+// the legacy one agree exactly — including the error value, since the
+// fast path defers to the oracle whenever it detects a problem.
+func TestValidateMatchesQuadraticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(40)
+		r := topo.NewRing(n)
+		reqs := randomRequests(rng, n, 1+rng.Intn(40))
+		asn, used := Assign(r, reqs, FirstFit, nil)
+		// Half the trials corrupt the assignment to exercise error paths.
+		budget := used
+		switch rng.Intn(4) {
+		case 0:
+			asn[rng.Intn(len(asn))] = rng.Intn(used + 1)
+		case 1:
+			asn[rng.Intn(len(asn))] = -1 - rng.Intn(3)
+		case 2:
+			budget = rng.Intn(used + 1)
+		}
+		got := Validate(r, reqs, asn, budget)
+		want := validateQuadratic(r, reqs, asn, budget)
+		if (got == nil) != (want == nil) || (got != nil && got.Error() != want.Error()) {
+			t.Fatalf("trial %d: fast %v, oracle %v", trial, got, want)
+		}
+	}
+}
+
+// TestAssignBeyondOneWord drives first-fit past 64 and 128 wavelengths
+// (nested arcs force one wavelength per circuit), exercising index
+// growth across word boundaries, and re-checks oracle parity there.
+func TestAssignBeyondOneWord(t *testing.T) {
+	r := topo.NewRing(300)
+	var reqs []Request
+	for d := 1; d <= 140; d++ {
+		reqs = append(reqs, Request{Src: 150 - d, Dst: 150, Dir: topo.CW})
+	}
+	asn, used := Assign(r, reqs, FirstFit, nil)
+	if used != 140 {
+		t.Fatalf("first-fit used %d wavelengths on 140 nested arcs, want 140", used)
+	}
+	if err := Validate(r, reqs, asn, used); err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{FirstFit, RandomFit} {
+		got, _ := Assign(r, reqs, strat, rand.New(rand.NewSource(5)))
+		want, _ := assignQuadratic(r, reqs, strat, rand.New(rand.NewSource(5)))
+		for i := range reqs {
+			if got[i] != want[i] {
+				t.Fatalf("%v: request %d got λ%d, oracle λ%d", strat, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestZeroLengthArcParity: a src==dst request has an empty arc; both
+// implementations give it λ0 and never let it block anyone else.
+func TestZeroLengthArcParity(t *testing.T) {
+	r := topo.NewRing(8)
+	reqs := []Request{
+		{Src: 3, Dst: 3, Dir: topo.CW},
+		{Src: 0, Dst: 7, Dir: topo.CW},
+		{Src: 3, Dst: 3, Dir: topo.CW},
+	}
+	for _, strat := range []Strategy{FirstFit, RandomFit} {
+		got, gotUsed := Assign(r, reqs, strat, rand.New(rand.NewSource(9)))
+		want, wantUsed := assignQuadratic(r, reqs, strat, rand.New(rand.NewSource(9)))
+		if gotUsed != wantUsed {
+			t.Fatalf("%v: used %d, oracle %d", strat, gotUsed, wantUsed)
+		}
+		for i := range reqs {
+			if got[i] != want[i] {
+				t.Fatalf("%v: request %d got λ%d, oracle λ%d", strat, i, got[i], want[i])
+			}
+		}
+	}
+	asn, _ := Assign(r, reqs, FirstFit, nil)
+	if asn[0] != 0 || asn[2] != 0 {
+		t.Fatalf("empty arcs should take λ0, got %v", asn)
+	}
+}
+
+// TestAssignIntoZeroAllocs verifies the satellite requirement: after the
+// capacity warm-up, the assignment loop performs zero heap allocations
+// per request for both strategies (RandomFit's free-set selection is
+// popcount + k-th-free-bit, no free-list slice).
+func TestAssignIntoZeroAllocs(t *testing.T) {
+	r := topo.NewRing(256)
+	rng := rand.New(rand.NewSource(31))
+	reqs := randomRequests(rng, 256, 512)
+	arcs := ArcsOf(r, reqs)
+	asn := make(Assignment, len(reqs))
+	ix := NewIndex(r)
+	// Pre-size the capacity well above anything RandomFit can draw so a
+	// lucky high pick during the measured runs can never trigger growth.
+	ix.Occupy(topo.CW, r.ArcOf(0, 1, topo.CW), 2048)
+	drawRNG := rand.New(rand.NewSource(1))
+	for _, strat := range []Strategy{FirstFit, RandomFit} {
+		ix.AssignInto(asn, reqs, arcs, strat, drawRNG) // warm up index growth
+		allocs := testing.AllocsPerRun(20, func() {
+			ix.AssignInto(asn, reqs, arcs, strat, drawRNG)
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: %v allocs per %d-request assignment, want 0", strat, allocs, len(reqs))
+		}
+	}
+}
+
+// TestConflictFree checks the boolean probe agrees with Validate's
+// conflict verdict (it skips budget checks by design).
+func TestConflictFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	ix := NewIndex(topo.NewRing(24))
+	r := topo.NewRing(24)
+	for trial := 0; trial < 200; trial++ {
+		reqs := randomRequests(rng, 24, 1+rng.Intn(30))
+		arcs := ArcsOf(r, reqs)
+		asn := make(Assignment, len(reqs))
+		for i := range asn {
+			asn[i] = rng.Intn(4)
+		}
+		got := ix.ConflictFree(reqs, arcs, asn)
+		want := validateQuadratic(r, reqs, asn, 0) == nil
+		if got != want {
+			t.Fatalf("trial %d: ConflictFree=%v, oracle says %v", trial, got, want)
+		}
+	}
+}
+
 func TestRandomFitRequiresRNG(t *testing.T) {
 	defer func() {
 		if recover() == nil {
