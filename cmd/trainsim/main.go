@@ -9,6 +9,10 @@
 // Usage:
 //
 //	trainsim [-n 1024] [-wavelengths 64] [-dataset 1281167] [-algo wrht|ring|bt|hring]
+//
+// -trace writes a Perfetto timeline of the simulated epoch (one trace
+// process per workload, a few sample workers plus the all-reduce
+// track); -metrics dumps per-workload epoch gauges on exit.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/metrics"
+	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/train"
 	"wrht/internal/workload"
@@ -28,12 +33,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trainsim: ")
 	var (
-		n       = flag.Int("n", 1024, "data-parallel workers")
-		waves   = flag.Int("wavelengths", 64, "optical wavelengths")
-		dataset = flag.Int("dataset", 1281167, "dataset size (ImageNet-1k train split)")
-		algo    = flag.String("algo", "wrht", "all-reduce algorithm: wrht, ring, bt, hring, dbtree, wdmhring")
+		n           = flag.Int("n", 1024, "data-parallel workers")
+		waves       = flag.Int("wavelengths", 64, "optical wavelengths")
+		dataset     = flag.Int("dataset", 1281167, "dataset size (ImageNet-1k train split)")
+		algo        = flag.String("algo", "wrht", "all-reduce algorithm: wrht, ring, bt, hring, dbtree, wdmhring")
+		tracePath   = flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
+		metricsPath = flag.String("metrics", "", "write per-workload gauges to this file on exit (- for stdout, .json for JSON)")
 	)
 	flag.Parse()
+
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
 
 	p := optical.DefaultParams()
 	p.Wavelengths = *waves
@@ -70,7 +86,12 @@ func main() {
 			log.Fatal(err)
 		}
 		tl := train.EpochTimeline(w, *n, *dataset, res.Time)
+		tl.Trace = tr
+		tl.TraceProcess = w.Model.Name
 		out := tl.Run()
+		reg.Gauge("train." + w.Model.Name + ".epoch_seconds").Set(out.TotalSec)
+		reg.Gauge("train." + w.Model.Name + ".comm_fraction").Set(out.CommFraction)
+		reg.Counter("train.workloads").Inc()
 		t.AddRow(
 			w.Model.Name,
 			fmt.Sprint(w.BatchSize),
@@ -82,4 +103,15 @@ func main() {
 		)
 	}
 	fmt.Println(t)
+	if tr != nil {
+		if err := tr.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if reg != nil {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

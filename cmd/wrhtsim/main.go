@@ -10,6 +10,13 @@
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run
 // (any subcommand), for `go tool pprof`.
+//
+// -trace writes a Chrome Trace Event / Perfetto timeline of the run
+// (open it at https://ui.perfetto.dev): for crossfabric the simulated
+// per-step timeline of every (algorithm, mode) cell, byte-identical
+// across runs; for the figure sweeps a wall-clock diagnostic of the
+// worker pool. -metrics dumps the counter registry on exit ("-" for
+// stdout, a .json suffix for JSON).
 package main
 
 import (
@@ -19,12 +26,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/exp"
 	"wrht/internal/fabric"
 	"wrht/internal/metrics"
+	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/parallel"
 	"wrht/internal/trace"
@@ -48,6 +57,8 @@ func main() {
 	payloadMB := flag.Float64("d", 100, "crossfabric subcommand: payload per node in MB")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
+	metricsPath := flag.String("metrics", "", "write the counter registry to this file on exit (- for stdout, .json for JSON)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>\n")
 		flag.PrintDefaults()
@@ -69,7 +80,18 @@ func main() {
 		}
 		defer f.Close()
 	}
-	code := run(gran, workers, jsonOut, schedN, schedW, schedM, payloadMB)
+	code := run(runConfig{
+		cmd:         flag.Arg(0),
+		granularity: *gran,
+		workers:     *workers,
+		jsonOut:     *jsonOut,
+		n:           *schedN,
+		w:           *schedW,
+		m:           *schedM,
+		payloadMB:   *payloadMB,
+		tracePath:   *tracePath,
+		metricsPath: *metricsPath,
+	})
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -89,26 +111,52 @@ func main() {
 	os.Exit(code)
 }
 
-func run(gran *string, workers *int, jsonOut *string, schedN, schedW, schedM *int, payloadMB *float64) int {
+// runConfig carries one invocation's resolved flags, so tests can
+// drive run without the flag package.
+type runConfig struct {
+	cmd         string
+	granularity string
+	workers     int
+	jsonOut     string
+	n, w, m     int
+	payloadMB   float64
+	tracePath   string
+	metricsPath string
+}
+
+func run(cfg runConfig) int {
 	o := exp.Defaults()
-	o.Workers = *workers
-	switch *gran {
+	o.Workers = cfg.workers
+	switch cfg.granularity {
 	case "fused":
 		o.Granularity = exp.Fused
 	case "bucketed":
 		o.Granularity = exp.Bucketed
 	default:
-		fmt.Fprintf(os.Stderr, "wrhtsim: unknown granularity %q\n", *gran)
+		fmt.Fprintf(os.Stderr, "wrhtsim: unknown granularity %q\n", cfg.granularity)
 		return 2
 	}
+	if cfg.tracePath != "" {
+		o.Trace = obs.NewTracer()
+		if cfg.cmd != "crossfabric" {
+			// Figure sweeps trace the worker pool in wall-clock time (a
+			// diagnostic); crossfabric leaves Clock nil, so its trace is the
+			// byte-stable simulated timeline the golden tests pin.
+			start := time.Now()
+			o.Trace.Clock = func() float64 { return time.Since(start).Seconds() }
+		}
+	}
+	if cfg.metricsPath != "" {
+		o.Metrics = obs.NewRegistry()
+	}
 
-	cmd := flag.Arg(0)
+	cmd := cfg.cmd
 	ran := false
 	var rec trace.Recorder
 	if cmd == "schedule" {
 		// Dump the WRHT schedule for -n/-w/-m as JSON (loadable by a
 		// control plane or core.ReadSchedule).
-		s, err := core.BuildWRHT(core.Config{N: *schedN, Wavelengths: *schedW, GroupSize: *schedM})
+		s, err := core.BuildWRHT(core.Config{N: cfg.n, Wavelengths: cfg.w, GroupSize: cfg.m})
 		if err != nil {
 			return fatal(err)
 		}
@@ -228,7 +276,7 @@ func run(gran *string, workers *int, jsonOut *string, schedN, schedW, schedM *in
 	if cmd == "crossfabric" || cmd == "all" {
 		// One engine, two backends: the -n/-w ring and the same-size
 		// fat-tree time identical explicit schedules; -d sets the payload.
-		r, err := exp.CrossFabric(o, *schedN, *schedW, *payloadMB*1e6)
+		r, err := exp.CrossFabric(o, cfg.n, cfg.w, cfg.payloadMB*1e6)
 		if err != nil {
 			return fatal(err)
 		}
@@ -261,12 +309,28 @@ func run(gran *string, workers *int, jsonOut *string, schedN, schedW, schedM *in
 		flag.Usage()
 		return 2
 	}
-	if *jsonOut != "" && len(rec.Runs) > 0 {
-		if err := rec.WriteFile(*jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", *jsonOut, err)
+	if cfg.jsonOut != "" && len(rec.Runs) > 0 {
+		if err := rec.WriteFile(cfg.jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.jsonOut, err)
 			return 1
 		}
-		fmt.Printf("raw series written to %s\n", *jsonOut)
+		fmt.Printf("raw series written to %s\n", cfg.jsonOut)
+	}
+	if o.Trace != nil {
+		if err := o.Trace.WriteFile(cfg.tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.tracePath, err)
+			return 1
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", cfg.tracePath)
+	}
+	if o.Metrics != nil {
+		if err := o.Metrics.WriteFile(cfg.metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.metricsPath, err)
+			return 1
+		}
+		if cfg.metricsPath != "-" {
+			fmt.Printf("metrics written to %s\n", cfg.metricsPath)
+		}
 	}
 	return 0
 }

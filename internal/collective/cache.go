@@ -20,6 +20,8 @@ type ProfileCache struct {
 	mu     sync.Mutex
 	m      map[profileKey]*profileEntry
 	builds atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type profileKind uint8
@@ -58,6 +60,11 @@ func (c *ProfileCache) get(k profileKey, build func() (core.Profile, error)) (co
 		c.m[k] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	e.once.Do(func() {
 		c.builds.Add(1)
 		e.pr, e.err = build()
@@ -65,12 +72,22 @@ func (c *ProfileCache) get(k profileKey, build func() (core.Profile, error)) (co
 	return e.pr, e.err
 }
 
-// WRHT returns the memoized WRHTProfile for cfg. The key is the
-// canonical configuration, so an explicit GroupSize equal to the
-// Lemma-1 optimum hits the same entry as the GroupSize-0 default.
+// WRHT returns the memoized WRHTProfile for cfg. The key drops every
+// field the profile does not depend on: GroupSize is canonicalized, and
+// Strategy, Seed and MaxGroupSize are zeroed — the profile is a pure
+// function of (N, Wavelengths, effective GroupSize, DisableAllToAll),
+// so configs differing only in wavelength-assignment strategy or the
+// already-applied insertion-loss clamp share one entry. Before this
+// normalization such configs silently rebuilt an identical profile
+// under a fragmented key; with the hit/miss counters any regression of
+// that kind shows up as excess misses.
 func (c *ProfileCache) WRHT(cfg core.Config) (core.Profile, error) {
 	cc := cfg.Canonical()
-	return c.get(profileKey{kind: kindWRHT, cfg: cc}, func() (core.Profile, error) {
+	key := cc
+	key.MaxGroupSize = 0 // canonical GroupSize already honors the clamp
+	key.Strategy = 0
+	key.Seed = 0
+	return c.get(profileKey{kind: kindWRHT, cfg: key}, func() (core.Profile, error) {
 		return WRHTProfile(cc)
 	})
 }
@@ -105,3 +122,14 @@ func (c *ProfileCache) BT(n int) core.Profile {
 // equal to the number of distinct keys requested, however many
 // goroutines asked.
 func (c *ProfileCache) Builds() int64 { return c.builds.Load() }
+
+// Hits reports how many lookups found an existing entry. A goroutine
+// that arrives while another is still building the entry counts as a
+// hit (it shares the build rather than starting one).
+func (c *ProfileCache) Hits() int64 { return c.hits.Load() }
+
+// Misses reports how many lookups created a new entry. Under the key
+// normalization above, Misses exceeding the number of genuinely
+// distinct profiles is the silent-rebuild signal the counters exist to
+// expose.
+func (c *ProfileCache) Misses() int64 { return c.misses.Load() }

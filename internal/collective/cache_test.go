@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wrht/internal/core"
+	"wrht/internal/rwa"
 )
 
 func TestProfileCacheMatchesDirectConstruction(t *testing.T) {
@@ -57,6 +58,53 @@ func TestProfileCacheConcurrentSingleBuild(t *testing.T) {
 	wg.Wait()
 	if got := c.Builds(); got != 1 {
 		t.Errorf("concurrent identical requests built %d profiles, want 1", got)
+	}
+	// Exactly one lookup created the entry; every other goroutine found
+	// it (possibly mid-build — sharing the build still counts as a hit).
+	if h, m := c.Hits(), c.Misses(); m != 1 || h != 31 {
+		t.Errorf("hits/misses = %d/%d, want 31/1", h, m)
+	}
+}
+
+// TestProfileCacheIgnoresProfileIrrelevantFields pins the fix for the
+// silent-rebuild blind spot: WRHTProfile is a pure function of
+// (N, Wavelengths, effective GroupSize, DisableAllToAll), so configs
+// differing only in Strategy, Seed, or an already-honored MaxGroupSize
+// must share one cache entry instead of fragmenting into identical
+// rebuilds.
+func TestProfileCacheIgnoresProfileIrrelevantFields(t *testing.T) {
+	c := NewProfileCache()
+	variants := []core.Config{
+		{N: 1024, Wavelengths: 64},
+		{N: 1024, Wavelengths: 64, Strategy: rwa.RandomFit, Seed: 7},
+		{N: 1024, Wavelengths: 64, Seed: 42},
+		{N: 1024, Wavelengths: 64, MaxGroupSize: 129}, // clamp equals the Lemma-1 default: no-op
+	}
+	var want core.Profile
+	for i, cfg := range variants {
+		pr, err := c.WRHT(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = pr
+		} else if !reflect.DeepEqual(pr, want) {
+			t.Fatalf("variant %d built a different profile", i)
+		}
+	}
+	if b, m := c.Builds(), c.Misses(); b != 1 || m != 1 {
+		t.Errorf("builds/misses = %d/%d, want 1/1: profile-irrelevant fields fragmented the key", b, m)
+	}
+	if h := c.Hits(); h != int64(len(variants)-1) {
+		t.Errorf("hits = %d, want %d", h, len(variants)-1)
+	}
+	// A clamp that actually changes the effective group size is a real
+	// key difference and must miss.
+	if _, err := c.WRHT(core.Config{N: 1024, Wavelengths: 64, MaxGroupSize: 65}); err != nil {
+		t.Fatal(err)
+	}
+	if b := c.Builds(); b != 2 {
+		t.Errorf("binding MaxGroupSize clamp built %d profiles total, want 2", b)
 	}
 }
 

@@ -10,11 +10,27 @@ import (
 	"fmt"
 )
 
+// Hook observes the kernel's event lifecycle. Both methods run
+// synchronously on the simulating goroutine; a nil Kernel.Hook costs
+// one pointer comparison per event. Labels come from the *Named
+// scheduling variants and are "" for unlabeled events.
+type Hook interface {
+	// EventScheduled fires when an event enters the queue: seq is its
+	// FIFO tie-breaking rank (monotonically increasing across the
+	// kernel's lifetime), at its firing time, now the clock at
+	// scheduling time.
+	EventScheduled(seq uint64, at, now float64, label string)
+	// EventFired fires just before the event's callback runs, with the
+	// clock already advanced to the event's time.
+	EventFired(seq uint64, now float64, label string)
+}
+
 // Event is a scheduled callback.
 type event struct {
-	time float64
-	seq  uint64
-	fn   func()
+	time  float64
+	seq   uint64
+	fn    func()
+	label string
 }
 
 type eventHeap []*event
@@ -40,6 +56,10 @@ func (h *eventHeap) Pop() interface{} {
 // Kernel owns the simulated clock and the pending event queue. The zero
 // value is ready to use at time 0.
 type Kernel struct {
+	// Hook, when non-nil, observes every event's scheduling and firing.
+	// It must not mutate the kernel.
+	Hook Hook
+
 	now    float64
 	seq    uint64
 	events eventHeap
@@ -50,20 +70,30 @@ func (k *Kernel) Now() float64 { return k.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would reorder causality silently.
-func (k *Kernel) At(t float64, fn func()) {
+func (k *Kernel) At(t float64, fn func()) { k.AtNamed(t, "", fn) }
+
+// AtNamed schedules fn at absolute time t with a label the Hook (and
+// the timeline tracer built on it) can attribute the event to.
+func (k *Kernel) AtNamed(t float64, label string, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("des: scheduling at %g before now %g", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{time: t, seq: k.seq, fn: fn})
+	heap.Push(&k.events, &event{time: t, seq: k.seq, fn: fn, label: label})
+	if k.Hook != nil {
+		k.Hook.EventScheduled(k.seq, t, k.now, label)
+	}
 }
 
 // After schedules fn to run delay seconds from now.
-func (k *Kernel) After(delay float64, fn func()) {
+func (k *Kernel) After(delay float64, fn func()) { k.AfterNamed(delay, "", fn) }
+
+// AfterNamed schedules fn delay seconds from now with a label.
+func (k *Kernel) AfterNamed(delay float64, label string, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("des: negative delay %g", delay))
 	}
-	k.At(k.now+delay, fn)
+	k.AtNamed(k.now+delay, label, fn)
 }
 
 // Step runs the earliest pending event, advancing the clock to its time.
@@ -74,6 +104,9 @@ func (k *Kernel) Step() bool {
 	}
 	e := heap.Pop(&k.events).(*event)
 	k.now = e.time
+	if k.Hook != nil {
+		k.Hook.EventFired(e.seq, k.now, e.label)
+	}
 	e.fn()
 	return true
 }

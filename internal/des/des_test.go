@@ -86,6 +86,86 @@ func TestStepAndPending(t *testing.T) {
 	}
 }
 
+// recordingHook captures the kernel's event lifecycle for the hook
+// tests below.
+type recordingHook struct {
+	scheduled []uint64
+	fired     []uint64
+	labels    []string
+}
+
+func (h *recordingHook) EventScheduled(seq uint64, at, now float64, label string) {
+	h.scheduled = append(h.scheduled, seq)
+}
+
+func (h *recordingHook) EventFired(seq uint64, now float64, label string) {
+	h.fired = append(h.fired, seq)
+	h.labels = append(h.labels, label)
+}
+
+func TestHookObservesNamedEvents(t *testing.T) {
+	var k Kernel
+	h := &recordingHook{}
+	k.Hook = h
+	k.AtNamed(2, "late", func() {})
+	k.AfterNamed(1, "early", func() {})
+	k.Run()
+	if len(h.scheduled) != 2 || h.scheduled[0] != 1 || h.scheduled[1] != 2 {
+		t.Fatalf("scheduled seqs = %v", h.scheduled)
+	}
+	if len(h.fired) != 2 || h.fired[0] != 2 || h.fired[1] != 1 {
+		t.Fatalf("fired seqs = %v, want [2 1] (time order)", h.fired)
+	}
+	if h.labels[0] != "early" || h.labels[1] != "late" {
+		t.Fatalf("labels = %v", h.labels)
+	}
+}
+
+// TestQuickHookPreservesFIFO is the deterministic-tie-breaking property
+// run with a recording hook attached: a hooked kernel must fire the
+// same events in the same order as a hook-less one, and same-time
+// events must fire in scheduling (seq) order — the FIFO guarantee is
+// observable through the hook and unchanged by it.
+func TestQuickHookPreservesFIFO(t *testing.T) {
+	f := func(delays []uint8) bool {
+		run := func(k *Kernel) []int {
+			var order []int
+			for i, d := range delays {
+				i := i
+				k.At(float64(d), func() { order = append(order, i) })
+			}
+			k.Run()
+			return order
+		}
+		h := &recordingHook{}
+		hooked := run(&Kernel{Hook: h})
+		plain := run(&Kernel{})
+		if len(hooked) != len(plain) {
+			return false
+		}
+		for i := range hooked {
+			if hooked[i] != plain[i] {
+				return false
+			}
+		}
+		// The hook saw every firing, and ties broke FIFO: a seq fires
+		// before a larger seq scheduled for the same time.
+		if len(h.fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(h.fired); i++ {
+			a, b := h.fired[i-1], h.fired[i]
+			if delays[a-1] == delays[b-1] && a > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickMonotonicClock(t *testing.T) {
 	f := func(delays []uint16) bool {
 		var k Kernel

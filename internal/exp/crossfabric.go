@@ -8,6 +8,8 @@ import (
 	"wrht/internal/electrical"
 	"wrht/internal/fabric"
 	"wrht/internal/metrics"
+	"wrht/internal/obs"
+	"wrht/internal/rwa"
 )
 
 // CrossFabricResult bundles the comparison table with the raw engine
@@ -26,7 +28,15 @@ type CrossFabricResult struct {
 // fat-tree — for a single dBytes payload at (n, w). It is the
 // cross-fabric experiment the four pre-engine Run* entry points could
 // not express: same schedule, same engine, different physics.
+// When o.Trace is set, every run additionally emits its full
+// simulated-time step timeline — one Perfetto process per
+// "<mode>/<algorithm>" cell — and the sweep runs sequentially so the
+// emitted trace is byte-stable (each run's spans start at simulated
+// time zero; the processes sit side by side in the viewer).
 func CrossFabric(o Options, n, w int, dBytes float64) (*CrossFabricResult, error) {
+	if o.Trace != nil {
+		o.Workers = 1
+	}
 	e := newEngine(o)
 	if e.optFabErr != nil {
 		return nil, fmt.Errorf("exp: cross-fabric: %w", e.optFabErr)
@@ -66,11 +76,21 @@ func CrossFabric(o Options, n, w int, dBytes float64) (*CrossFabricResult, error
 		{"electrical", fabric.Engine{Fabric: elFab}},
 	}
 
+	var rwaStats *rwa.Stats
+	if o.Metrics != nil {
+		rwaStats = &rwa.Stats{}
+	}
+
 	// One sweep point per (algorithm, mode); the electrical fluid solves
 	// dominate, so fanning out pays off.
 	results, err := sweep(e, len(entries)*len(modes), func(i int) (fabric.Result, error) {
 		en, mo := entries[i/len(modes)], modes[i%len(modes)]
-		res, err := mo.eng.RunSchedule(en.s, dBytes)
+		eng := mo.eng
+		if o.Trace != nil || o.Metrics != nil {
+			eng.Opts.Observer = obs.NewFabricObserver(o.Trace, o.Metrics, mo.name+"/"+en.name)
+			eng.Opts.RWAStats = rwaStats
+		}
+		res, err := eng.RunSchedule(en.s, dBytes)
 		if err != nil {
 			return fabric.Result{}, fmt.Errorf("cross-fabric %s on %s: %w", en.name, mo.name, err)
 		}
@@ -78,6 +98,9 @@ func CrossFabric(o Options, n, w int, dBytes float64) (*CrossFabricResult, error
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.Metrics != nil {
+		rwaStats.Publish(func(name string, v int64) { o.Metrics.Counter(name).Add(v) })
 	}
 
 	out := &CrossFabricResult{

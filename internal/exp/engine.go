@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/electrical"
 	"wrht/internal/fabric"
+	"wrht/internal/obs"
 )
 
 // engine executes one sweep: it owns the bounded worker pool, the
@@ -26,6 +28,9 @@ type engine struct {
 	// first timing call so newEngine stays infallible.
 	optFab    fabric.Fabric
 	optFabErr error
+	// pubHits/pubMisses/pubBuilds are the cache values already published
+	// to Options.Metrics (see publishCacheMetrics).
+	pubHits, pubMisses, pubBuilds int64
 }
 
 func newEngine(o Options) *engine {
@@ -44,22 +49,50 @@ func newEngine(o Options) *engine {
 // be pure (they may share e's caches, which synchronise internally).
 // On failure the lowest-index error is returned — again independent
 // of goroutine scheduling.
+//
+// With Options.Metrics set, the sweep counts points and accumulates
+// per-worker busy time (wall clock; metrics are not byte-stability
+// constrained). With Options.Trace carrying a Clock, each point also
+// emits a progress span on its worker's track — a diagnostic timeline
+// of pool utilisation, separate from the simulated-time traces.
 func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	points := e.opts.Metrics.Counter("exp.sweep.points")
+	busy := e.opts.Metrics.Gauge("exp.sweep.busy_seconds")
+	tr := e.opts.Trace
+	if tr != nil && tr.Clock == nil {
+		tr = nil // sweep spans are wall-clock-only; without a clock, skip
+	}
+	run := func(worker, i int) (T, error) {
+		var start float64
+		if tr != nil {
+			start = tr.Clock()
+		}
+		w0 := time.Now()
+		v, err := fn(i)
+		busy.Add(time.Since(w0).Seconds())
+		points.Inc()
+		if tr != nil {
+			tr.Span(obs.Track{Process: "sweep", Name: fmt.Sprintf("worker %d", worker)},
+				fmt.Sprintf("point %d", i), start, tr.Clock()-start, nil)
+		}
+		return v, err
+	}
 	vals := make([]T, n)
 	errs := make([]error, n)
 	if workers := min(e.workers, n); workers <= 1 {
 		for i := 0; i < n; i++ {
-			vals[i], errs[i] = fn(i)
+			vals[i], errs[i] = run(0, i)
 		}
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
+			w := w
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					vals[i], errs[i] = fn(i)
+					vals[i], errs[i] = run(w, i)
 				}
 			}()
 		}
@@ -69,12 +102,28 @@ func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		close(idx)
 		wg.Wait()
 	}
+	e.publishCacheMetrics()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("exp: sweep point %d: %w", i, err)
 		}
 	}
 	return vals, nil
+}
+
+// publishCacheMetrics adds the profile cache's activity since the last
+// publication to the registry. Called from the sweep coordinator (never
+// concurrently for one engine), so plain delta fields suffice.
+func (e *engine) publishCacheMetrics() {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	h, mi, b := e.profiles.Hits(), e.profiles.Misses(), e.profiles.Builds()
+	m.Counter("collective.profile_cache.hits").Add(h - e.pubHits)
+	m.Counter("collective.profile_cache.misses").Add(mi - e.pubMisses)
+	m.Counter("collective.profile_cache.builds").Add(b - e.pubBuilds)
+	e.pubHits, e.pubMisses, e.pubBuilds = h, mi, b
 }
 
 // wrht returns the memoized WRHT profile for n nodes, w wavelengths and

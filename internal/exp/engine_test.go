@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wrht/internal/dnn"
+	"wrht/internal/obs"
 )
 
 // renderFig5 serialises every subfigure plus the headline reductions in
@@ -117,12 +118,21 @@ func TestProfileCacheBuildsEachConfigOnce(t *testing.T) {
 	if got := e.profiles.Builds(); got != 4 {
 		t.Errorf("fig4 built %d profiles, want 4 (one per distinct m)", got)
 	}
-	// Re-running on the same engine adds no builds.
+	// 16 sweep points, one profile lookup each: 4 misses created the
+	// entries, the other 12 lookups hit. Misses above Builds would be the
+	// silent-rebuild signal (identical profiles under fragmented keys).
+	if h, m := e.profiles.Hits(), e.profiles.Misses(); m != 4 || h != 12 {
+		t.Errorf("fig4 hits/misses = %d/%d, want 12/4", h, m)
+	}
+	// Re-running on the same engine adds no builds — 16 more hits.
 	if _, err := e.fig4(); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.profiles.Builds(); got != 4 {
 		t.Errorf("fig4 rerun rebuilt profiles: %d builds", got)
+	}
+	if h, m := e.profiles.Hits(), e.profiles.Misses(); m != 4 || h != 28 {
+		t.Errorf("fig4 rerun hits/misses = %d/%d, want 28/4", h, m)
 	}
 
 	// Fig 5 touches 4 WRHT (canonical m per w ∈ {4,16,64,256}; the
@@ -134,6 +144,40 @@ func TestProfileCacheBuildsEachConfigOnce(t *testing.T) {
 	}
 	if got := e.profiles.Builds(); got != 10 {
 		t.Errorf("fig5 built %d profiles, want 10", got)
+	}
+	if m := e.profiles.Misses(); m != 10 {
+		t.Errorf("fig5 misses = %d, want 10 (one per distinct profile)", m)
+	}
+	// 64 sweep lookups + the normalization base, 10 of them misses.
+	if h := e.profiles.Hits(); h != 55 {
+		t.Errorf("fig5 hits = %d, want 55", h)
+	}
+}
+
+// TestSweepPublishesCacheMetrics checks the registry integration: sweep
+// counters and the cache's hit/miss deltas land under their documented
+// names after each sweep.
+func TestSweepPublishesCacheMetrics(t *testing.T) {
+	o := Defaults()
+	o.Metrics = obs.NewRegistry()
+	if _, err := Fig4(o); err != nil {
+		t.Fatal(err)
+	}
+	s := o.Metrics.Snapshot()
+	if got := s.Counters["exp.sweep.points"]; got != 16 {
+		t.Errorf("exp.sweep.points = %d, want 16", got)
+	}
+	if got := s.Counters["collective.profile_cache.misses"]; got != 4 {
+		t.Errorf("collective.profile_cache.misses = %d, want 4", got)
+	}
+	if got := s.Counters["collective.profile_cache.hits"]; got != 12 {
+		t.Errorf("collective.profile_cache.hits = %d, want 12", got)
+	}
+	if got := s.Counters["collective.profile_cache.builds"]; got != 4 {
+		t.Errorf("collective.profile_cache.builds = %d, want 4", got)
+	}
+	if s.Gauges["exp.sweep.busy_seconds"] <= 0 {
+		t.Error("exp.sweep.busy_seconds not accumulated")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"wrht/internal/dnn"
 	"wrht/internal/electrical"
 	"wrht/internal/metrics"
+	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/phys"
 	"wrht/internal/trace"
@@ -63,6 +64,17 @@ type Options struct {
 	// GOMAXPROCS, 1 forces the sequential baseline path. Output is
 	// identical whatever the value.
 	Workers int
+	// Trace, when non-nil, receives observability spans: per-sweep-point
+	// progress spans (only when Trace.Clock is set — they are wall-clock
+	// diagnostics, not simulated time) and, for CrossFabric, the full
+	// simulated-time step timeline of every (algorithm, mode) run. Runs
+	// that emit simulated timelines force Workers=1 so the trace file is
+	// byte-stable.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, accumulates sweep counters (points run,
+	// worker busy seconds), profile-cache hit/miss deltas and RWA probe
+	// statistics.
+	Metrics *obs.Registry
 }
 
 // Defaults returns the Table-2 configuration with fused granularity.

@@ -1,0 +1,42 @@
+package fabric
+
+import (
+	"testing"
+
+	"wrht/internal/core"
+)
+
+// benchSchedule is the N=64, w=64 WRHT schedule: small enough to run in
+// the CI -benchtime=1x smoke step, large enough to exercise the overlap
+// probe (its top boundary is rwa-disjoint, so one reconfiguration hides).
+func benchSchedule(b *testing.B) *core.Schedule {
+	b.Helper()
+	s, err := core.BuildWRHT(core.Config{N: 64, Wavelengths: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkEngineNilObserver pins the cost of the engine's default path
+// with no observer attached: the observability hook must add zero
+// allocations and <1% time versus the pre-hook engine (BENCH_obs.json
+// records the before/after pair).
+func BenchmarkEngineNilObserver(b *testing.B) {
+	s := benchSchedule(b)
+	for _, bc := range []struct {
+		name    string
+		overlap bool
+	}{{"plain", false}, {"overlap", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			f := &stubFabric{setup: 25e-6, perByte: 2.5e-10}
+			eng := Engine{Fabric: f, Opts: Options{Overlap: bc.overlap}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunSchedule(s, 100e6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

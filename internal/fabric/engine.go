@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wrht/internal/core"
+	"wrht/internal/rwa"
 )
 
 // Options configures one engine run.
@@ -23,6 +24,14 @@ type Options struct {
 	// circuits are disjoint per the internal/rwa conflict model. Only
 	// explicit schedules carry circuits, so profile runs reject it.
 	Overlap bool
+	// Observer, when non-nil, receives a StepEvent per executed schedule
+	// step and a GroupEvent per profile group (see observer.go). Nil is
+	// the default fast path: one pointer comparison, zero allocations.
+	Observer Observer
+	// RWAStats, when non-nil, is attached to the occupancy index behind
+	// the overlap probes so first-fit/saturation counters accumulate
+	// there.
+	RWAStats *rwa.Stats
 }
 
 // Engine executes collective schedules and analytic profiles on a
@@ -103,8 +112,14 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 		}
 		var hidden float64
 		if e.Opts.Overlap && k > 0 && c.Setup > 0 && prevTransmit > 0 &&
-			disjointSteps(s.Ring, s.Steps[k-1], st) {
+			disjointSteps(s.Ring, s.Steps[k-1], st, e.Opts.RWAStats) {
 			hidden = math.Min(c.Setup, prevTransmit)
+		}
+		if e.Opts.Observer != nil {
+			e.Opts.Observer.StepExecuted(StepEvent{
+				Index: k, Start: res.Time, Step: &s.Steps[k],
+				Cost: c, Hidden: hidden, Elems: elems,
+			})
 		}
 		res.Time += c.Total - hidden
 		res.TransferTime += c.Serialization + c.OEO
@@ -130,9 +145,15 @@ func (e Engine) RunProfile(pr core.Profile, dBytes float64) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Fabric: e.Fabric.Name(), Algorithm: pr.Algorithm, Steps: pr.NumSteps()}
-	for _, g := range pr.Groups {
+	for gi, g := range pr.Groups {
 		c := e.Fabric.GroupCost(g.FracOfD * dBytes)
 		steps := float64(g.Steps)
+		if e.Opts.Observer != nil {
+			e.Opts.Observer.GroupExecuted(GroupEvent{
+				Index: gi, Start: res.Time, Steps: g.Steps,
+				Bytes: g.FracOfD * dBytes, Cost: c,
+			})
+		}
 		res.Time += steps * c.Total
 		res.TransferTime += steps * (c.Serialization + c.OEO)
 		res.OverheadTime += steps * c.Setup

@@ -1,0 +1,62 @@
+package fabric
+
+import "wrht/internal/core"
+
+// Observer receives per-step execution events from the Engine as it
+// times a collective. The engine calls it synchronously, in schedule
+// order, with simulated timestamps — an observer that records them (the
+// Perfetto tracer in internal/obs) reconstructs the full timeline the
+// run computes and otherwise throws away. A nil Options.Observer costs
+// one pointer comparison per step and zero allocations, pinned by
+// BenchmarkEngineNilObserver.
+//
+// The interface lives here rather than in internal/obs so that the
+// engine has no observability dependency; internal/obs implements it.
+type Observer interface {
+	// StepExecuted fires once per explicit-schedule step, after the
+	// step's cost and overlap decision are known and before the result
+	// accumulates.
+	StepExecuted(ev StepEvent)
+	// GroupExecuted fires once per profile group in a RunProfile /
+	// RunBuckets run (profiles have no per-step circuits, so this is the
+	// finest granularity available).
+	GroupExecuted(ev GroupEvent)
+}
+
+// StepEvent describes one executed schedule step. All times are
+// simulated seconds.
+type StepEvent struct {
+	// Index is the step's position in the schedule.
+	Index int
+	// Start is when the step's visible window begins: the step occupies
+	// [Start, Start+Cost.Total−Hidden]. When Hidden > 0 the hidden
+	// portion of the circuit setup ran during [Start−Hidden, Start],
+	// under the previous step's transmission.
+	Start float64
+	// Step is the executed step (phase + transfers with their assigned
+	// wavelengths). The pointer aliases the schedule; observers must not
+	// mutate it.
+	Step *core.Step
+	// Cost is the fabric's timing decomposition for the step.
+	Cost StepCost
+	// Hidden is how much of Cost.Setup overlap mode hid (zero unless
+	// Options.Overlap and the boundary was rwa-disjoint).
+	Hidden float64
+	// Elems is the per-node vector length in 4-byte elements.
+	Elems int
+}
+
+// GroupEvent describes one executed profile group: Steps identical
+// steps of cost Cost each, starting at simulated time Start.
+type GroupEvent struct {
+	// Index is the group's position in the profile.
+	Index int
+	// Start is when the group's first step begins.
+	Start float64
+	// Steps is the number of identical steps in the group.
+	Steps int
+	// Bytes is the payload of the group's busiest circuit.
+	Bytes float64
+	// Cost is the fabric's timing decomposition for one step.
+	Cost StepCost
+}

@@ -20,8 +20,9 @@ import (
 
 // disjointSteps reports whether steps a and b can have their circuits up
 // simultaneously: the pooled request set of both steps must be
-// conflict-free under the rwa model.
-func disjointSteps(ring topo.Ring, a, b core.Step) bool {
+// conflict-free under the rwa model. stats, when non-nil, accumulates
+// the probe counters.
+func disjointSteps(ring topo.Ring, a, b core.Step, stats *rwa.Stats) bool {
 	reqs := make([]rwa.Request, 0, len(a.Transfers)+len(b.Transfers))
 	asn := make(rwa.Assignment, 0, len(a.Transfers)+len(b.Transfers))
 	for _, st := range []core.Step{a, b} {
@@ -31,5 +32,7 @@ func disjointSteps(ring topo.Ring, a, b core.Step) bool {
 		}
 	}
 	arcs := rwa.ArcsOf(ring, reqs)
-	return rwa.NewIndex(ring).ConflictFree(reqs, arcs, asn)
+	ix := rwa.NewIndex(ring)
+	ix.Stats = stats
+	return ix.ConflictFree(reqs, arcs, asn)
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+
+	"wrht/internal/fabric"
+)
+
+// FabricObserver implements fabric.Observer, turning the engine's step
+// events into Perfetto spans and registry counters. One observer traces
+// one engine run; its Process names the Perfetto process grouping all
+// of the run's tracks (e.g. "optical+overlap/WRHT"), so several runs —
+// the crossfabric table times every (mode, algorithm) pair — coexist in
+// one trace file side by side, each starting at simulated time zero.
+//
+// Track layout (DESIGN.md §2.3):
+//
+//   - "steps": one parent span per step over its visible window
+//     [Start, Start+Total−Hidden], named after the phase, with nested
+//     "reconfig" / "serialization" / "oeo" / "router-delay" child spans
+//     for the non-zero cost components.
+//   - "control plane": "reconfig (overlap-hidden)" spans for the setup
+//     portion that ran under the previous step's transmission, at
+//     [Start−Hidden, Start] — the part of the 25 µs MRR retune the
+//     overlap mode made free.
+//   - "node <i> <dir>": one track per (source node, ring direction)
+//     carrying a "circuit λ<w>" reservation span per transfer over the
+//     step's transmission window, with step/wavelength/src/dst args.
+//
+// Tracer and Metrics may each be nil independently (spans only, or
+// counters only).
+type FabricObserver struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	// Process names the Perfetto process for this run's tracks.
+	Process string
+	// MaxNodeTracks caps how many (node, direction) circuit tracks are
+	// emitted (tracks for nodes ≥ the cap are dropped, keeping traces of
+	// large rings readable). Zero means no cap.
+	MaxNodeTracks int
+}
+
+// NewFabricObserver returns an observer emitting into tr and reg (either
+// may be nil) under the given Perfetto process name.
+func NewFabricObserver(tr *Tracer, reg *Registry, process string) *FabricObserver {
+	return &FabricObserver{Tracer: tr, Metrics: reg, Process: process}
+}
+
+// StepExecuted renders one schedule step into spans and counters.
+func (o *FabricObserver) StepExecuted(ev fabric.StepEvent) {
+	c := ev.Cost
+	visible := c.Total - ev.Hidden
+	start := ev.Start
+	if t := o.Tracer; t != nil {
+		steps := Track{Process: o.Process, Name: "steps"}
+		t.Span(steps, ev.Step.Phase.String(), start, visible, Args{
+			"step": ev.Index, "transfers": len(ev.Step.Transfers),
+			"bytes": c.MaxBytes, "hidden_us": ev.Hidden * 1e6,
+		})
+		at := start
+		if d := c.Setup - ev.Hidden; d > 0 {
+			t.Span(steps, "reconfig", at, d, nil)
+			at += d
+		}
+		if c.Serialization > 0 {
+			t.Span(steps, "serialization", at, c.Serialization, nil)
+			at += c.Serialization
+		}
+		if c.OEO > 0 {
+			t.Span(steps, "oeo", at, c.OEO, nil)
+			at += c.OEO
+		}
+		if c.RouterDelay > 0 {
+			t.Span(steps, "router-delay", at, c.RouterDelay, nil)
+		}
+		if ev.Hidden > 0 {
+			t.Span(Track{Process: o.Process, Name: "control plane"},
+				"reconfig (overlap-hidden)", start-ev.Hidden, ev.Hidden,
+				Args{"step": ev.Index})
+		}
+		txStart := start + c.Setup - ev.Hidden
+		tx := c.Transmission()
+		for _, tr := range ev.Step.Transfers {
+			if o.MaxNodeTracks > 0 && tr.Src >= o.MaxNodeTracks {
+				continue
+			}
+			t.Span(Track{
+				Process: o.Process,
+				Name:    fmt.Sprintf("node %d %s", tr.Src, tr.Dir),
+			}, fmt.Sprintf("circuit λ%d", tr.Wavelength), txStart, tx, Args{
+				"step": ev.Index, "wavelength": tr.Wavelength,
+				"src": tr.Src, "dst": tr.Dst,
+			})
+		}
+	}
+	if m := o.Metrics; m != nil {
+		m.Counter("fabric.steps").Inc()
+		m.Counter("fabric.circuits.reserved").Add(int64(len(ev.Step.Transfers)))
+		if ev.Hidden > 0 {
+			m.Counter("fabric.overlap.boundaries_hidden").Inc()
+			m.Gauge("fabric.overlap.hidden_seconds").Add(ev.Hidden)
+		}
+	}
+}
+
+// GroupExecuted renders one profile group as a single span (profiles
+// carry no circuits, so there are no per-node tracks to populate).
+func (o *FabricObserver) GroupExecuted(ev fabric.GroupEvent) {
+	if t := o.Tracer; t != nil {
+		dur := float64(ev.Steps) * ev.Cost.Total
+		t.Span(Track{Process: o.Process, Name: "steps"},
+			fmt.Sprintf("group ×%d", ev.Steps), ev.Start, dur, Args{
+				"group": ev.Index, "steps": ev.Steps, "bytes": ev.Bytes,
+				"step_us": ev.Cost.Total * 1e6,
+			})
+	}
+	if m := o.Metrics; m != nil {
+		m.Counter("fabric.groups").Inc()
+		m.Counter("fabric.steps").Add(int64(ev.Steps))
+	}
+}

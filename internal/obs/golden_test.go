@@ -1,0 +1,103 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/fabric"
+	"wrht/internal/obs"
+	"wrht/internal/optical"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace files")
+
+// goldenRun executes the N=16, w=8 WRHT schedule with overlap on the
+// optical fabric under a fresh tracer+registry. The configuration is
+// chosen because its gather→broadcast boundary is rwa-disjoint, so the
+// trace contains a "reconfig (overlap-hidden)" span (the N=64 w=8
+// default hides nothing).
+func goldenRun(t *testing.T) (*obs.Tracer, *obs.Registry) {
+	t.Helper()
+	s, err := core.BuildWRHT(core.Config{N: 16, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := optical.DefaultParams()
+	p.Wavelengths = 8
+	f, err := p.Fabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	eng := fabric.Engine{Fabric: f, Opts: fabric.Options{
+		Overlap:  true,
+		Observer: obs.NewFabricObserver(tr, reg, "optical+overlap/WRHT"),
+	}}
+	if _, err := eng.RunSchedule(s, 100e6); err != nil {
+		t.Fatal(err)
+	}
+	return tr, reg
+}
+
+// TestGoldenPerfettoTrace pins the exact bytes of the small WRHT run's
+// Perfetto JSON: simulated-time-only timestamps plus deterministic
+// track registration make the file a pure function of the run.
+// Regenerate with `go test ./internal/obs -run Golden -update` after an
+// intentional format change.
+func TestGoldenPerfettoTrace(t *testing.T) {
+	tr, _ := goldenRun(t)
+	var got bytes.Buffer
+	if _, err := tr.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "wrht_n16_w8.trace.json")
+	if *update {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("trace differs from golden file %s (len %d vs %d); run with -update if the change is intentional",
+			path, got.Len(), len(want))
+	}
+	// Byte-identical across runs, not just against the checked-in file.
+	tr2, _ := goldenRun(t)
+	var again bytes.Buffer
+	if _, err := tr2.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), again.Bytes()) {
+		t.Fatal("two identical runs emitted different trace bytes")
+	}
+}
+
+// TestGoldenRunCounters asserts the registry side of the same run: the
+// N=16 m=17 schedule is one gather step and one broadcast step, whose
+// single boundary hides a full 25 µs reconfiguration.
+func TestGoldenRunCounters(t *testing.T) {
+	_, reg := goldenRun(t)
+	s := reg.Snapshot()
+	if got := s.Counters["fabric.steps"]; got != 2 {
+		t.Errorf("fabric.steps = %d, want 2", got)
+	}
+	if got := s.Counters["fabric.circuits.reserved"]; got != 30 {
+		t.Errorf("fabric.circuits.reserved = %d, want 30 (15 transfers per step)", got)
+	}
+	if got := s.Counters["fabric.overlap.boundaries_hidden"]; got != 1 {
+		t.Errorf("fabric.overlap.boundaries_hidden = %d, want 1", got)
+	}
+	hidden := s.Gauges["fabric.overlap.hidden_seconds"]
+	if hidden < 24.9e-6 || hidden > 25.1e-6 {
+		t.Errorf("fabric.overlap.hidden_seconds = %g, want 25e-6", hidden)
+	}
+}

@@ -1,0 +1,214 @@
+// Package obs is the simulator's observability layer: a tracer that
+// emits Chrome Trace Event / Perfetto-loadable JSON timelines in
+// simulated time, and a registry of named counters and gauges.
+//
+// Everything here is zero-cost when disabled. Producers (the fabric
+// engine, the DES kernel, the sweep engine, the training timeline) take
+// a nil-able observer/tracer/registry; a nil value is one pointer
+// comparison on the hot path and no allocations, pinned by
+// BenchmarkEngineNilObserver in internal/fabric.
+//
+// Timestamps are simulated seconds supplied by the producer — never
+// time.Now — so an emitted trace file is a pure function of the
+// simulated run and byte-identical across invocations (golden-tested).
+// The only clock the tracer knows is the injectable Clock field, the
+// same pattern trace.Recorder uses for its Now field; it exists for
+// diagnostic wall-clock tracks (sweep progress) and deterministic tests.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// safe on a nil receiver (no-ops / zero), so producers can hold the
+// result of Registry.Counter on a nil registry without branching.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric (accumulated seconds, ratios). Like Counter
+// it is nil-safe and safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+d)) {
+			return
+		}
+	}
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a namespace of counters and gauges. Metric handles are
+// created on first use and live for the registry's lifetime; lookups on
+// a nil registry return nil handles whose methods no-op, so one nil
+// check at wiring time covers an entire instrumented subsystem.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-serializable
+// with deterministic (sorted) key order.
+type Snapshot struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	return s
+}
+
+// WriteText writes the snapshot as sorted "name value" lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile dumps the metrics to path: JSON when the path ends in
+// ".json", text lines otherwise. A path of "-" writes text to stdout.
+func (r *Registry) WriteFile(path string) error {
+	if path == "-" {
+		return r.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Span(Track{Process: "p", Name: "t"}, "s", 0, 1, nil)
+	tr.Instant(Track{Process: "p", Name: "t"}, "i", 0, nil)
+	if tr.Events() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if n, err := tr.WriteTo(&buf); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+}
+
+// emit produces a fixed two-process event sequence.
+func emit(tr *Tracer) {
+	a := Track{Process: "run A", Name: "steps"}
+	b := Track{Process: "run B", Name: "steps"}
+	a2 := Track{Process: "run A", Name: "control plane"}
+	tr.Span(a, "reduce", 0, 25e-6, Args{"step": 0, "bytes": 4096.0})
+	tr.Span(b, "broadcast", 0, 10e-6, nil)
+	tr.Span(a2, "reconfig (overlap-hidden)", 10e-6, 25e-6, nil)
+	tr.Instant(a, "barrier", 35e-6, nil)
+}
+
+func TestTracerChromeTraceShape(t *testing.T) {
+	tr := NewTracer()
+	emit(tr)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 2 process_name + 3×(thread_name + thread_sort_index) + 4 events.
+	if got, want := len(doc.TraceEvents), 2+6+4; got != want {
+		t.Fatalf("%d trace events, want %d", got, want)
+	}
+	// Metadata leads, in registration order; pids/tids are 1-based.
+	if doc.TraceEvents[0]["ph"] != "M" || doc.TraceEvents[0]["args"].(map[string]any)["name"] != "run A" {
+		t.Fatalf("first metadata event wrong: %v", doc.TraceEvents[0])
+	}
+	span := doc.TraceEvents[8]
+	if span["name"] != "reduce" || span["ph"] != "X" {
+		t.Fatalf("first span wrong: %v", span)
+	}
+	if span["dur"].(float64) != 25 { // 25 µs
+		t.Fatalf("span dur = %v µs, want 25", span["dur"])
+	}
+	if span["pid"].(float64) != 1 || span["tid"].(float64) != 1 {
+		t.Fatalf("span track = pid %v tid %v, want 1/1", span["pid"], span["tid"])
+	}
+	last := doc.TraceEvents[11]
+	if last["ph"] != "i" || last["ts"].(float64) != 35 {
+		t.Fatalf("instant wrong: %v", last)
+	}
+}
+
+func TestTracerByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	t1 := NewTracer()
+	emit(t1)
+	if _, err := t1.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	t2 := NewTracer()
+	emit(t2)
+	if _, err := t2.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical emission sequences produced different bytes")
+	}
+	// Writing twice from the same tracer is also stable (WriteTo does
+	// not consume or reorder state).
+	var c bytes.Buffer
+	if _, err := t1.WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("re-serialization changed bytes")
+	}
+}

@@ -25,13 +25,22 @@ type TransferDelay func(step, transfer int, nominal float64) float64
 // returns the simulated timing. If delay is non-nil it perturbs each
 // transfer's duration (fault/straggler injection).
 func RunScheduleDES(p Params, s *core.Schedule, dBytes float64, delay TransferDelay) (Result, error) {
+	return RunScheduleDESObserved(p, s, dBytes, delay, nil)
+}
+
+// RunScheduleDESObserved is RunScheduleDES with a des.Hook attached to
+// the kernel. Reconfiguration and transfer completions are scheduled as
+// labeled events ("reconfig", "transfer"), so an observing hook (the
+// Perfetto kernel observer in internal/obs) sees them by name on the
+// simulated timeline.
+func RunScheduleDESObserved(p Params, s *core.Schedule, dBytes float64, delay TransferDelay, hook des.Hook) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
 	elems := int(dBytes / 4)
 	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
 
-	var k des.Kernel
+	k := des.Kernel{Hook: hook}
 	var runStep func(si int)
 	runStep = func(si int) {
 		if si >= len(s.Steps) {
@@ -40,7 +49,7 @@ func RunScheduleDES(p Params, s *core.Schedule, dBytes float64, delay TransferDe
 		st := s.Steps[si]
 		stepStart := k.Now()
 		// Reconfigure the MRRs, then launch every circuit in parallel.
-		k.After(p.ReconfigDelay, func() {
+		k.AfterNamed(p.ReconfigDelay, "reconfig", func() {
 			if len(st.Transfers) == 0 {
 				finishStep(&k, &res, st, stepStart, si, runStep)
 				return
@@ -54,7 +63,7 @@ func RunScheduleDES(p Params, s *core.Schedule, dBytes float64, delay TransferDe
 						dur = 0
 					}
 				}
-				k.After(dur, func() {
+				k.AfterNamed(dur, "transfer", func() {
 					remaining--
 					if remaining == 0 {
 						finishStep(&k, &res, st, stepStart, si, runStep)

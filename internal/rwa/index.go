@@ -30,6 +30,11 @@ import (
 // Occupy/FirstFree/RandomFree/Occupied primitives operate on the current
 // contents.
 type Index struct {
+	// Stats, when non-nil, accumulates probe counters (fit calls, words
+	// scanned, saturation early-exits, conflict probes). May be shared
+	// across indexes; see Stats.
+	Stats *Stats
+
 	n       int // ring size (segments per direction)
 	nb      int // summary blocks per row: ceil(n/64)
 	words   int // 64-wavelength words in use: ceil((maxOccupied+1)/64)
@@ -217,13 +222,23 @@ func (ix *Index) Occupied(dir topo.Direction, a topo.Arc, w int) bool {
 // in direction dir.
 func (ix *Index) FirstFree(dir topo.Direction, a topo.Arc) int {
 	lo1, hi1, lo2, hi2 := ix.arcRanges(a)
+	w := ix.words << 6
+	scanned, saturated := 0, 0
 	for k := 0; k < ix.words; k++ {
 		m := ix.unionWord(dir, k, lo1, hi1, lo2, hi2)
+		scanned++
 		if m != full {
-			return k<<6 + bits.TrailingZeros64(^m)
+			w = k<<6 + bits.TrailingZeros64(^m)
+			break
 		}
+		saturated++
 	}
-	return ix.words << 6
+	if st := ix.Stats; st != nil {
+		st.FirstFitCalls.Add(1)
+		st.WordsScanned.Add(int64(scanned))
+		st.SaturatedWords.Add(int64(saturated))
+	}
+	return w
 }
 
 // RandomFree draws a uniformly random free wavelength on arc a in
@@ -237,11 +252,20 @@ func (ix *Index) RandomFree(dir topo.Direction, a topo.Arc, rng *rand.Rand) int 
 	lo1, hi1, lo2, hi2 := ix.arcRanges(a)
 	u := ix.scratch[:ix.words]
 	limit := 1 // max occupied + 2; 1 when the arc is entirely free
+	saturated := 0
 	for k := ix.words - 1; k >= 0; k-- {
 		u[k] = ix.unionWord(dir, k, lo1, hi1, lo2, hi2)
+		if u[k] == full {
+			saturated++
+		}
 		if limit == 1 && u[k] != 0 {
 			limit = k<<6 + 65 - bits.LeadingZeros64(u[k])
 		}
+	}
+	if st := ix.Stats; st != nil {
+		st.RandomFitCalls.Add(1)
+		st.WordsScanned.Add(int64(ix.words))
+		st.SaturatedWords.Add(int64(saturated))
 	}
 	// wordAt treats wavelengths at or beyond the limit as occupied so
 	// they never count as candidates; words past the in-use range are
@@ -336,14 +360,19 @@ func (ix *Index) Validate(reqs []Request, arcs []topo.Arc, asn Assignment, wavel
 // per step boundary and conflicts simply mean "don't overlap here").
 func (ix *Index) ConflictFree(reqs []Request, arcs []topo.Arc, asn Assignment) bool {
 	ix.Reset()
+	ok := true
 	for i, q := range reqs {
-		if asn[i] < 0 {
-			return false
-		}
-		if ix.Occupied(q.Dir, arcs[i], asn[i]) {
-			return false
+		if asn[i] < 0 || ix.Occupied(q.Dir, arcs[i], asn[i]) {
+			ok = false
+			break
 		}
 		ix.Occupy(q.Dir, arcs[i], asn[i])
 	}
-	return true
+	if st := ix.Stats; st != nil {
+		st.ConflictProbes.Add(1)
+		if !ok {
+			st.ConflictsFound.Add(1)
+		}
+	}
+	return ok
 }

@@ -6,6 +6,7 @@ import (
 	"wrht/internal/core"
 	"wrht/internal/des"
 	"wrht/internal/dnn"
+	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/workload"
 )
@@ -28,6 +29,19 @@ type Timeline struct {
 	// Skew adds worker-index-proportional compute jitter (stragglers):
 	// worker i computes ComputeSec·(1 + Skew·i/(Workers−1)).
 	Skew float64
+	// Trace, when non-nil, receives the simulated compute/all-reduce
+	// timeline: one "worker <i>" track per traced worker plus an
+	// "all-reduce" track, grouped under the TraceProcess process. The
+	// simulation runs on one goroutine, so emission order — and the
+	// trace file — is deterministic.
+	Trace *obs.Tracer
+	// TraceProcess names the Perfetto process ("<model> N=64"); it lets
+	// several workloads coexist in one trace file.
+	TraceProcess string
+	// TraceWorkers caps how many per-worker compute tracks are emitted
+	// (0 means the default of 8; the barrier structure is visible from a
+	// few workers, and thousand-track traces drown the viewer).
+	TraceWorkers int
 }
 
 // Result summarises a timeline simulation.
@@ -45,6 +59,10 @@ func (tl Timeline) Run() TimelineResult {
 	}
 	var k des.Kernel
 	var res TimelineResult
+	tracedWorkers := tl.TraceWorkers
+	if tracedWorkers <= 0 {
+		tracedWorkers = 8
+	}
 	slowest := tl.ComputeSec
 	if tl.Workers > 1 {
 		slowest = tl.ComputeSec * (1 + tl.Skew)
@@ -62,12 +80,20 @@ func (tl Timeline) Run() TimelineResult {
 			if tl.Workers > 1 {
 				c *= 1 + tl.Skew*float64(wkr)/float64(tl.Workers-1)
 			}
-			k.After(c, func() {
+			if tl.Trace != nil && wkr < tracedWorkers {
+				tl.Trace.Span(obs.Track{Process: tl.TraceProcess, Name: fmt.Sprintf("worker %d", wkr)},
+					"compute", k.Now(), c, obs.Args{"iteration": it})
+			}
+			k.AfterNamed(c, "compute", func() {
 				done++
 				if done == tl.Workers {
 					res.ComputeSec += slowest
 					// Synchronous all-reduce.
-					k.After(tl.CommSec, func() {
+					if tl.Trace != nil {
+						tl.Trace.Span(obs.Track{Process: tl.TraceProcess, Name: "all-reduce"},
+							"all-reduce", k.Now(), tl.CommSec, obs.Args{"iteration": it})
+					}
+					k.AfterNamed(tl.CommSec, "all-reduce", func() {
 						res.CommSec += tl.CommSec
 						iterate(it + 1)
 					})

@@ -1,12 +1,14 @@
 package train
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/dnn"
+	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/workload"
 )
@@ -89,5 +91,36 @@ func TestCommTimeForProfile(t *testing.T) {
 	tm, err := CommTimeForProfile(optical.DefaultParams(), pr, dnn.ResNet50())
 	if err != nil || tm <= 0 {
 		t.Fatalf("comm time: %v %g", err, tm)
+	}
+}
+
+func TestTimelineTraceSpans(t *testing.T) {
+	render := func() (*obs.Tracer, TimelineResult) {
+		tr := obs.NewTracer()
+		tl := Timeline{
+			Workers: 16, Iterations: 3, ComputeSec: 0.08, CommSec: 0.02,
+			Trace: tr, TraceProcess: "test N=16", TraceWorkers: 4,
+		}
+		return tr, tl.Run()
+	}
+	tr, res := render()
+	plain := Timeline{Workers: 16, Iterations: 3, ComputeSec: 0.08, CommSec: 0.02}.Run()
+	if res != plain {
+		t.Fatalf("tracing changed the result: %+v vs %+v", res, plain)
+	}
+	// 4 traced workers × 3 iterations compute spans + 3 all-reduce spans.
+	if got, want := tr.Events(), 4*3+3; got != want {
+		t.Fatalf("trace has %d events, want %d", got, want)
+	}
+	var a, b bytes.Buffer
+	if _, err := tr.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := render()
+	if _, err := tr2.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("timeline trace is not byte-stable across runs")
 	}
 }
