@@ -165,8 +165,8 @@ func BenchmarkAblationAllToAll(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ron, _ := optical.RunProfile(p, on, d)
-		roff, _ := optical.RunProfile(p, off, d)
+		ron, _ := wrht.Simulate(wrht.Optical, on, d, wrht.WithOpticalParams(p))
+		roff, _ := wrht.Simulate(wrht.Optical, off, d, wrht.WithOpticalParams(p))
 		with, without = ron.Time, roff.Time
 	}
 	printFirst("abl-a2a", func() {
@@ -203,6 +203,11 @@ func BenchmarkAblationRWAStrategy(b *testing.B) {
 // ablation DESIGN.md §5 documents).
 func BenchmarkAblationGranularity(b *testing.B) {
 	p := optical.DefaultParams()
+	f, err := p.Fabric()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := fabric.Engine{Fabric: f}
 	prof, err := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
 	if err != nil {
 		b.Fatal(err)
@@ -211,11 +216,11 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, m := range dnn.Workloads() {
-			fused, err := optical.RunProfile(p, prof, float64(m.GradBytes()))
+			fused, err := eng.RunProfile(prof, float64(m.GradBytes()))
 			if err != nil {
 				b.Fatal(err)
 			}
-			bucketed, err := optical.RunBuckets(p, prof, m.Buckets(exp.BucketBytes))
+			bucketed, err := eng.RunBuckets(prof, m.Buckets(exp.BucketBytes))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 
+	"wrht"
 	"wrht/internal/cluster"
 	"wrht/internal/collective"
 	"wrht/internal/core"
@@ -104,7 +105,8 @@ func main() {
 
 	p := optical.DefaultParams()
 	p.Wavelengths = *waves
-	res, err := optical.RunSchedule(p, s, float64(*vlen)*4, false)
+	res, err := wrht.Simulate(wrht.Optical, s, float64(*vlen)*4,
+		wrht.WithOpticalParams(p), wrht.WithoutValidation())
 	if err != nil {
 		log.Fatal(err)
 	}

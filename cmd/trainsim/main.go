@@ -22,6 +22,7 @@ import (
 
 	"wrht/internal/collective"
 	"wrht/internal/core"
+	"wrht/internal/fabric"
 	"wrht/internal/metrics"
 	"wrht/internal/obs"
 	"wrht/internal/optical"
@@ -53,6 +54,10 @@ func main() {
 
 	p := optical.DefaultParams()
 	p.Wavelengths = *waves
+	optFab, err := p.Fabric()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := &metrics.Table{
 		Title: fmt.Sprintf("Per-epoch training timeline: %d workers, %s all-reduce, %d wavelengths",
@@ -81,7 +86,7 @@ func main() {
 		default:
 			log.Fatalf("unknown algorithm %q", *algo)
 		}
-		res, err := optical.RunProfile(p, prof, w.GradBytes)
+		res, err := fabric.Engine{Fabric: optFab}.RunProfile(prof, w.GradBytes)
 		if err != nil {
 			log.Fatal(err)
 		}

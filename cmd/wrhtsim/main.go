@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>
+//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|schedule|all>
+//
+// Flags may also follow the subcommand (`wrhtsim faults -n 64`).
+//
+// The faults subcommand sweeps WRHT completion time against dead
+// wavelengths (internal/exp.Degradation): schedules rebuilt around the
+// fault mask upfront versus the same faults injected mid-run through
+// the engine's retry-with-reschedule path. Without -n it covers the
+// paper trio N ∈ {64, 1024, 4096}.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run
 // (any subcommand), for `go tool pprof`.
@@ -51,23 +59,38 @@ func main() {
 	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "write raw figure series to this JSON file")
-	schedN := flag.Int("n", 64, "schedule/crossfabric subcommands: ring size")
-	schedW := flag.Int("w", 8, "schedule/crossfabric subcommands: wavelengths")
+	schedN := flag.Int("n", 64, "schedule/crossfabric/faults subcommands: ring size")
+	schedW := flag.Int("w", 8, "schedule/crossfabric/faults subcommands: wavelengths")
 	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
-	payloadMB := flag.Float64("d", 100, "crossfabric subcommand: payload per node in MB")
+	payloadMB := flag.Float64("d", 100, "crossfabric/faults subcommands: payload per node in MB")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write the counter registry to this file on exit (- for stdout, .json for JSON)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|hybrid|extras|stragglers|schedule|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|schedule|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	cmdArg := flag.Arg(0)
+	if flag.NArg() > 1 {
+		// Flags may follow the subcommand: `wrhtsim faults -n 64`.
+		flag.CommandLine.Parse(flag.Args()[1:])
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	nSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			nSet = true
+		}
+	})
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -81,7 +104,8 @@ func main() {
 		defer f.Close()
 	}
 	code := run(runConfig{
-		cmd:         flag.Arg(0),
+		cmd:         cmdArg,
+		nSet:        nSet,
 		granularity: *gran,
 		workers:     *workers,
 		jsonOut:     *jsonOut,
@@ -119,6 +143,9 @@ type runConfig struct {
 	workers     int
 	jsonOut     string
 	n, w, m     int
+	// nSet records whether -n was given explicitly; the faults sweep
+	// covers the paper trio {64, 1024, 4096} otherwise.
+	nSet        bool
 	payloadMB   float64
 	tracePath   string
 	metricsPath string
@@ -289,6 +316,20 @@ func run(cfg runConfig) int {
 		for _, name := range names {
 			rec.Record(fabric.BreakdownRun("crossfabric/"+name, r.Runs[name]))
 		}
+		ran = true
+	}
+	if cmd == "faults" || cmd == "all" {
+		// Degraded-mode sweep: completion time versus dead wavelengths,
+		// rebuilt-upfront and injected-mid-run (see internal/exp.Degradation).
+		ns := []int{64, 1024, 4096}
+		if cfg.nSet {
+			ns = []int{cfg.n}
+		}
+		r, err := exp.Degradation(o, ns, cfg.w, cfg.payloadMB*1e6, nil, 1)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Println(r.Table)
 		ran = true
 	}
 	if cmd == "crossover" || cmd == "all" {

@@ -18,7 +18,7 @@ func main() {
 	log.SetFlags(0)
 
 	// 1. Build the schedule: 15 nodes, 2 wavelengths (Fig 2b).
-	sched, err := wrht.NewSchedule(wrht.Config{N: 15, Wavelengths: 2})
+	sched, err := wrht.Build(wrht.KindWRHT, 15, wrht.WithWavelengths(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,8 +52,8 @@ func main() {
 
 	// 4. Time it under the Table-2 optical model for a ResNet50-sized
 	// gradient (Eq 6).
-	res, err := wrht.SimulateOptical(opticalWith2Wavelengths(), sched,
-		float64(wrht.ResNet50().GradBytes()))
+	res, err := wrht.Simulate(wrht.Optical, sched, float64(wrht.ResNet50().GradBytes()),
+		wrht.WithOpticalParams(opticalWith2Wavelengths()))
 	if err != nil {
 		log.Fatal(err)
 	}

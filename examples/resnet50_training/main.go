@@ -17,10 +17,10 @@ import (
 	"log"
 	"math/rand"
 
+	"wrht"
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/dnn"
-	"wrht/internal/optical"
 	"wrht/internal/train"
 	"wrht/internal/workload"
 )
@@ -34,7 +34,7 @@ func main() {
 		classes          = 4
 		imgC, imgH, imgW = 1, 8, 8
 	)
-	sched, err := core.BuildWRHT(core.Config{N: workers, Wavelengths: 2})
+	sched, err := wrht.Build(wrht.KindWRHT, workers, wrht.WithWavelengths(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +74,6 @@ func main() {
 	// ---- Part 2: ResNet50 epoch timeline at paper scale.
 	const nodes = 1024
 	w := workload.New(dnn.ResNet50(), workload.TitanXP(), 0)
-	p := optical.DefaultParams()
 	wrhtProf, err := collective.WRHTProfile(core.Config{N: nodes, Wavelengths: 64})
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +88,7 @@ func main() {
 		{"Ring", collective.RingProfile(nodes)},
 		{"BT", collective.BTProfile(nodes)},
 	} {
-		res, err := optical.RunProfile(p, c.prof, w.GradBytes)
+		res, err := wrht.Simulate(wrht.Optical, c.prof, w.GradBytes)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -37,7 +37,7 @@ func main() {
 		p := wrht.DefaultOpticalParams()
 		p.Wavelengths = w
 		time := func(pr wrht.Profile) float64 {
-			res, err := wrht.SimulateOpticalProfile(p, pr, d)
+			res, err := wrht.Simulate(wrht.Optical, pr, d, wrht.WithOpticalParams(p))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -7,6 +7,7 @@ import (
 	"wrht/internal/cluster"
 	"wrht/internal/collective"
 	"wrht/internal/core"
+	"wrht/internal/fabric"
 	"wrht/internal/optical"
 )
 
@@ -110,11 +111,16 @@ func TestWDMHRingBandwidthBeatsWRHTOnHugePayloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tWRHT, err := optical.RunProfile(p, wrhtProf, d)
+	f, err := p.Fabric()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tWH, err := optical.RunProfile(p, collective.WDMHRingProfile(1024, 32, 64), d)
+	eng := fabric.Engine{Fabric: f}
+	tWRHT, err := eng.RunProfile(wrhtProf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tWH, err := eng.RunProfile(collective.WDMHRingProfile(1024, 32, 64), d)
 	if err != nil {
 		t.Fatal(err)
 	}

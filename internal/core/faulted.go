@@ -1,0 +1,439 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wrht/internal/fault"
+	"wrht/internal/rwa"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// Degraded-mode WRHT construction: BuildWRHTMasked builds the same
+// hierarchical schedule as BuildWRHT but under a fault mask, at three
+// levels of the construction.
+//
+//   - Dead wavelengths shrink the effective budget: the schedule is
+//     built for w_eff = |alive wavelengths| (which resizes the Lemma-1
+//     group size m = 2·w_eff+1 and the all-to-all feasibility test),
+//     then every wavelength index is remapped onto the alive list. The
+//     remap relabels circuits without changing their count or arcs, so
+//     completion time depends only on how many wavelengths died, not
+//     which.
+//   - Failed nodes are excluded through the segment-schedule machinery:
+//     the alive positions form an ascending participant list, the line
+//     construction (BuildWRHTLine, no wraparound, line all-to-all)
+//     builds over them, and partition re-elects representatives from
+//     the surviving members of each group.
+//   - Cut segments and failed transceivers are repaired per transfer: a
+//     circuit that hits one is rerouted over the opposite-direction
+//     fiber on the first wavelength free under a mask-seeded rwa.Index,
+//     so the reroute conflicts neither with the step's other circuits
+//     nor with dead wavelengths or cuts on the detour. When the detour
+//     cannot fit alongside the step's surviving circuits it spills into
+//     an overflow step inserted right after — safe for gather and
+//     broadcast steps, whose senders are never receivers within the
+//     step, so a deferred transfer still reads the value it would have
+//     sent. All-to-all steps cannot be split that way (every
+//     representative both sends and receives), so an unrepairable
+//     all-to-all triggers a rebuild with the exchange disabled
+//     (gather to a single root instead). If even an otherwise-empty
+//     overflow step cannot host the detour, the build fails — there is
+//     no feasible degraded schedule.
+//
+// An empty (or nil) mask short-circuits to BuildWRHT, so the zero-fault
+// path is bit-identical to the healthy construction.
+
+// BuildWRHTMasked constructs the WRHT all-reduce schedule under a fault
+// mask. The schedule's ring keeps the full cfg.N node-id space; failed
+// nodes simply neither send nor receive. Degraded-loss MRRs do not act
+// here — fold them into cfg.MaxGroupSize via fault.Mask.MaxGroupSize.
+func BuildWRHTMasked(cfg Config, m *fault.Mask) (*Schedule, error) {
+	if m.Empty() {
+		return BuildWRHT(cfg)
+	}
+	if m.N() != cfg.N {
+		return nil, fmt.Errorf("core: fault mask is for %d nodes, config for %d", m.N(), cfg.N)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	alive := m.AliveNodes()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("core: degraded wrht: every node failed")
+	}
+	aliveW := m.AliveWavelengths(cfg.Wavelengths)
+	if len(aliveW) == 0 {
+		return nil, fmt.Errorf("core: degraded wrht: every wavelength dead")
+	}
+
+	dcfg := cfg
+	dcfg.Wavelengths = len(aliveW)
+	var inner *Schedule
+	var err error
+	var mapID func(int) int
+	if len(alive) == cfg.N {
+		// All nodes alive: the full ring construction at the shrunken
+		// budget, node ids already final.
+		inner, err = BuildWRHT(dcfg)
+	} else {
+		// Failed nodes: line construction over the alive participants
+		// (wavelength reuse never spans a failed node's position, which
+		// is conservative but keeps every circuit wrap-free), remapped
+		// onto the surviving ring positions.
+		dcfg.N = len(alive)
+		inner, err = BuildWRHTLine(dcfg)
+		mapID = func(i int) int { return alive[i] }
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: degraded wrht: %w", err)
+	}
+
+	s := &Schedule{Algorithm: "wrht-degraded", Ring: topo.NewRing(cfg.N)}
+	identityW := len(aliveW) == cfg.Wavelengths
+	for _, st := range inner.Steps {
+		if mapID != nil {
+			st = remapStep(st, mapID)
+		} else {
+			st = Step{Phase: st.Phase, Transfers: append([]Transfer(nil), st.Transfers...)}
+		}
+		if !identityW {
+			for i := range st.Transfers {
+				w := st.Transfers[i].Wavelength
+				if w >= len(aliveW) {
+					return nil, fmt.Errorf("core: degraded wrht: assignment uses wavelength %d beyond the %d alive (random-fit over budget?)", w, len(aliveW))
+				}
+				st.Transfers[i].Wavelength = aliveW[w]
+			}
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	if err := repairMasked(s, cfg.Wavelengths, m); err != nil {
+		if err == errAllToAllUnrepairable && !cfg.DisableAllToAll {
+			retry := cfg
+			retry.DisableAllToAll = true
+			return BuildWRHTMasked(retry, m)
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// errAllToAllUnrepairable reports an all-to-all step whose detours do
+// not fit alongside its surviving circuits. BuildWRHTMasked reacts by
+// rebuilding with the exchange disabled.
+var errAllToAllUnrepairable = errors.New("core: degraded wrht: all-to-all step cannot be repaired in place")
+
+// atom is a unit of spilled repair work: an ordered chain of transfers
+// that must land in strictly increasing overflow steps (one leg for a
+// direction flip or a re-sourced broadcast, two for a relayed gather
+// contribution — the copy to the helper, then the helper's forward).
+type atom struct {
+	legs []Transfer
+}
+
+// repairer carries the state of one repairMasked run.
+type repairer struct {
+	s      *Schedule
+	budget int
+	m      *fault.Mask
+	ix     *rwa.Index // placement index (seeds + current step's circuits)
+	sx     *rwa.Index // seeds-only probe for "could this ever fit" checks
+	// after[si] is the set of nodes with a reduce or all-to-all role in
+	// any step strictly after si. A relay helper must not be in it: the
+	// relay clobbers the helper's vector, which is safe only for nodes
+	// whose remaining role is to receive the broadcast (a whole-vector
+	// overwrite).
+	after []map[int]bool
+	// holders is the set of nodes known to hold the fully reduced
+	// vector once the broadcast phase is underway — legitimate
+	// replacement sources for a broadcast copy whose own source cannot
+	// reach the destination.
+	holders map[int]bool
+	// usedHelpers are relay scratch nodes already claimed this run;
+	// each holds borrowed data in flight, so it cannot be lent twice.
+	usedHelpers map[int]bool
+}
+
+// repairMasked reroutes every transfer that hits a cut segment or a
+// failed transceiver. Three escalating repairs are tried per broken
+// transfer:
+//
+//  1. direction flip within the step, on the first wavelength free
+//     alongside the step's surviving circuits;
+//  2. direction flip spilled into an overflow step inserted after it;
+//  3. when both fibers between the endpoints are unusable: a broadcast
+//     copy is re-sourced from another holder of the reduced vector,
+//     and a gather contribution is relayed through a scratch helper
+//     (copy to the helper, then the helper forwards — two overflow
+//     steps).
+//
+// All placement happens under a mask-seeded occupancy index, so repairs
+// conflict neither with each other nor with dead wavelengths or cuts.
+// Steps with no hits are left untouched, so their assignments stay
+// bit-identical to the masked construction.
+func repairMasked(s *Schedule, budget int, m *fault.Mask) error {
+	anyBroken := false
+	for _, st := range s.Steps {
+		for _, tr := range st.Transfers {
+			if m.TransferErr(s.Ring, tr.Src, tr.Dst, tr.Dir, tr.Wavelength) != nil {
+				anyBroken = true
+				break
+			}
+		}
+	}
+	if !anyBroken {
+		return nil
+	}
+	rp := &repairer{
+		s: s, budget: budget, m: m,
+		ix:          rwa.NewIndex(s.Ring),
+		sx:          rwa.NewIndex(s.Ring),
+		holders:     map[int]bool{},
+		usedHelpers: map[int]bool{},
+	}
+	m.Seed(rp.ix, budget)
+	m.Seed(rp.sx, budget)
+	rp.after = make([]map[int]bool, len(s.Steps)+1)
+	rp.after[len(s.Steps)] = map[int]bool{}
+	for si := len(s.Steps) - 1; si >= 0; si-- {
+		set := map[int]bool{}
+		for k := range rp.after[si+1] {
+			set[k] = true
+		}
+		if s.Steps[si].Phase != PhaseBroadcast {
+			for _, tr := range s.Steps[si].Transfers {
+				set[tr.Src], set[tr.Dst] = true, true
+			}
+		}
+		rp.after[si] = set
+	}
+
+	var out []Step
+	for si := range s.Steps {
+		steps, err := rp.repairStep(si)
+		if err != nil {
+			return err
+		}
+		out = append(out, steps...)
+	}
+	s.Steps = out
+	return nil
+}
+
+// feasible reports a direction in which src can reach dst under the
+// mask with at least one in-budget wavelength free of seeds (dead
+// wavelengths, cuts). Shortest direction is preferred.
+func (rp *repairer) feasible(src, dst int) (topo.Direction, bool) {
+	d0, _ := rp.s.Ring.ShortestDir(src, dst)
+	for _, dir := range [2]topo.Direction{d0, d0.Opposite()} {
+		if rp.m.PathErr(src, dst, dir) != nil {
+			continue
+		}
+		rp.sx.Reset()
+		if rp.sx.FirstFree(dir, rp.s.Ring.ArcOf(src, dst, dir)) < rp.budget {
+			return dir, true
+		}
+	}
+	return topo.CW, false
+}
+
+// repairStep repairs the si-th original step, returning it together
+// with any overflow steps its spilled transfers required.
+func (rp *repairer) repairStep(si int) ([]Step, error) {
+	s, m := rp.s, rp.m
+	st := s.Steps[si]
+	if st.Phase == PhaseBroadcast {
+		// Whoever sends the reduced vector holds it.
+		for _, tr := range st.Transfers {
+			rp.holders[tr.Src] = true
+		}
+	}
+	var broken []int
+	for i, tr := range st.Transfers {
+		if m.TransferErr(s.Ring, tr.Src, tr.Dst, tr.Dir, tr.Wavelength) != nil {
+			broken = append(broken, i)
+		}
+	}
+	defer func() {
+		if st.Phase == PhaseBroadcast {
+			for _, tr := range st.Transfers {
+				rp.holders[tr.Dst] = true
+			}
+		}
+	}()
+	if len(broken) == 0 {
+		return []Step{st}, nil
+	}
+	rp.ix.Reset()
+	// Occupy the healthy circuits first so a reroute cannot collide
+	// with a later transfer of the same step.
+	next := broken
+	for i, tr := range st.Transfers {
+		if len(next) > 0 && next[0] == i {
+			next = next[1:]
+			continue
+		}
+		rp.ix.Occupy(tr.Dir, s.Ring.ArcOf(tr.Src, tr.Dst, tr.Dir), tr.Wavelength)
+	}
+	// Pass 1: in-step direction flips.
+	var spilled []int
+	for _, i := range broken {
+		tr := &st.Transfers[i]
+		dir := tr.Dir.Opposite()
+		arc := s.Ring.ArcOf(tr.Src, tr.Dst, dir)
+		if m.PathErr(tr.Src, tr.Dst, dir) == nil {
+			if w := rp.ix.FirstFree(dir, arc); w < rp.budget {
+				tr.Dir, tr.Wavelength = dir, w
+				rp.ix.Occupy(dir, arc, w)
+				continue
+			}
+		}
+		spilled = append(spilled, i)
+	}
+	if len(spilled) == 0 {
+		return []Step{st}, nil
+	}
+	if st.Phase == PhaseAllToAll {
+		return nil, errAllToAllUnrepairable
+	}
+	// Pass 2: plan an atom for every spilled transfer. Sources of
+	// spilled transfers send in an overflow step, so their state must
+	// not be borrowed as relay scratch before then.
+	spilledSrc := map[int]bool{}
+	for _, i := range spilled {
+		spilledSrc[st.Transfers[i].Src] = true
+	}
+	var atoms []atom
+	dropped := map[int]bool{}
+	for _, i := range spilled {
+		a, err := rp.planAtom(si, st, st.Transfers[i], spilledSrc)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		dropped[i] = true
+	}
+	kept := st.Transfers[:0:0]
+	for i, tr := range st.Transfers {
+		if !dropped[i] {
+			kept = append(kept, tr)
+		}
+	}
+	st.Transfers = kept
+	out := []Step{st}
+	// Pass 3: place atom legs into overflow steps, preserving leg order
+	// across steps (a relay's forward runs strictly after its copy).
+	for len(atoms) > 0 {
+		rp.ix.Reset()
+		ov := Step{Phase: st.Phase}
+		var rest []atom
+		for _, a := range atoms {
+			tr := a.legs[0]
+			arc := s.Ring.ArcOf(tr.Src, tr.Dst, tr.Dir)
+			if w := rp.ix.FirstFree(tr.Dir, arc); w < rp.budget {
+				tr.Wavelength = w
+				rp.ix.Occupy(tr.Dir, arc, w)
+				ov.Transfers = append(ov.Transfers, tr)
+				if st.Phase == PhaseBroadcast {
+					rp.holders[tr.Dst] = true
+				}
+				a.legs = a.legs[1:]
+			}
+			if len(a.legs) > 0 {
+				rest = append(rest, a)
+			}
+		}
+		if len(ov.Transfers) == 0 {
+			return nil, fmt.Errorf("core: degraded wrht: step %d: overflow placement stalled with %d repairs pending", si, len(atoms))
+		}
+		out = append(out, ov)
+		atoms = rest
+	}
+	return out, nil
+}
+
+// planAtom devises the overflow repair for one spilled transfer: a
+// plain direction flip when the opposite fiber can ever host it, a
+// re-sourced copy for broadcast payloads, or a two-leg helper relay for
+// gather contributions.
+func (rp *repairer) planAtom(si int, st Step, tr Transfer, spilledSrc map[int]bool) (atom, error) {
+	s, m := rp.s, rp.m
+	if dir := tr.Dir.Opposite(); m.PathErr(tr.Src, tr.Dst, dir) == nil {
+		rp.sx.Reset()
+		if rp.sx.FirstFree(dir, s.Ring.ArcOf(tr.Src, tr.Dst, dir)) < rp.budget {
+			f := tr
+			f.Dir = dir
+			return atom{legs: []Transfer{f}}, nil
+		}
+	}
+	if tr.Op == tensor.OpCopy {
+		// Broadcast: any node already holding the reduced vector can
+		// stand in as the source. Prefer the closest.
+		for _, h := range rp.holdersByDist(tr.Dst) {
+			if h == tr.Dst || !m.NodeOK(h) {
+				continue
+			}
+			if dir, ok := rp.feasible(h, tr.Dst); ok {
+				f := tr
+				f.Src, f.Dir = h, dir
+				return atom{legs: []Transfer{f}}, nil
+			}
+		}
+		return atom{}, fmt.Errorf("core: degraded wrht: step %d transfer %v: no holder of the reduced vector can reach the destination — no feasible degraded schedule", si, tr)
+	}
+	// Gather: relay through a scratch helper. The helper's vector is
+	// overwritten, so it must be a node whose only remaining role is to
+	// receive the broadcast; current-step receivers (representatives
+	// accumulating sums) and spilled senders (whose payload is still in
+	// their vector) are off limits.
+	excluded := map[int]bool{}
+	for k := range rp.after[si+1] {
+		excluded[k] = true
+	}
+	for k := range rp.usedHelpers {
+		excluded[k] = true
+	}
+	for k := range spilledSrc {
+		excluded[k] = true
+	}
+	for _, t := range st.Transfers {
+		excluded[t.Dst] = true
+	}
+	for h := 0; h < s.Ring.N; h++ {
+		if h == tr.Src || h == tr.Dst || excluded[h] || !m.NodeOK(h) {
+			continue
+		}
+		dirA, okA := rp.feasible(tr.Src, h)
+		dirB, okB := rp.feasible(h, tr.Dst)
+		if !okA || !okB {
+			continue
+		}
+		rp.usedHelpers[h] = true
+		copyLeg := Transfer{Src: tr.Src, Dst: h, Chunk: tr.Chunk, Op: tensor.OpCopy, Dir: dirA}
+		fwdLeg := Transfer{Src: h, Dst: tr.Dst, Chunk: tr.Chunk, Op: tr.Op, Dir: dirB}
+		return atom{legs: []Transfer{copyLeg, fwdLeg}}, nil
+	}
+	return atom{}, fmt.Errorf("core: degraded wrht: step %d transfer %v: no relay helper can bridge the endpoints — no feasible degraded schedule", si, tr)
+}
+
+// holdersByDist lists the current holders of the reduced vector sorted
+// by ring distance to dst (ties by node id, so the order is
+// deterministic).
+func (rp *repairer) holdersByDist(dst int) []int {
+	hs := make([]int, 0, len(rp.holders))
+	for h := range rp.holders {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		_, di := rp.s.Ring.ShortestDir(hs[i], dst)
+		_, dj := rp.s.Ring.ShortestDir(hs[j], dst)
+		if di != dj {
+			return di < dj
+		}
+		return hs[i] < hs[j]
+	})
+	return hs
+}

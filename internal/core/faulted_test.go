@@ -1,0 +1,218 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wrht/internal/cluster"
+	"wrht/internal/core"
+	"wrht/internal/fault"
+	"wrht/internal/rwa"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// checkMaskedSchedule is the differential oracle for degraded schedules:
+// the fast bitset validator (seeded with the mask, so a circuit touching
+// a masked cell fails), the original pairwise oracle (which cannot see
+// the mask), and the mask's own per-transfer feasibility check must all
+// agree the schedule is clean.
+func checkMaskedSchedule(t *testing.T, s *core.Schedule, m *fault.Mask, w int) {
+	t.Helper()
+	ix := rwa.NewIndex(s.Ring)
+	m.Seed(ix, w)
+	if err := s.ValidateWithIndex(ix, w); err != nil {
+		t.Fatalf("masked validation: %v", err)
+	}
+	for si, st := range s.Steps {
+		reqs := make([]rwa.Request, 0, len(st.Transfers))
+		asn := make(rwa.Assignment, 0, len(st.Transfers))
+		for _, tr := range st.Transfers {
+			if err := m.TransferErr(s.Ring, tr.Src, tr.Dst, tr.Dir, tr.Wavelength); err != nil {
+				t.Errorf("step %d: transfer %v hits a fault: %v", si, tr, err)
+			}
+			reqs = append(reqs, rwa.Request{Src: tr.Src, Dst: tr.Dst, Dir: tr.Dir})
+			asn = append(asn, tr.Wavelength)
+		}
+		if err := rwa.OracleValidate(s.Ring, reqs, asn, w); err != nil {
+			t.Errorf("step %d: pairwise oracle: %v", si, err)
+		}
+	}
+}
+
+func randInputs(rng *rand.Rand, n, l int) []tensor.Vector {
+	in := make([]tensor.Vector, n)
+	for i := range in {
+		in[i] = tensor.New(l)
+		for j := range in[i] {
+			in[i][j] = float32(rng.Intn(201) - 100)
+		}
+	}
+	return in
+}
+
+func TestMaskedZeroFaultIdentity(t *testing.T) {
+	for _, c := range []struct{ n, w int }{{16, 2}, {64, 4}, {100, 8}} {
+		cfg := core.Config{N: c.n, Wavelengths: c.w}
+		want, err := core.BuildWRHT(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, m := range map[string]*fault.Mask{"nil": nil, "empty": fault.NewMask(c.n)} {
+			got, err := core.BuildWRHTMasked(cfg, m)
+			if err != nil {
+				t.Fatalf("n=%d w=%d %s mask: %v", c.n, c.w, name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d w=%d: %s mask not bit-identical to BuildWRHT", c.n, c.w, name)
+			}
+		}
+	}
+}
+
+func TestMaskedDeadWavelengths(t *testing.T) {
+	const n, w = 64, 8
+	cfg := core.Config{N: n, Wavelengths: w}
+	healthy, err := core.BuildWRHT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fault.NewMask(n).KillWavelength(2).KillWavelength(5)
+	s, err := core.BuildWRHTMasked(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() < healthy.NumSteps() {
+		t.Errorf("degraded schedule has %d steps, healthy %d: fewer wavelengths cannot speed things up", s.NumSteps(), healthy.NumSteps())
+	}
+	for si, st := range s.Steps {
+		for _, tr := range st.Transfers {
+			if tr.Wavelength == 2 || tr.Wavelength == 5 {
+				t.Fatalf("step %d transfer %v uses a dead wavelength", si, tr)
+			}
+		}
+	}
+	checkMaskedSchedule(t, s, m, w)
+
+	rng := rand.New(rand.NewSource(11))
+	in := randInputs(rng, n, 160)
+	want := cluster.ExpectedSum(in)
+	cl, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.VerifyAllReduced(want, 0); err != nil {
+		t.Errorf("degraded schedule not a correct all-reduce: %v", err)
+	}
+}
+
+func TestMaskedFailedNodes(t *testing.T) {
+	const n, w = 32, 4
+	cfg := core.Config{N: n, Wavelengths: w}
+	m := fault.NewMask(n).FailNode(3).FailNode(17).FailNode(18)
+	s, err := core.BuildWRHTMasked(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, st := range s.Steps {
+		for _, tr := range st.Transfers {
+			if !m.NodeOK(tr.Src) || !m.NodeOK(tr.Dst) {
+				t.Fatalf("step %d transfer %v references a failed node", si, tr)
+			}
+		}
+	}
+	checkMaskedSchedule(t, s, m, w)
+
+	// The survivors all-reduce among themselves; the failed nodes' inputs
+	// are excluded and their state must stay untouched.
+	rng := rand.New(rand.NewSource(12))
+	in := randInputs(rng, n, 96)
+	var aliveIn []tensor.Vector
+	for _, i := range m.AliveNodes() {
+		aliveIn = append(aliveIn, in[i])
+	}
+	want := cluster.ExpectedSum(aliveIn)
+	cl, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range m.AliveNodes() {
+		v := cl.Vector(i)
+		for j, x := range v {
+			if float64(x) != want[j] {
+				t.Fatalf("alive node %d element %d = %g, want %g", i, j, x, want[j])
+			}
+		}
+	}
+	for _, i := range []int{3, 17, 18} {
+		if !reflect.DeepEqual(cl.Vector(i), in[i]) {
+			t.Errorf("failed node %d's vector was modified", i)
+		}
+	}
+}
+
+func TestMaskedCutsAndTransceivers(t *testing.T) {
+	const n, w = 32, 4
+	cfg := core.Config{N: n, Wavelengths: w}
+	m := fault.NewMask(n).CutSegment(topo.CW, 7).FailTransceiver(20, topo.CCW)
+	s, err := core.BuildWRHTMasked(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMaskedSchedule(t, s, m, w)
+
+	rng := rand.New(rand.NewSource(13))
+	in := randInputs(rng, n, 96)
+	want := cluster.ExpectedSum(in)
+	cl, err := cluster.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Execute(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.VerifyAllReduced(want, 0); err != nil {
+		t.Errorf("repaired schedule not a correct all-reduce: %v", err)
+	}
+}
+
+func TestMaskedCombined(t *testing.T) {
+	const n, w = 64, 8
+	cfg := core.Config{N: n, Wavelengths: w}
+	m := fault.Spec{Seed: 42, Nodes: 2, Transceivers: 1, Wavelengths: 2, Segments: 1, WavelengthBudget: w}.Sample(n)
+	s, err := core.BuildWRHTMasked(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(w); err != nil {
+		t.Fatalf("plain Validate: %v", err)
+	}
+	checkMaskedSchedule(t, s, m, w)
+}
+
+func TestMaskedErrors(t *testing.T) {
+	cfg := core.Config{N: 16, Wavelengths: 2}
+	if _, err := core.BuildWRHTMasked(cfg, fault.NewMask(8).FailNode(0)); err == nil {
+		t.Error("mask size mismatch not rejected")
+	}
+	all := fault.NewMask(16)
+	for wl := 0; wl < 2; wl++ {
+		all.KillWavelength(wl)
+	}
+	if _, err := core.BuildWRHTMasked(cfg, all); err == nil {
+		t.Error("all-wavelengths-dead not rejected")
+	}
+	// A node whose transceivers both failed is alive but mute: no
+	// feasible degraded schedule exists.
+	mute := fault.NewMask(16).FailTransceiver(5, topo.CW).FailTransceiver(5, topo.CCW)
+	if _, err := core.BuildWRHTMasked(cfg, mute); err == nil {
+		t.Error("isolated (transceiver-dead) node not rejected")
+	}
+}

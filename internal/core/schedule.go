@@ -110,11 +110,19 @@ func (s *Schedule) WavelengthsNeeded() int {
 // no two same-direction same-wavelength transfers with overlapping arcs,
 // and (if wavelengths > 0) every wavelength within budget.
 func (s *Schedule) Validate(wavelengths int) error {
-	n := s.Ring.N
 	// One occupancy index serves every step: the per-step conflict check
 	// is near-linear in the transfer count, and the arcs are computed
 	// once here rather than recomputed inside the validator.
-	ix := rwa.NewIndex(s.Ring)
+	return s.ValidateWithIndex(rwa.NewIndex(s.Ring), wavelengths)
+}
+
+// ValidateWithIndex is Validate over a caller-supplied occupancy index,
+// so fault-aware callers can seed pre-occupied (masked) cells — dead
+// wavelengths, cut fiber segments — that every step must route around
+// (the index is reset per step, which preserves the seeds; a step
+// touching one fails with rwa.MaskedConflict).
+func (s *Schedule) ValidateWithIndex(ix *rwa.Index, wavelengths int) error {
+	n := s.Ring.N
 	for si, st := range s.Steps {
 		reqs := make([]rwa.Request, 0, len(st.Transfers))
 		asn := make(rwa.Assignment, 0, len(st.Transfers))

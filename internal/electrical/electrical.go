@@ -27,7 +27,6 @@ import (
 	"sort"
 
 	"wrht/internal/core"
-	"wrht/internal/fabric"
 	"wrht/internal/topo"
 )
 
@@ -94,29 +93,6 @@ type flow struct {
 	latency float64
 	rate    float64
 	done    bool
-}
-
-// Result is the simulated outcome of one collective on the fat-tree.
-type Result struct {
-	Algorithm string
-	Steps     int
-	Time      float64
-}
-
-// RunSchedule times a collective schedule carrying a dBytes per-node
-// vector across the fat-tree. Steps are barrier-synchronised, matching
-// the bulk-synchronous collectives benchmarked on SimGrid in [19]: a
-// step's duration is the completion time of its slowest flow.
-//
-// Deprecated: RunSchedule is a thin shim kept for incremental migration;
-// new code should run a fabric.Engine over Network.Fabric, which also
-// exposes the per-step cost breakdown.
-func (nw *Network) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
-	r, err := fabric.Engine{Fabric: nw.Fabric()}.RunSchedule(s, dBytes)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Algorithm: r.Algorithm, Steps: r.Steps, Time: r.Time}, nil
 }
 
 // stepSignature fingerprints a step for memoization: collectives like

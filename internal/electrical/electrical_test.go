@@ -34,7 +34,7 @@ func TestSingleIntraEdgeFlow(t *testing.T) {
 	p := DefaultParams()
 	nw := mustNet(t, 32, p)
 	d := 40e6 * 4 // bytes; one flow of full vector
-	res, err := nw.RunSchedule(oneFlowStep(0, 1, tensor.Whole), d)
+	res, err := runSchedule(nw, oneFlowStep(0, 1, tensor.Whole), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +53,11 @@ func TestHeaderOverheadRatio(t *testing.T) {
 	noH := DefaultParams()
 	noH.HeaderBytes = 0
 	d := 72e4
-	a, err := mustNet(t, 32, withH).RunSchedule(oneFlowStep(0, 1, tensor.Whole), d)
+	a, err := runSchedule(mustNet(t, 32, withH), oneFlowStep(0, 1, tensor.Whole), d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := mustNet(t, 32, noH).RunSchedule(oneFlowStep(0, 1, tensor.Whole), d)
+	b, err := runSchedule(mustNet(t, 32, noH), oneFlowStep(0, 1, tensor.Whole), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,8 +71,8 @@ func TestInterEdgeFlowPaysThreeRouters(t *testing.T) {
 	p := DefaultParams()
 	nw := mustNet(t, 64, p)
 	d := 1e6
-	intra, _ := nw.RunSchedule(oneFlowStep(0, 1, tensor.Whole), d)
-	inter, _ := nw.RunSchedule(oneFlowStep(0, 63, tensor.Whole), d)
+	intra, _ := runSchedule(nw, oneFlowStep(0, 1, tensor.Whole), d)
+	inter, _ := runSchedule(nw, oneFlowStep(0, 63, tensor.Whole), d)
 	diff := inter.Time - intra.Time
 	if math.Abs(diff-2*p.RouterDelay) > 1e-9 {
 		t.Fatalf("inter-intra latency gap = %.9f, want 2×25µs", diff)
@@ -92,7 +92,7 @@ func TestRouterAggregateSharing(t *testing.T) {
 	}
 	s := &core.Schedule{Algorithm: "x", Ring: topo.NewRing(16), Steps: []core.Step{st}}
 	d := 15e6 * 4
-	res, err := nw.RunSchedule(s, d)
+	res, err := runSchedule(nw, s, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestFairShareMaxMin(t *testing.T) {
 	}}
 	s := &core.Schedule{Algorithm: "x", Ring: topo.NewRing(64), Steps: []core.Step{st}}
 	d := 4e6
-	res, err := nw.RunSchedule(s, d)
+	res, err := runSchedule(nw, s, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestERingSlowerThanORingModel(t *testing.T) {
 	sched := collective.BuildRing(n)
 	nw := mustNet(t, n, DefaultParams())
 	d := 100e6
-	eres, err := nw.RunSchedule(sched, d)
+	eres, err := runSchedule(nw, sched, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,12 +154,12 @@ func TestMemoizationConsistency(t *testing.T) {
 	sched := collective.BuildRing(n)
 	nw := mustNet(t, n, DefaultParams())
 	d := 16e4
-	once, err := nw.RunSchedule(sched, d)
+	once, err := runSchedule(nw, sched, d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	double := &core.Schedule{Algorithm: "ring2", Ring: sched.Ring, Steps: append(append([]core.Step{}, sched.Steps...), sched.Steps...)}
-	twice, err := nw.RunSchedule(double, d)
+	twice, err := runSchedule(nw, double, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestZeroByteFlowPaysLatencyOnly(t *testing.T) {
 	p := DefaultParams()
 	nw := mustNet(t, 32, p)
 	// A chunk of an empty vector has zero bytes.
-	res, err := nw.RunSchedule(oneFlowStep(0, 1, tensor.Whole), 0)
+	res, err := runSchedule(nw, oneFlowStep(0, 1, tensor.Whole), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestNewNetworkValidation(t *testing.T) {
 
 func TestScheduleTooLargeRejected(t *testing.T) {
 	nw := mustNet(t, 16, DefaultParams())
-	if _, err := nw.RunSchedule(collective.BuildRing(32), 1e3); err == nil {
+	if _, err := runSchedule(nw, collective.BuildRing(32), 1e3); err == nil {
 		t.Fatal("oversized schedule accepted")
 	}
 }

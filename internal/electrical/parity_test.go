@@ -5,11 +5,31 @@ import (
 
 	"wrht/internal/collective"
 	"wrht/internal/core"
+	"wrht/internal/fabric"
 )
+
+// Result is the legacy (pre-engine) outcome shape, kept test-side so
+// the parity oracle can compare field by field now that the deprecated
+// Network.RunSchedule shim is gone.
+type Result struct {
+	Algorithm string
+	Steps     int
+	Time      float64
+}
+
+// runSchedule drives fabric.Engine over Network.Fabric the way
+// production callers do, converted to the legacy Result shape.
+func runSchedule(nw *Network, s *core.Schedule, dBytes float64) (Result, error) {
+	r, err := fabric.Engine{Fabric: nw.Fabric()}.RunSchedule(s, dBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Algorithm: r.Algorithm, Steps: r.Steps, Time: r.Time}, nil
+}
 
 // legacyRunSchedule reproduces the pre-engine fat-tree accumulation loop
 // verbatim (memoized stepDuration, summed in schedule order) so the
-// parity test can assert the fabric.Engine shim changed no result bit.
+// parity test can assert fabric.Engine changed no result bit.
 func legacyRunSchedule(nw *Network, s *core.Schedule, dBytes float64) Result {
 	elems := int(dBytes / 4)
 	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
@@ -26,7 +46,7 @@ func legacyRunSchedule(nw *Network, s *core.Schedule, dBytes float64) Result {
 	return res
 }
 
-func TestScheduleShimMatchesLegacyBitForBit(t *testing.T) {
+func TestScheduleEngineMatchesLegacyBitForBit(t *testing.T) {
 	nw, err := NewNetwork(64, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +68,7 @@ func TestScheduleShimMatchesLegacyBitForBit(t *testing.T) {
 	for name, s := range schedules {
 		for _, dBytes := range []float64{4e3, 1e6} {
 			want := legacyRunSchedule(nw, s, dBytes)
-			got, err := nw.RunSchedule(s, dBytes)
+			got, err := runSchedule(nw, s, dBytes)
 			if err != nil {
 				t.Fatalf("%s d=%g: %v", name, dBytes, err)
 			}
@@ -59,12 +79,12 @@ func TestScheduleShimMatchesLegacyBitForBit(t *testing.T) {
 	}
 }
 
-func TestScheduleShimKeepsHostCheck(t *testing.T) {
+func TestScheduleEngineKeepsHostCheck(t *testing.T) {
 	nw, err := NewNetwork(16, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nw.RunSchedule(collective.BuildRing(32), 1e6); err == nil {
+	if _, err := runSchedule(nw, collective.BuildRing(32), 1e6); err == nil {
 		t.Fatal("32-host schedule accepted on a 16-host network")
 	}
 }

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/fabric"
+	"wrht/internal/fault"
+	"wrht/internal/metrics"
+	"wrht/internal/obs"
+)
+
+// DegradationPoint is one (node count, dead-wavelength count) cell of
+// the degradation sweep.
+type DegradationPoint struct {
+	N    int
+	Dead int
+	// EffW is the surviving wavelength budget the degraded schedule was
+	// built for.
+	EffW int
+	// Steps is the degraded schedule's communication step count θ.
+	Steps int
+	// StaticTime is the completion time of the schedule built with the
+	// fault mask known upfront; Slowdown normalizes it to the healthy
+	// (Dead=0) time at the same N.
+	StaticTime float64
+	Slowdown   float64
+	// InjectedTime is the completion time when the same wavelengths die
+	// mid-run instead: the healthy schedule starts, the fault hits, and
+	// the engine restarts on a rebuilt degraded schedule, keeping the
+	// time already spent. Reschedules counts the rebuilds.
+	InjectedTime float64
+	Reschedules  int
+}
+
+// DegradationResult bundles the sweep table with the raw points.
+type DegradationResult struct {
+	Table  *metrics.Table
+	Points []DegradationPoint
+}
+
+// Degradation sweeps WRHT completion time against dead-wavelength
+// counts at several ring sizes (§4.4 asks what the scheme loses when
+// the WDM comb degrades; this is the quantitative answer). For every
+// (n, k) it builds the degraded schedule via core.BuildWRHTMasked and
+// times it on the optical fabric, and separately injects the same k
+// wavelength deaths mid-run through fabric.RunScheduleFaulted to price
+// the fail-restart path. Nil ns defaults to {64, 1024, 4096}; nil dead
+// defaults to {0, 1, 2, 4, 8} (counts ≥ w are dropped — killing the
+// whole comb leaves nothing to schedule on). Static completion time is
+// monotone non-decreasing in k: the degraded construction depends only
+// on how many wavelengths survive, never on which.
+func Degradation(o Options, ns []int, w int, dBytes float64, dead []int, seed int64) (*DegradationResult, error) {
+	if o.Trace != nil {
+		o.Workers = 1
+	}
+	if ns == nil {
+		ns = []int{64, 1024, 4096}
+	}
+	if dead == nil {
+		dead = []int{0, 1, 2, 4, 8}
+	}
+	var ks []int
+	for _, k := range dead {
+		if k < 0 || k >= w {
+			continue
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("exp: degradation: no dead-wavelength count in %v is feasible below the budget w=%d", dead, w)
+	}
+	e := newEngine(o)
+	if e.optFabErr != nil {
+		return nil, fmt.Errorf("exp: degradation: %w", e.optFabErr)
+	}
+
+	points, err := sweep(e, len(ns)*len(ks), func(i int) (DegradationPoint, error) {
+		n, k := ns[i/len(ks)], ks[i%len(ks)]
+		cfg := core.Config{N: n, Wavelengths: w}
+		mask := fault.NewMask(n)
+		if k > 0 {
+			mask = fault.Spec{Seed: seed, Wavelengths: k, WavelengthBudget: w}.Sample(n)
+		}
+		s, err := core.BuildWRHTMasked(cfg, mask)
+		if err != nil {
+			return DegradationPoint{}, fmt.Errorf("degraded build (N=%d, %d dead): %w", n, k, err)
+		}
+		if err := s.Validate(w); err != nil {
+			return DegradationPoint{}, fmt.Errorf("degraded schedule invalid (N=%d, %d dead): %w", n, k, err)
+		}
+		eng := fabric.Engine{Fabric: e.optFab}
+		var fobs *obs.FabricObserver
+		if o.Trace != nil || o.Metrics != nil {
+			fobs = obs.NewFabricObserver(o.Trace, o.Metrics, fmt.Sprintf("faults/N=%d dead=%d", n, k))
+			eng.Opts.Observer = fobs
+		}
+		static, err := eng.RunSchedule(s, dBytes)
+		if err != nil {
+			return DegradationPoint{}, fmt.Errorf("degraded timing (N=%d, %d dead): %w", n, k, err)
+		}
+		pt := DegradationPoint{
+			N: n, Dead: k, EffW: w - k, Steps: s.NumSteps(), StaticTime: static.Time,
+		}
+		if k > 0 {
+			healthy, err := core.BuildWRHT(cfg)
+			if err != nil {
+				return DegradationPoint{}, err
+			}
+			var events []fault.Event
+			for wl := 0; wl < w; wl++ {
+				if !mask.WavelengthOK(wl) {
+					events = append(events, fault.Event{Step: 1, Fault: fault.Fault{
+						Kind: fault.WavelengthDead, Wavelength: wl,
+					}})
+				}
+			}
+			fo := fabric.FaultOptions{
+				Injector: fault.NewInjector(events...),
+				Rebuild: func(m *fault.Mask) (*core.Schedule, error) {
+					return core.BuildWRHTMasked(cfg, m)
+				},
+			}
+			if fobs != nil {
+				fo.Observer = fobs
+			}
+			injected, err := eng.RunScheduleFaulted(healthy, dBytes, fo)
+			if err != nil {
+				return DegradationPoint{}, fmt.Errorf("injected run (N=%d, %d dead): %w", n, k, err)
+			}
+			pt.InjectedTime = injected.Time
+			pt.Reschedules = injected.Reschedules
+		} else {
+			pt.InjectedTime = static.Time
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &DegradationResult{
+		Table: &metrics.Table{
+			Title: fmt.Sprintf("WRHT under dead wavelengths (w=%d, d=%.0f MB)", w, dBytes/1e6),
+			Headers: []string{"N", "Dead λ", "Eff. w", "Steps",
+				"Static (ms)", "Slowdown", "Injected (ms)", "Reschedules"},
+		},
+		Points: points,
+	}
+	for i := range points {
+		pt := &points[i]
+		base := points[(i/len(ks))*len(ks)] // the Dead=0 point of the same N
+		pt.Slowdown = pt.StaticTime / base.StaticTime
+		out.Table.AddRow(fmt.Sprint(pt.N), fmt.Sprint(pt.Dead), fmt.Sprint(pt.EffW),
+			fmt.Sprint(pt.Steps),
+			fmt.Sprintf("%.3f", pt.StaticTime*1e3),
+			fmt.Sprintf("%.3f×", pt.Slowdown),
+			fmt.Sprintf("%.3f", pt.InjectedTime*1e3),
+			fmt.Sprint(pt.Reschedules))
+	}
+	return out, nil
+}

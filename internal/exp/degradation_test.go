@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestDegradationMonotone(t *testing.T) {
+	ns := []int{64, 128}
+	dead := []int{0, 1, 2, 4}
+	res, err := Degradation(Defaults(), ns, 8, 64e6, dead, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(ns)*len(dead) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(ns)*len(dead))
+	}
+	for i, pt := range res.Points {
+		if pt.Dead == 0 {
+			if pt.Slowdown != 1 {
+				t.Errorf("N=%d healthy slowdown = %g, want 1", pt.N, pt.Slowdown)
+			}
+			continue
+		}
+		prev := res.Points[i-1]
+		if pt.N != prev.N {
+			t.Fatalf("points not grouped by N: %+v after %+v", pt, prev)
+		}
+		// Completion time is monotone non-decreasing in the dead count.
+		if pt.StaticTime < prev.StaticTime {
+			t.Errorf("N=%d: static time fell from %.6g (dead=%d) to %.6g (dead=%d)",
+				pt.N, prev.StaticTime, prev.Dead, pt.StaticTime, pt.Dead)
+		}
+		if pt.EffW != 8-pt.Dead {
+			t.Errorf("N=%d dead=%d: EffW = %d", pt.N, pt.Dead, pt.EffW)
+		}
+		// The mid-run injection pays for the restarted steps, so it can
+		// never beat knowing the faults upfront.
+		if pt.InjectedTime < pt.StaticTime {
+			t.Errorf("N=%d dead=%d: injected %.6g faster than static %.6g",
+				pt.N, pt.Dead, pt.InjectedTime, pt.StaticTime)
+		}
+		if pt.Reschedules < 1 {
+			t.Errorf("N=%d dead=%d: no reschedule recorded", pt.N, pt.Dead)
+		}
+	}
+}
+
+func TestDegradationDeterministic(t *testing.T) {
+	a, err := Degradation(Defaults(), []int{64}, 8, 64e6, []int{0, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Degradation(Defaults(), []int{64}, 8, 64e6, []int{0, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d differs across runs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestDegradationRejectsInfeasibleDeadCounts(t *testing.T) {
+	if _, err := Degradation(Defaults(), []int{64}, 4, 64e6, []int{4, 8}, 1); err == nil {
+		t.Error("dead counts at or above the budget should be rejected")
+	}
+}

@@ -1,0 +1,172 @@
+package fabric_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/fabric"
+	"wrht/internal/fault"
+	"wrht/internal/optical"
+)
+
+func opticalEngine(t *testing.T, validate bool) fabric.Engine {
+	t.Helper()
+	f, err := optical.DefaultParams().Fabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fabric.Engine{Fabric: f, Opts: fabric.Options{ValidateWavelengths: validate}}
+}
+
+func wrhtSchedule(t *testing.T, n, w int) *core.Schedule {
+	t.Helper()
+	s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFaultedZeroFaultIdentity(t *testing.T) {
+	const n, w, d = 32, 4, 1 << 20
+	e := opticalEngine(t, true)
+	s := wrhtSchedule(t, n, w)
+	plain, err := e.RunSchedule(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := e.RunScheduleFaulted(s, d, fabric.FaultOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Reschedules != 0 || faulted.FaultsApplied != 0 {
+		t.Errorf("zero-fault run reports Reschedules=%d FaultsApplied=%d", faulted.Reschedules, faulted.FaultsApplied)
+	}
+	if !reflect.DeepEqual(plain, faulted.Result) {
+		t.Errorf("zero-fault RunScheduleFaulted differs from RunSchedule:\n%+v\nvs\n%+v", plain, faulted.Result)
+	}
+}
+
+type faultSpy struct{ events []fabric.FaultEvent }
+
+func (f *faultSpy) FaultRescheduled(ev fabric.FaultEvent) { f.events = append(f.events, ev) }
+
+func TestFaultedInjectionReschedules(t *testing.T) {
+	const n, w, d = 64, 8, 1 << 20
+	e := opticalEngine(t, true)
+	cfg := core.Config{N: n, Wavelengths: w}
+	s := wrhtSchedule(t, n, w)
+	healthy, err := e.RunSchedule(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy := &faultSpy{}
+	res, err := e.RunScheduleFaulted(s, d, fabric.FaultOptions{
+		Injector: fault.NewInjector(
+			fault.Event{Step: 1, Fault: fault.Fault{Kind: fault.WavelengthDead, Wavelength: 0}},
+		),
+		Rebuild: func(m *fault.Mask) (*core.Schedule, error) {
+			return core.BuildWRHTMasked(cfg, m)
+		},
+		Observer: spy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsApplied != 1 {
+		t.Errorf("FaultsApplied = %d, want 1", res.FaultsApplied)
+	}
+	if res.Reschedules != 1 {
+		t.Errorf("Reschedules = %d, want 1", res.Reschedules)
+	}
+	if len(spy.events) != 1 {
+		t.Fatalf("observer saw %d reschedules, want 1", len(spy.events))
+	}
+	if ev := spy.events[0]; ev.Step != 1 || ev.Reschedule != 1 || ev.Reason == nil {
+		t.Errorf("unexpected fault event %+v", ev)
+	}
+	// Fail-restart: the step executed before the fault plus the full
+	// rebuilt schedule.
+	rebuilt, err := core.BuildWRHTMasked(cfg, fault.NewMask(n).KillWavelength(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + rebuilt.NumSteps(); res.Steps != want {
+		t.Errorf("Steps = %d, want %d (1 pre-fault + %d rebuilt)", res.Steps, want, rebuilt.NumSteps())
+	}
+	if res.Time <= healthy.Time {
+		t.Errorf("faulted run (%.3gs) not slower than healthy (%.3gs)", res.Time, healthy.Time)
+	}
+	if res.Algorithm != "wrht-degraded" {
+		t.Errorf("Algorithm = %q after reschedule", res.Algorithm)
+	}
+}
+
+func TestFaultedNoRebuildIsHardError(t *testing.T) {
+	const n, w, d = 32, 4, 1 << 20
+	e := opticalEngine(t, false)
+	s := wrhtSchedule(t, n, w)
+	_, err := e.RunScheduleFaulted(s, d, fabric.FaultOptions{
+		Mask: fault.NewMask(n).KillWavelength(0),
+	})
+	if err == nil || !strings.Contains(err.Error(), "no Rebuild") {
+		t.Errorf("want a hard error without Rebuild, got %v", err)
+	}
+}
+
+func TestFaultedRescheduleBudgetExhausted(t *testing.T) {
+	const n, w, d = 32, 4, 1 << 20
+	e := opticalEngine(t, false)
+	s := wrhtSchedule(t, n, w)
+	rebuilds := 0
+	_, err := e.RunScheduleFaulted(s, d, fabric.FaultOptions{
+		Mask:           fault.NewMask(n).KillWavelength(0),
+		MaxReschedules: 2,
+		// A rebuild that ignores the mask keeps handing back a faulted
+		// schedule, so the run can never make progress.
+		Rebuild: func(*fault.Mask) (*core.Schedule, error) {
+			rebuilds++
+			return wrhtSchedule(t, n, w), nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "reschedule budget") {
+		t.Fatalf("want reschedule-budget error, got %v", err)
+	}
+	if rebuilds != 2 {
+		t.Errorf("Rebuild called %d times, want 2", rebuilds)
+	}
+}
+
+func TestFaultedOverlapRejected(t *testing.T) {
+	const n, w = 32, 4
+	e := opticalEngine(t, false)
+	e.Opts.Overlap = true
+	if _, err := e.RunScheduleFaulted(wrhtSchedule(t, n, w), 1<<20, fabric.FaultOptions{}); err == nil {
+		t.Error("overlap mode should be rejected")
+	}
+}
+
+func TestFaultedMaskNotMutated(t *testing.T) {
+	const n, w, d = 32, 4, 1 << 20
+	e := opticalEngine(t, false)
+	cfg := core.Config{N: n, Wavelengths: w}
+	m := fault.NewMask(n)
+	before := m.String()
+	_, err := e.RunScheduleFaulted(wrhtSchedule(t, n, w), d, fabric.FaultOptions{
+		Mask: m,
+		Injector: fault.NewInjector(
+			fault.Event{Step: 0, Fault: fault.Fault{Kind: fault.WavelengthDead, Wavelength: 1}},
+		),
+		Rebuild: func(fm *fault.Mask) (*core.Schedule, error) {
+			return core.BuildWRHTMasked(cfg, fm)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != before {
+		t.Errorf("caller's mask mutated by injection: %s", m)
+	}
+}

@@ -1,0 +1,369 @@
+// Package fault models hardware failures of the TeraRack-style optical
+// ring and their effect on WRHT scheduling. The paper's §4.4 constraint
+// analysis assumes a fully healthy ring; a production collective stack
+// must instead keep training when components degrade, the way
+// reconfigurable-fabric systems adapt their circuit plans to runtime
+// conditions (SWOT, arXiv:2510.19322; "To Reconfigure or Not to
+// Reconfigure", arXiv:2602.10468). Five fault classes are modelled:
+//
+//   - failed nodes: the node neither sends nor receives. Its MRRs are
+//     assumed to fail safe into the pass state, so light still crosses
+//     the node's interfaces (a stuck resonator that shadows a channel is
+//     modelled as a dead wavelength or a cut segment instead).
+//   - failed per-direction transceivers: the node's Tx/Rx array on one
+//     fiber direction is dead; the opposite direction still works.
+//   - dead wavelengths: a comb-laser line or its modulator row is gone
+//     ring-wide, shrinking the effective budget from w to w−k.
+//   - cut waveguide segments: one directed fiber segment carries no
+//     light on any wavelength (the opposite-direction fiber of the same
+//     physical span is an independent waveguide and gets its own cut).
+//   - degraded-loss MRRs: a node's ring resonators developed extra
+//     insertion loss, tightening the §4.4 link budget and with it
+//     phys.Budget.MaxGroupSize.
+//
+// A Mask is the aggregate fault state. It is deterministic: all
+// accessors enumerate in sorted order, and Spec.Sample draws
+// reproducible random masks from a seed. Masks plug into the stack at
+// three levels — schedule construction (core.BuildWRHTMasked),
+// wavelength assignment (Mask.Seed pre-occupies rwa.Index cells so
+// first/random fit route around cuts and dead wavelengths), and
+// execution (fabric.Engine's fault-aware run mode re-checks every step
+// against the live mask and reschedules on a hit).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"wrht/internal/phys"
+	"wrht/internal/rwa"
+	"wrht/internal/topo"
+)
+
+// Mask is the aggregate fault state of one n-node ring. The zero Mask
+// is not usable; construct with NewMask. Mutators are not safe for
+// concurrent use with queries.
+type Mask struct {
+	n     int
+	nodes map[int]bool
+	// trans[dir][node] marks the node's transceiver (Tx and Rx array)
+	// on the dir fiber as failed.
+	trans [2]map[int]bool
+	wl    map[int]bool
+	// cuts[dir][segment] marks the directed fiber segment as dark.
+	cuts [2]map[int]bool
+	// mrr[node] is the extra insertion loss in dB of the node's
+	// degraded resonators.
+	mrr map[int]float64
+}
+
+// NewMask returns an empty (healthy) mask for an n-node ring.
+func NewMask(n int) *Mask {
+	if n < 1 {
+		panic(fmt.Sprintf("fault: ring size %d < 1", n))
+	}
+	return &Mask{n: n}
+}
+
+// N returns the ring size the mask describes.
+func (m *Mask) N() int { return m.n }
+
+// Empty reports whether the mask carries no faults at all. A nil mask
+// is empty.
+func (m *Mask) Empty() bool {
+	if m == nil {
+		return true
+	}
+	return len(m.nodes) == 0 && len(m.trans[0]) == 0 && len(m.trans[1]) == 0 &&
+		len(m.wl) == 0 && len(m.cuts[0]) == 0 && len(m.cuts[1]) == 0 && len(m.mrr) == 0
+}
+
+// Clone returns an independent copy of the mask.
+func (m *Mask) Clone() *Mask {
+	c := NewMask(m.n)
+	for i := range m.nodes {
+		c.FailNode(i)
+	}
+	for d := range m.trans {
+		for i := range m.trans[d] {
+			c.FailTransceiver(i, topo.Direction(d))
+		}
+	}
+	for w := range m.wl {
+		c.KillWavelength(w)
+	}
+	for d := range m.cuts {
+		for s := range m.cuts[d] {
+			c.CutSegment(topo.Direction(d), s)
+		}
+	}
+	for i, db := range m.mrr {
+		c.DegradeMRR(i, db)
+	}
+	return c
+}
+
+func (m *Mask) checkNode(i int) {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("fault: node %d out of ring [0,%d)", i, m.n))
+	}
+}
+
+// FailNode marks node i as completely failed.
+func (m *Mask) FailNode(i int) *Mask {
+	m.checkNode(i)
+	if m.nodes == nil {
+		m.nodes = map[int]bool{}
+	}
+	m.nodes[i] = true
+	return m
+}
+
+// FailTransceiver marks node i's Tx/Rx array on the dir fiber as failed.
+func (m *Mask) FailTransceiver(i int, dir topo.Direction) *Mask {
+	m.checkNode(i)
+	if m.trans[dir] == nil {
+		m.trans[dir] = map[int]bool{}
+	}
+	m.trans[dir][i] = true
+	return m
+}
+
+// KillWavelength marks wavelength w as dead ring-wide.
+func (m *Mask) KillWavelength(w int) *Mask {
+	if w < 0 {
+		panic(fmt.Sprintf("fault: negative wavelength %d", w))
+	}
+	if m.wl == nil {
+		m.wl = map[int]bool{}
+	}
+	m.wl[w] = true
+	return m
+}
+
+// CutSegment marks directed fiber segment seg (joining node seg and
+// seg+1 mod N, travelling dir) as dark on every wavelength.
+func (m *Mask) CutSegment(dir topo.Direction, seg int) *Mask {
+	if seg < 0 || seg >= m.n {
+		panic(fmt.Sprintf("fault: segment %d out of ring [0,%d)", seg, m.n))
+	}
+	if m.cuts[dir] == nil {
+		m.cuts[dir] = map[int]bool{}
+	}
+	m.cuts[dir][seg] = true
+	return m
+}
+
+// DegradeMRR records extraLossDB of additional insertion loss on node
+// i's resonators (accumulating across calls).
+func (m *Mask) DegradeMRR(i int, extraLossDB float64) *Mask {
+	m.checkNode(i)
+	if extraLossDB < 0 {
+		panic(fmt.Sprintf("fault: negative MRR loss %g dB", extraLossDB))
+	}
+	if m.mrr == nil {
+		m.mrr = map[int]float64{}
+	}
+	m.mrr[i] += extraLossDB
+	return m
+}
+
+// NodeOK reports whether node i is alive.
+func (m *Mask) NodeOK(i int) bool { return !m.nodes[i] }
+
+// TransceiverOK reports whether node i can transmit and receive on the
+// dir fiber (the node is alive and its dir transceiver works).
+func (m *Mask) TransceiverOK(i int, dir topo.Direction) bool {
+	return m.NodeOK(i) && !m.trans[dir][i]
+}
+
+// WavelengthOK reports whether wavelength w is alive.
+func (m *Mask) WavelengthOK(w int) bool { return !m.wl[w] }
+
+// AliveNodes returns the ascending list of alive node positions.
+func (m *Mask) AliveNodes() []int {
+	alive := make([]int, 0, m.n-len(m.nodes))
+	for i := 0; i < m.n; i++ {
+		if m.NodeOK(i) {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
+// AliveWavelengths returns the ascending alive wavelength indices below
+// the given budget.
+func (m *Mask) AliveWavelengths(budget int) []int {
+	alive := make([]int, 0, budget)
+	for w := 0; w < budget; w++ {
+		if m.WavelengthOK(w) {
+			alive = append(alive, w)
+		}
+	}
+	return alive
+}
+
+// ArcClear reports whether no cut segment lies on arc a of the dir
+// fiber.
+func (m *Mask) ArcClear(dir topo.Direction, a topo.Arc) bool {
+	for s := range m.cuts[dir] {
+		if a.Contains(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransferErr reports why a circuit from src to dst travelling dir on
+// wavelength w cannot be lit under the mask, or nil if it can: both
+// endpoints must be alive with working dir transceivers, the wavelength
+// must be alive, and the traversed arc must be free of cuts. Light
+// passing through intermediate nodes needs no transceiver there (failed
+// nodes' MRRs fail safe to pass-through).
+func (m *Mask) TransferErr(r topo.Ring, src, dst int, dir topo.Direction, w int) error {
+	if m == nil || m.Empty() {
+		return nil
+	}
+	if !m.NodeOK(src) {
+		return fmt.Errorf("fault: source node %d failed", src)
+	}
+	if !m.NodeOK(dst) {
+		return fmt.Errorf("fault: destination node %d failed", dst)
+	}
+	if !m.TransceiverOK(src, dir) {
+		return fmt.Errorf("fault: node %d has no working %s transmitter", src, dir)
+	}
+	if !m.TransceiverOK(dst, dir) {
+		return fmt.Errorf("fault: node %d has no working %s receiver", dst, dir)
+	}
+	if !m.WavelengthOK(w) {
+		return fmt.Errorf("fault: wavelength %d dead", w)
+	}
+	if !m.ArcClear(dir, r.ArcOf(src, dst, dir)) {
+		return fmt.Errorf("fault: cut %s segment on the %d->%d arc", dir, src, dst)
+	}
+	return nil
+}
+
+// PathErr reports why src and dst cannot terminate any circuit
+// travelling dir (endpoint and transceiver faults only — wavelength and
+// cut feasibility are occupancy questions answered by a seeded
+// rwa.Index).
+func (m *Mask) PathErr(src, dst int, dir topo.Direction) error {
+	if m == nil || m.Empty() {
+		return nil
+	}
+	if !m.NodeOK(src) || !m.NodeOK(dst) {
+		return fmt.Errorf("fault: endpoint of %d->%d failed", src, dst)
+	}
+	if !m.TransceiverOK(src, dir) {
+		return fmt.Errorf("fault: node %d has no working %s transmitter", src, dir)
+	}
+	if !m.TransceiverOK(dst, dir) {
+		return fmt.Errorf("fault: node %d has no working %s receiver", dst, dir)
+	}
+	return nil
+}
+
+// Seed pre-occupies ix with the mask's ring-wide resource faults so
+// first/random fit and the conflict validator route around them: every
+// dead wavelength is occupied on the full ring in both directions, and
+// every cut segment is occupied on all budget wavelengths of its fiber.
+// The cells persist across the index's Reset (see rwa.Index.Preoccupy).
+func (m *Mask) Seed(ix *rwa.Index, budget int) {
+	if m == nil {
+		return
+	}
+	ring := topo.Arc{Lo: 0, Len: m.n, N: m.n}
+	for _, w := range sortedKeys(m.wl) {
+		ix.Preoccupy(topo.CW, ring, w)
+		ix.Preoccupy(topo.CCW, ring, w)
+	}
+	for d := range m.cuts {
+		for _, s := range sortedKeys(m.cuts[d]) {
+			seg := topo.Arc{Lo: s, Len: 1, N: m.n}
+			for w := 0; w < budget; w++ {
+				ix.Preoccupy(topo.Direction(d), seg, w)
+			}
+		}
+	}
+}
+
+// TightenBudget folds the degraded resonators into the §4.4 link
+// budget: the worst-case circuit may pass every degraded MRR, so their
+// extra insertion losses add to the transmit-side loss. Feeding the
+// result into phys.Budget.MaxGroupSize yields the clamp m' the degraded
+// ring supports.
+func (m *Mask) TightenBudget(b phys.Budget) phys.Budget {
+	if m == nil {
+		return b
+	}
+	for _, db := range m.mrr {
+		b.ModulatorLossDB += db
+	}
+	return b
+}
+
+// MaxGroupSize returns phys.Budget.MaxGroupSize under the mask's
+// tightened budget.
+func (m *Mask) MaxGroupSize(b phys.Budget, n, cap int) int {
+	return m.TightenBudget(b).MaxGroupSize(n, cap)
+}
+
+// Counts summarises the mask for reporting.
+func (m *Mask) Counts() (nodes, transceivers, wavelengths, cuts, mrrs int) {
+	if m == nil {
+		return
+	}
+	return len(m.nodes), len(m.trans[0]) + len(m.trans[1]), len(m.wl),
+		len(m.cuts[0]) + len(m.cuts[1]), len(m.mrr)
+}
+
+func (m *Mask) String() string {
+	if m.Empty() {
+		return "fault.Mask{healthy}"
+	}
+	var parts []string
+	add := func(label string, ks []int) {
+		if len(ks) > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", label, ks))
+		}
+	}
+	add("nodes", sortedKeys(m.nodes))
+	add("tx/rx(cw)", sortedKeys(m.trans[topo.CW]))
+	add("tx/rx(ccw)", sortedKeys(m.trans[topo.CCW]))
+	add("wavelengths", sortedKeys(m.wl))
+	add("cuts(cw)", sortedKeys(m.cuts[topo.CW]))
+	add("cuts(ccw)", sortedKeys(m.cuts[topo.CCW]))
+	add("mrrs", sortedKeys(m.mrr))
+	return "fault.Mask{" + strings.Join(parts, " ") + "}"
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// sampleDistinct draws k distinct values from [0, n) in ascending draw
+// order, deterministically for a given rng state.
+func sampleDistinct(rng *rand.Rand, k, n int) []int {
+	if k > n {
+		k = n
+	}
+	picked := map[int]bool{}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if !picked[v] {
+			picked[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"wrht/internal/phys"
+	"wrht/internal/rwa"
+	"wrht/internal/topo"
+)
+
+func TestMaskQueries(t *testing.T) {
+	m := NewMask(8)
+	if !m.Empty() {
+		t.Fatal("fresh mask not empty")
+	}
+	m.FailNode(3)
+	m.FailTransceiver(5, topo.CCW)
+	m.KillWavelength(1)
+	m.CutSegment(topo.CW, 6)
+	m.DegradeMRR(2, 0.5)
+	if m.Empty() {
+		t.Fatal("populated mask reports empty")
+	}
+	if m.NodeOK(3) || !m.NodeOK(4) {
+		t.Error("NodeOK wrong")
+	}
+	if m.TransceiverOK(5, topo.CCW) || !m.TransceiverOK(5, topo.CW) {
+		t.Error("TransceiverOK wrong")
+	}
+	if m.TransceiverOK(3, topo.CW) {
+		t.Error("failed node should have no working transceivers")
+	}
+	if m.WavelengthOK(1) || !m.WavelengthOK(0) {
+		t.Error("WavelengthOK wrong")
+	}
+	if got := m.AliveNodes(); !reflect.DeepEqual(got, []int{0, 1, 2, 4, 5, 6, 7}) {
+		t.Errorf("AliveNodes = %v", got)
+	}
+	if got := m.AliveWavelengths(4); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Errorf("AliveWavelengths = %v", got)
+	}
+	r := topo.NewRing(8)
+	// 5->7 CW crosses cut segment 6.
+	if m.ArcClear(topo.CW, r.ArcOf(5, 7, topo.CW)) {
+		t.Error("arc over cut segment reported clear")
+	}
+	if !m.ArcClear(topo.CCW, r.ArcOf(7, 5, topo.CCW)) {
+		t.Error("opposite-direction fiber should be unaffected by a CW cut")
+	}
+}
+
+func TestTransferErr(t *testing.T) {
+	r := topo.NewRing(16)
+	m := NewMask(16)
+	m.FailNode(4)
+	m.FailTransceiver(8, topo.CW)
+	m.KillWavelength(2)
+	m.CutSegment(topo.CCW, 10)
+	cases := []struct {
+		src, dst int
+		dir      topo.Direction
+		w        int
+		ok       bool
+	}{
+		{0, 1, topo.CW, 0, true},
+		{4, 5, topo.CW, 0, false},    // failed source
+		{3, 4, topo.CW, 0, false},    // failed destination
+		{8, 9, topo.CW, 0, false},    // failed CW transmitter
+		{7, 8, topo.CW, 0, false},    // failed CW receiver
+		{8, 7, topo.CCW, 0, true},    // CCW array still works
+		{0, 1, topo.CW, 2, false},    // dead wavelength
+		{12, 9, topo.CCW, 0, false},  // crosses CCW cut at segment 10
+		{3, 4 + 2, topo.CW, 1, true}, // passes THROUGH failed node 4: fine
+		{9, 12, topo.CW, 0, true},    // CW fiber unaffected by the CCW cut
+	}
+	for _, c := range cases {
+		err := m.TransferErr(r, c.src, c.dst, c.dir, c.w)
+		if (err == nil) != c.ok {
+			t.Errorf("TransferErr(%d->%d %v λ%d) = %v, want ok=%v", c.src, c.dst, c.dir, c.w, err, c.ok)
+		}
+	}
+	if err := (*Mask)(nil).TransferErr(r, 0, 1, topo.CW, 0); err != nil {
+		t.Errorf("nil mask TransferErr = %v", err)
+	}
+}
+
+func TestSeedRoutesAroundFaults(t *testing.T) {
+	r := topo.NewRing(8)
+	m := NewMask(8)
+	m.KillWavelength(0)
+	m.CutSegment(topo.CW, 2)
+	ix := rwa.NewIndex(r)
+	m.Seed(ix, 4)
+	// First fit on an arc avoiding the cut skips the dead wavelength.
+	if w := ix.FirstFree(topo.CW, r.ArcOf(4, 6, topo.CW)); w != 1 {
+		t.Errorf("FirstFree off the cut = %d, want 1 (λ0 dead)", w)
+	}
+	// An arc over the cut is saturated on every budget wavelength.
+	if w := ix.FirstFree(topo.CW, r.ArcOf(1, 4, topo.CW)); w < 4 {
+		t.Errorf("FirstFree over the cut = %d, want >= 4 (all cut)", w)
+	}
+	// The seeds survive Reset.
+	ix.Reset()
+	if w := ix.FirstFree(topo.CW, r.ArcOf(4, 6, topo.CW)); w != 1 {
+		t.Errorf("after Reset, FirstFree = %d, want 1", w)
+	}
+	// And Validate reports a masked hit as MaskedConflict.
+	reqs := []rwa.Request{{Src: 4, Dst: 6, Dir: topo.CW}}
+	asn := rwa.Assignment{0}
+	err := ix.Validate(reqs, rwa.ArcsOf(r, reqs), asn, 4)
+	mc, ok := err.(rwa.MaskedConflict)
+	if !ok || mc.I != 0 || mc.Wavelength != 0 {
+		t.Errorf("Validate on dead wavelength = %v, want MaskedConflict{0, 0}", err)
+	}
+	// The pairwise oracle cannot see the mask: it passes.
+	if err := rwa.OracleValidate(r, reqs, asn, 4); err != nil {
+		t.Errorf("oracle should not see masked cells: %v", err)
+	}
+}
+
+func TestSpecSampleDeterministic(t *testing.T) {
+	sp := Spec{Seed: 7, Nodes: 2, Transceivers: 3, Wavelengths: 2, Segments: 2, MRRs: 1, WavelengthBudget: 8}
+	a, b := sp.Sample(32), sp.Sample(32)
+	if a.String() != b.String() {
+		t.Fatalf("same spec sampled different masks:\n%s\n%s", a, b)
+	}
+	an, at, aw, ac, am := a.Counts()
+	if an != 2 || at != 3 || aw != 2 || ac != 2 || am != 1 {
+		t.Errorf("Counts = %d %d %d %d %d, want 2 3 2 2 1", an, at, aw, ac, am)
+	}
+	other := Spec{Seed: 8, Nodes: 2, Transceivers: 3, Wavelengths: 2, Segments: 2, MRRs: 1, WavelengthBudget: 8}
+	if other.Sample(32).String() == a.String() {
+		t.Error("different seeds produced the same mask (suspicious)")
+	}
+	// Clamping: more faults than population.
+	cl := Spec{Seed: 1, Nodes: 99, WavelengthBudget: 1}.Sample(4)
+	if n, _, _, _, _ := cl.Counts(); n != 4 {
+		t.Errorf("clamped node faults = %d, want 4", n)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Spec{Seed: 3, Nodes: 1, Wavelengths: 1, Segments: 1, MRRs: 1, WavelengthBudget: 8}.Sample(16)
+	c := m.Clone()
+	if c.String() != m.String() {
+		t.Fatalf("clone differs: %s vs %s", c, m)
+	}
+	c.FailNode(0)
+	c.FailNode(1)
+	if c.String() == m.String() {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+func TestApplyEvents(t *testing.T) {
+	m := NewMask(8)
+	for _, f := range []Fault{
+		{Kind: NodeDown, Node: 1},
+		{Kind: TransceiverDown, Node: 2, Dir: topo.CCW},
+		{Kind: WavelengthDead, Wavelength: 3},
+		{Kind: SegmentCut, Dir: topo.CW, Segment: 4},
+		{Kind: MRRDegraded, Node: 5, ExtraLossDB: 1.25},
+	} {
+		m.Apply(f)
+	}
+	if m.NodeOK(1) || m.TransceiverOK(2, topo.CCW) || m.WavelengthOK(3) {
+		t.Error("applied events not reflected in mask")
+	}
+	if m.ArcClear(topo.CW, topo.Arc{Lo: 4, Len: 1, N: 8}) {
+		t.Error("cut not applied")
+	}
+	n, tr, w, c, mr := m.Counts()
+	if n != 1 || tr != 1 || w != 1 || c != 1 || mr != 1 {
+		t.Errorf("Counts = %d %d %d %d %d", n, tr, w, c, mr)
+	}
+}
+
+func TestInjectorOrdering(t *testing.T) {
+	in := NewInjector(
+		Event{Step: 5, Fault: Fault{Kind: WavelengthDead, Wavelength: 1}},
+		Event{Step: 1, Fault: Fault{Kind: NodeDown, Node: 2}},
+		Event{Step: 1, Fault: Fault{Kind: WavelengthDead, Wavelength: 0}},
+	)
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	if in.At(0).Step != 1 || in.At(1).Step != 1 || in.At(2).Step != 5 {
+		t.Errorf("events not step-sorted: %+v", in)
+	}
+	// Stable: the two step-1 events keep insertion order.
+	if in.At(0).Fault.Kind != NodeDown || in.At(1).Fault.Kind != WavelengthDead {
+		t.Errorf("sort not stable: %+v, %+v", in.At(0), in.At(1))
+	}
+	if (*Injector)(nil).Len() != 0 {
+		t.Error("nil injector should have zero events")
+	}
+}
+
+func TestTightenBudget(t *testing.T) {
+	b := phys.DefaultBudget()
+	n := 1024
+	cap := 2*64 + 1
+	healthy := NewMask(n).MaxGroupSize(b, n, cap)
+	if healthy != b.MaxGroupSize(n, cap) {
+		t.Fatalf("empty mask changed MaxGroupSize: %d vs %d", healthy, b.MaxGroupSize(n, cap))
+	}
+	m := NewMask(n)
+	for i := 0; i < 8; i++ {
+		m.DegradeMRR(i, 1.0)
+	}
+	tb := m.TightenBudget(b)
+	if tb.ModulatorLossDB != b.ModulatorLossDB+8 {
+		t.Errorf("TightenBudget loss = %g, want %g", tb.ModulatorLossDB, b.ModulatorLossDB+8)
+	}
+	degraded := m.MaxGroupSize(b, n, cap)
+	if degraded > healthy {
+		t.Errorf("degraded MaxGroupSize %d > healthy %d", degraded, healthy)
+	}
+	if degraded == healthy {
+		t.Errorf("8 dB of extra loss should tighten the clamp (healthy %d)", healthy)
+	}
+}

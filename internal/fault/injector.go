@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"wrht/internal/topo"
+)
+
+// Kind labels one fault class.
+type Kind uint8
+
+const (
+	// NodeDown fails Node completely.
+	NodeDown Kind = iota
+	// TransceiverDown fails Node's Tx/Rx array on the Dir fiber.
+	TransceiverDown
+	// WavelengthDead kills Wavelength ring-wide.
+	WavelengthDead
+	// SegmentCut darkens directed fiber Segment on the Dir waveguide.
+	SegmentCut
+	// MRRDegraded adds ExtraLossDB of insertion loss at Node.
+	MRRDegraded
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeDown:
+		return "node-down"
+	case TransceiverDown:
+		return "transceiver-down"
+	case WavelengthDead:
+		return "wavelength-dead"
+	case SegmentCut:
+		return "segment-cut"
+	case MRRDegraded:
+		return "mrr-degraded"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Fault is one injectable fault event payload. Only the fields relevant
+// to Kind are read.
+type Fault struct {
+	Kind        Kind
+	Node        int
+	Dir         topo.Direction
+	Wavelength  int
+	Segment     int
+	ExtraLossDB float64
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case NodeDown:
+		return fmt.Sprintf("node %d down", f.Node)
+	case TransceiverDown:
+		return fmt.Sprintf("node %d %s transceiver down", f.Node, f.Dir)
+	case WavelengthDead:
+		return fmt.Sprintf("wavelength %d dead", f.Wavelength)
+	case SegmentCut:
+		return fmt.Sprintf("%s segment %d cut", f.Dir, f.Segment)
+	case MRRDegraded:
+		return fmt.Sprintf("node %d MRR +%.2f dB", f.Node, f.ExtraLossDB)
+	default:
+		return f.Kind.String()
+	}
+}
+
+// Apply folds one fault event into the mask.
+func (m *Mask) Apply(f Fault) {
+	switch f.Kind {
+	case NodeDown:
+		m.FailNode(f.Node)
+	case TransceiverDown:
+		m.FailTransceiver(f.Node, f.Dir)
+	case WavelengthDead:
+		m.KillWavelength(f.Wavelength)
+	case SegmentCut:
+		m.CutSegment(f.Dir, f.Segment)
+	case MRRDegraded:
+		db := f.ExtraLossDB
+		if db == 0 {
+			db = DefaultMRRLossDB
+		}
+		m.DegradeMRR(f.Node, db)
+	default:
+		panic(fmt.Sprintf("fault: unknown kind %v", f.Kind))
+	}
+}
+
+// Event schedules a fault to strike before the Step-th executed
+// communication step of a fault-aware engine run (step counting is
+// global across reschedule restarts, so the injection clock keeps
+// advancing when the schedule is rebuilt).
+type Event struct {
+	Step  int
+	Fault Fault
+}
+
+// Injector is an immutable, step-ordered fault event sequence. One
+// Injector may drive many runs: the engine keeps its own cursor.
+type Injector struct {
+	events []Event
+}
+
+// NewInjector returns an injector firing the given events, stably
+// sorted by step.
+func NewInjector(events ...Event) *Injector {
+	in := &Injector{events: append([]Event(nil), events...)}
+	sort.SliceStable(in.events, func(i, j int) bool { return in.events[i].Step < in.events[j].Step })
+	return in
+}
+
+// Len returns the event count.
+func (in *Injector) Len() int {
+	if in == nil {
+		return 0
+	}
+	return len(in.events)
+}
+
+// At returns the i-th event in step order.
+func (in *Injector) At(i int) Event { return in.events[i] }

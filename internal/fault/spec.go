@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wrht/internal/topo"
+)
+
+// Spec describes how many faults of each class to sample. Sampling is
+// deterministic for a given Seed: every count draws from its own
+// offset of the seeded stream, so masks are reproducible across runs
+// and platforms.
+type Spec struct {
+	// Seed seeds the sampling RNG.
+	Seed int64
+	// Nodes, Transceivers, Wavelengths, Segments and MRRs are the fault
+	// counts per class. Counts exceeding the available population are
+	// clamped to it.
+	Nodes, Transceivers, Wavelengths, Segments, MRRs int
+	// WavelengthBudget is the wavelength population dead wavelengths are
+	// drawn from (the ring's per-waveguide budget w).
+	WavelengthBudget int
+	// MRRLossDB is the extra insertion loss per degraded resonator;
+	// zero selects DefaultMRRLossDB.
+	MRRLossDB float64
+}
+
+// DefaultMRRLossDB is the extra per-MRR insertion loss a degraded
+// resonator contributes when Spec.MRRLossDB is zero: 0.5 dB, 25× the
+// healthy 0.02 dB pass-through loss of phys.DefaultBudget.
+const DefaultMRRLossDB = 0.5
+
+// Sample draws a deterministic random mask for an n-node ring.
+func (sp Spec) Sample(n int) *Mask {
+	m := NewMask(n)
+	rng := rand.New(rand.NewSource(sp.Seed))
+	for _, i := range sampleDistinct(rng, sp.Nodes, n) {
+		m.FailNode(i)
+	}
+	// Transceivers are drawn over 2n (node, direction) pairs.
+	for _, v := range sampleDistinct(rng, sp.Transceivers, 2*n) {
+		m.FailTransceiver(v%n, topo.Direction(v/n))
+	}
+	if sp.Wavelengths > 0 {
+		if sp.WavelengthBudget < 1 {
+			panic(fmt.Sprintf("fault: sampling %d dead wavelengths needs a positive WavelengthBudget", sp.Wavelengths))
+		}
+		for _, w := range sampleDistinct(rng, sp.Wavelengths, sp.WavelengthBudget) {
+			m.KillWavelength(w)
+		}
+	}
+	// Cuts are drawn over 2n (direction, segment) pairs.
+	for _, v := range sampleDistinct(rng, sp.Segments, 2*n) {
+		m.CutSegment(topo.Direction(v/n), v%n)
+	}
+	loss := sp.MRRLossDB
+	if loss == 0 {
+		loss = DefaultMRRLossDB
+	}
+	for _, i := range sampleDistinct(rng, sp.MRRs, n) {
+		m.DegradeMRR(i, loss)
+	}
+	return m
+}

@@ -103,6 +103,22 @@ func (o *FabricObserver) StepExecuted(ev fabric.StepEvent) {
 	}
 }
 
+// FaultRescheduled marks a mid-run reschedule on the control-plane
+// track (an instant: detection and rebuild are modelled as free — the
+// restarted steps are where the time goes) and counts it.
+func (o *FabricObserver) FaultRescheduled(ev fabric.FaultEvent) {
+	if t := o.Tracer; t != nil {
+		t.Span(Track{Process: o.Process, Name: "control plane"},
+			"fault reschedule", ev.Time, 0, Args{
+				"step": ev.Step, "reschedule": ev.Reschedule,
+				"reason": ev.Reason.Error(),
+			})
+	}
+	if m := o.Metrics; m != nil {
+		m.Counter("fabric.faults.reschedules").Inc()
+	}
+}
+
 // GroupExecuted renders one profile group as a single span (profiles
 // carry no circuits, so there are no per-node tracks to populate).
 func (o *FabricObserver) GroupExecuted(ev fabric.GroupEvent) {

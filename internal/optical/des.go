@@ -5,13 +5,15 @@ import (
 
 	"wrht/internal/core"
 	"wrht/internal/des"
+	"wrht/internal/fabric"
 )
 
 // Event-driven execution mode: instead of summing closed-form step
 // durations, RunScheduleDES schedules explicit events on the DES kernel —
 // one reconfiguration event per step, one completion event per transfer —
 // and the step barrier fires when the last circuit drains. It produces
-// exactly the same totals as RunSchedule (asserted by tests), and exists
+// exactly the same totals as the analytic fabric.Engine run (asserted by
+// tests), and exists
 // to (a) cross-validate the analytic model and (b) host extensions where
 // per-transfer dynamics differ (e.g. straggling circuits), which a
 // closed form cannot express.
@@ -88,10 +90,15 @@ func finishStep(k *des.Kernel, res *Result, st core.Step, stepStart float64, si 
 // the totals disagree beyond tolerance — a self-test hook used by the
 // test suite and available to downstream users extending either path.
 func CheckAgainstAnalytic(p Params, s *core.Schedule, dBytes float64) error {
-	a, err := RunSchedule(p, s, dBytes, false)
+	f, err := p.Fabric()
 	if err != nil {
 		return err
 	}
+	ar, err := fabric.Engine{Fabric: f}.RunSchedule(s, dBytes)
+	if err != nil {
+		return err
+	}
+	a := fromFabric(ar)
 	d, err := RunScheduleDES(p, s, dBytes, nil)
 	if err != nil {
 		return err

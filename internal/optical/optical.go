@@ -111,7 +111,8 @@ type Result struct {
 	// component (d·θ/B) and the per-step component (a·θ).
 	TransferTime float64
 	OverheadTime float64
-	// PerStep is the per-step breakdown (only populated by RunSchedule).
+	// PerStep is the per-step breakdown (only populated by schedule runs,
+	// not profile runs).
 	PerStep []StepReport
 }
 
@@ -134,46 +135,6 @@ func fromFabric(r fabric.Result) Result {
 	return res
 }
 
-// RunSchedule executes an explicit schedule carrying a dBytes-sized
-// per-node vector and returns the simulated timing. If validateW is
-// true the schedule is first checked for wavelength conflicts against
-// the configured budget, returning an error on violation.
-//
-// Deprecated: RunSchedule is a thin shim kept for incremental migration;
-// new code should run a fabric.Engine over Params.Fabric, which also
-// exposes the per-step cost breakdown and the overlap mode.
-func RunSchedule(p Params, s *core.Schedule, dBytes float64, validateW bool) (Result, error) {
-	f, err := p.Fabric()
-	if err != nil {
-		return Result{}, err
-	}
-	eng := fabric.Engine{Fabric: f, Opts: fabric.Options{ValidateWavelengths: validateW}}
-	r, err := eng.RunSchedule(s, dBytes)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromFabric(r), nil
-}
-
-// RunProfile times an analytic step profile, equivalent to RunSchedule
-// on the schedule the profile describes but in O(groups) work. Payload
-// fractions are applied to dBytes directly (the rounding of uneven
-// chunk splits is below packet granularity for all paper workloads).
-//
-// Deprecated: RunProfile is a thin shim kept for incremental migration;
-// new code should run a fabric.Engine over Params.Fabric.
-func RunProfile(p Params, pr core.Profile, dBytes float64) (Result, error) {
-	f, err := p.Fabric()
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := fabric.Engine{Fabric: f}.RunProfile(pr, dBytes)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromFabric(r), nil
-}
-
 // FeasibleWavelengths reports whether the profile's per-step wavelength
 // requirement fits the configured budget.
 func (p Params) FeasibleWavelengths(pr core.Profile) bool {
@@ -183,26 +144,6 @@ func (p Params) FeasibleWavelengths(pr core.Profile) bool {
 		}
 	}
 	return true
-}
-
-// RunBuckets times a collective that is invoked once per gradient bucket
-// (per-layer or fused-bucket granularity, §5.1 discussion in DESIGN.md):
-// the profile is evaluated for every bucket size and the times add up,
-// because synchronous data-parallel training serializes the bucket
-// all-reduces on the same ring.
-//
-// Deprecated: RunBuckets is a thin shim kept for incremental migration;
-// new code should run a fabric.Engine over Params.Fabric.
-func RunBuckets(p Params, pr core.Profile, bucketBytes []float64) (Result, error) {
-	f, err := p.Fabric()
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := fabric.Engine{Fabric: f}.RunBuckets(pr, bucketBytes)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromFabric(r), nil
 }
 
 // EffectiveWavelengths returns the per-direction circuit capacity

@@ -18,14 +18,14 @@ func TestEq6Reproduction(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := 100e6
-	res, err := RunProfile(p, prof, d)
+	res, err := runProfile(p, prof, d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := p.TimeParams().CommTime(3, d)
 	oeo := 3 * math.Ceil(d/72) * p.OEOPerPacket
 	if math.Abs(res.Time-(want+oeo)) > 1e-9 {
-		t.Fatalf("RunProfile = %.9f, want Eq6 %.9f + oeo %.12f", res.Time, want, oeo)
+		t.Fatalf("profile time = %.9f, want Eq6 %.9f + oeo %.12f", res.Time, want, oeo)
 	}
 	if res.Steps != 3 {
 		t.Fatalf("steps = %d", res.Steps)
@@ -60,11 +60,11 @@ func TestScheduleAndProfileAgree(t *testing.T) {
 		}{"bt", collective.BuildBT(64), collective.BTProfile(64)},
 	)
 	for _, c := range cfgs {
-		rs, err := RunSchedule(p, c.sched, d, false)
+		rs, err := runSchedule(p, c.sched, d, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rp, err := RunProfile(p, c.prof, d)
+		rp, err := runProfile(p, c.prof, d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,14 +74,14 @@ func TestScheduleAndProfileAgree(t *testing.T) {
 	}
 }
 
-func TestRunScheduleValidatesBudget(t *testing.T) {
+func TestEngineValidatesBudget(t *testing.T) {
 	p := DefaultParams()
 	p.Wavelengths = 1
 	s, _ := core.BuildWRHT(core.Config{N: 100, Wavelengths: 8})
-	if _, err := RunSchedule(p, s, 1e6, true); err == nil {
+	if _, err := runSchedule(p, s, 1e6, true); err == nil {
 		t.Fatal("8-wavelength schedule accepted on 1-wavelength system")
 	}
-	if _, err := RunSchedule(p, s, 1e6, false); err != nil {
+	if _, err := runSchedule(p, s, 1e6, false); err != nil {
 		t.Fatalf("validation disabled should pass: %v", err)
 	}
 }
@@ -92,12 +92,12 @@ func TestRingVsWRHTStepOverheadDominance(t *testing.T) {
 	// argument).
 	p := DefaultParams()
 	d := 1e6 // 1 MB
-	ring, err := RunProfile(p, collective.RingProfile(1024), d)
+	ring, err := runProfile(p, collective.RingProfile(1024), d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prof, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
-	wrht, err := RunProfile(p, prof, d)
+	wrht, err := runProfile(p, prof, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestRingVsWRHTStepOverheadDominance(t *testing.T) {
 func TestOverheadTransferSplit(t *testing.T) {
 	p := DefaultParams()
 	prof, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
-	res, err := RunProfile(p, prof, 40e6)
+	res, err := runProfile(p, prof, 40e6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +124,11 @@ func TestOverheadTransferSplit(t *testing.T) {
 func TestRunBucketsAddsUp(t *testing.T) {
 	p := DefaultParams()
 	prof, _ := collective.WRHTProfile(core.Config{N: 1024, Wavelengths: 64})
-	whole, err := RunProfile(p, prof, 100e6)
+	whole, err := runProfile(p, prof, 100e6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	split, err := RunBuckets(p, prof, []float64{60e6, 40e6})
+	split, err := runBuckets(p, prof, []float64{60e6, 40e6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestParamValidation(t *testing.T) {
 	}
 	prof := collective.RingProfile(4)
 	for _, p := range bad {
-		if _, err := RunProfile(p, prof, 1); err == nil {
+		if _, err := runProfile(p, prof, 1); err == nil {
 			t.Errorf("params %+v accepted", p)
 		}
 	}

@@ -6,13 +6,54 @@ import (
 
 	"wrht/internal/collective"
 	"wrht/internal/core"
+	"wrht/internal/fabric"
 )
 
 // The legacy* functions below reproduce the pre-engine simulator loops
 // verbatim (operation order included) so the parity tests can assert
-// that routing the deprecated Run* shims through fabric.Engine changed
-// no result bit. They intentionally duplicate arithmetic rather than
-// call into the engine.
+// that fabric.Engine over Params.Fabric — the only execution path now
+// that the deprecated Run* shims are gone — changed no result bit. They
+// intentionally duplicate arithmetic rather than call into the engine.
+
+// runSchedule, runProfile and runBuckets drive fabric.Engine the way
+// production callers do, converting back to the package Result so the
+// legacy oracles compare field by field.
+func runSchedule(p Params, s *core.Schedule, dBytes float64, validateW bool) (Result, error) {
+	f, err := p.Fabric()
+	if err != nil {
+		return Result{}, err
+	}
+	eng := fabric.Engine{Fabric: f, Opts: fabric.Options{ValidateWavelengths: validateW}}
+	r, err := eng.RunSchedule(s, dBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromFabric(r), nil
+}
+
+func runProfile(p Params, pr core.Profile, dBytes float64) (Result, error) {
+	f, err := p.Fabric()
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := fabric.Engine{Fabric: f}.RunProfile(pr, dBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromFabric(r), nil
+}
+
+func runBuckets(p Params, pr core.Profile, bucketBytes []float64) (Result, error) {
+	f, err := p.Fabric()
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := fabric.Engine{Fabric: f}.RunBuckets(pr, bucketBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromFabric(r), nil
+}
 
 func legacyRunSchedule(p Params, s *core.Schedule, dBytes float64) Result {
 	elems := int(dBytes / 4)
@@ -84,12 +125,12 @@ func paritySchedules(t *testing.T) map[string]*core.Schedule {
 
 func nameKey(name string, n int) string { return fmt.Sprintf("%s/n=%d", name, n) }
 
-func TestScheduleShimMatchesLegacyBitForBit(t *testing.T) {
+func TestScheduleEngineMatchesLegacyBitForBit(t *testing.T) {
 	p := DefaultParams()
 	for name, s := range paritySchedules(t) {
 		for _, dBytes := range []float64{4e3, 1e6, 100e6} {
 			want := legacyRunSchedule(p, s, dBytes)
-			got, err := RunSchedule(p, s, dBytes, false)
+			got, err := runSchedule(p, s, dBytes, false)
 			if err != nil {
 				t.Fatalf("%s d=%g: %v", name, dBytes, err)
 			}
@@ -109,13 +150,13 @@ func TestScheduleShimMatchesLegacyBitForBit(t *testing.T) {
 	}
 }
 
-func TestProfileShimMatchesLegacyBitForBit(t *testing.T) {
+func TestProfileEngineMatchesLegacyBitForBit(t *testing.T) {
 	p := DefaultParams()
 	for name, s := range paritySchedules(t) {
 		pr := core.ProfileOf(s)
 		for _, dBytes := range []float64{4e3, 1e6, 100e6} {
 			want := legacyRunProfile(p, pr, dBytes)
-			got, err := RunProfile(p, pr, dBytes)
+			got, err := runProfile(p, pr, dBytes)
 			if err != nil {
 				t.Fatalf("%s d=%g: %v", name, dBytes, err)
 			}
@@ -127,7 +168,7 @@ func TestProfileShimMatchesLegacyBitForBit(t *testing.T) {
 	}
 }
 
-func TestBucketsShimMatchesLegacyBitForBit(t *testing.T) {
+func TestBucketsEngineMatchesLegacyBitForBit(t *testing.T) {
 	p := DefaultParams()
 	buckets := [][]float64{
 		{25e6},
@@ -138,7 +179,7 @@ func TestBucketsShimMatchesLegacyBitForBit(t *testing.T) {
 		pr := core.ProfileOf(s)
 		for _, bs := range buckets {
 			want := legacyRunBuckets(p, pr, bs)
-			got, err := RunBuckets(p, pr, bs)
+			got, err := runBuckets(p, pr, bs)
 			if err != nil {
 				t.Fatalf("%s %v: %v", name, bs, err)
 			}
@@ -150,17 +191,17 @@ func TestBucketsShimMatchesLegacyBitForBit(t *testing.T) {
 	}
 }
 
-func TestScheduleShimStillValidates(t *testing.T) {
+func TestScheduleEngineStillValidates(t *testing.T) {
 	p := DefaultParams()
 	p.Wavelengths = 1
 	s, err := core.BuildWRHT(core.Config{N: 64, Wavelengths: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunSchedule(p, s, 1e6, true); err == nil {
+	if _, err := runSchedule(p, s, 1e6, true); err == nil {
 		t.Fatal("schedule exceeding a 1-wavelength budget accepted")
 	}
-	if _, err := RunSchedule(p, s, 1e6, false); err != nil {
+	if _, err := runSchedule(p, s, 1e6, false); err != nil {
 		t.Fatalf("validation off should not reject: %v", err)
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"wrht/internal/core"
 	"wrht/internal/dnn"
+	"wrht/internal/fabric"
 	"wrht/internal/optical"
 	"wrht/internal/workload"
 )
@@ -152,6 +153,11 @@ func (sim Sim) Run() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	optFab, err := sim.Optical.Fabric()
+	if err != nil {
+		return Result{}, err
+	}
+	eng := fabric.Engine{Fabric: optFab}
 	var arMax float64
 	var maxShard float64
 	for s := 0; s < p; s++ {
@@ -159,7 +165,7 @@ func (sim Sim) Run() (Result, error) {
 		if d > maxShard {
 			maxShard = d
 		}
-		res, err := optical.RunProfile(sim.Optical, prof, d)
+		res, err := eng.RunProfile(prof, d)
 		if err != nil {
 			return Result{}, err
 		}

@@ -41,6 +41,14 @@ type Index struct {
 	occ     [2][]uint64
 	blk     [2][]uint64
 	scratch []uint64 // per-word arc unions, reused by RandomFree
+	base    []baseCell
+}
+
+// baseCell is one pre-occupied (masked) cell set that survives Reset.
+type baseCell struct {
+	dir topo.Direction
+	arc topo.Arc
+	w   int
 }
 
 // NewIndex returns an empty occupancy index for ring r.
@@ -54,13 +62,34 @@ func NewIndex(r topo.Ring) *Index {
 	return ix
 }
 
-// Reset clears all occupancy, keeping the allocated capacity.
+// Reset clears all occupancy except the pre-occupied cells added with
+// Preoccupy, which are re-applied, keeping the allocated capacity.
 func (ix *Index) Reset() {
 	for d := range ix.occ {
 		clear(ix.occ[d][:ix.words*ix.n])
 		clear(ix.blk[d][:ix.words*ix.nb])
 	}
 	ix.words = 0
+	for _, c := range ix.base {
+		ix.Occupy(c.dir, c.arc, c.w)
+	}
+}
+
+// Preoccupy marks wavelength w occupied on every segment of arc a in
+// direction dir persistently: unlike Occupy, the cells survive Reset
+// (and therefore AssignInto/Validate/ConflictFree, which reset on
+// entry), so first/random fit route around them as if a permanent
+// circuit held them. Fault masks use this to model dead wavelengths and
+// cut fiber segments (see internal/fault).
+func (ix *Index) Preoccupy(dir topo.Direction, a topo.Arc, w int) {
+	ix.base = append(ix.base, baseCell{dir: dir, arc: a, w: w})
+	ix.Occupy(dir, a, w)
+}
+
+// ClearPreoccupied drops every pre-occupied cell and clears the index.
+func (ix *Index) ClearPreoccupied() {
+	ix.base = ix.base[:0]
+	ix.Reset()
 }
 
 // arcRanges splits the wrapped segment interval of a into at most two
@@ -329,12 +358,27 @@ func (ix *Index) AssignInto(asn Assignment, reqs []Request, arcs []topo.Arc, str
 	return maxUsed
 }
 
+// MaskedConflict reports a request assigned onto a pre-occupied
+// (masked) cell: no other request clashes with it, but the resource is
+// unavailable (a dead wavelength or a cut fiber segment under a fault
+// mask).
+type MaskedConflict struct {
+	I          int // request index
+	Wavelength int
+}
+
+func (c MaskedConflict) Error() string {
+	return fmt.Sprintf("rwa: request %d uses masked (pre-occupied) wavelength %d", c.I, c.Wavelength)
+}
+
 // Validate checks the assignment against the given pre-computed arcs
 // (ArcsOf(r, reqs)). The index is reset on entry and used as the
 // occupancy state, so a clean pass costs O(R · arcLen/64 · λ/64). Any
 // detected problem defers to the quadratic reference implementation so
 // the returned error — including which Conflict pair is reported — is
-// identical to the legacy behaviour.
+// identical to the legacy behaviour; a hit that the pairwise oracle
+// cannot see (a pre-occupied masked cell) is reported as a
+// MaskedConflict instead.
 func (ix *Index) Validate(reqs []Request, arcs []topo.Arc, asn Assignment, wavelengths int) error {
 	r := topo.Ring{N: ix.n}
 	if len(reqs) != len(asn) {
@@ -346,7 +390,10 @@ func (ix *Index) Validate(reqs []Request, arcs []topo.Arc, asn Assignment, wavel
 	ix.Reset()
 	for i, q := range reqs {
 		if asn[i] < 0 || (wavelengths > 0 && asn[i] >= wavelengths) || ix.Occupied(q.Dir, arcs[i], asn[i]) {
-			return validateQuadratic(r, reqs, asn, wavelengths)
+			if err := validateQuadratic(r, reqs, asn, wavelengths); err != nil {
+				return err
+			}
+			return MaskedConflict{I: i, Wavelength: asn[i]}
 		}
 		ix.Occupy(q.Dir, arcs[i], asn[i])
 	}

@@ -79,6 +79,17 @@ func pickQuadratic(used map[int]bool, strat Strategy, rng *rand.Rand) int {
 	}
 }
 
+// OracleValidate exposes the quadratic reference validator for
+// differential tests in other packages: a schedule built under a fault
+// mask must come out conflict-free under both the bitset index and this
+// original pairwise implementation. The oracle knows nothing about
+// pre-occupied cells, so a masked-cell hit that Index.Validate reports
+// as MaskedConflict passes here — which is exactly the differential
+// property the fault tests pin.
+func OracleValidate(r topo.Ring, reqs []Request, asn Assignment, wavelengths int) error {
+	return validateQuadratic(r, reqs, asn, wavelengths)
+}
+
 // validateQuadratic is the original O(R²·λ) conflict check. The fast
 // Validate defers to it whenever it detects any problem, so error values
 // (including which Conflict pair is reported) are identical to the

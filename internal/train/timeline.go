@@ -6,6 +6,7 @@ import (
 	"wrht/internal/core"
 	"wrht/internal/des"
 	"wrht/internal/dnn"
+	"wrht/internal/fabric"
 	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/workload"
@@ -124,7 +125,11 @@ func EpochTimeline(w workload.Workload, n, datasetSize int, comm float64) Timeli
 // CommTimeForProfile is a convenience for building the per-iteration
 // all-reduce duration of a model's gradient on the optical system.
 func CommTimeForProfile(p optical.Params, pr core.Profile, m dnn.Model) (float64, error) {
-	res, err := optical.RunProfile(p, pr, float64(m.GradBytes()))
+	f, err := p.Fabric()
+	if err != nil {
+		return 0, err
+	}
+	res, err := fabric.Engine{Fabric: f}.RunProfile(pr, float64(m.GradBytes()))
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@ import (
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/dnn"
+	"wrht/internal/fabric"
 	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/workload"
@@ -61,7 +62,11 @@ func TestEpochTimelineCommShareGrowsWithStepHeavyAlgorithms(t *testing.T) {
 	w := workload.New(dnn.ResNet50(), workload.TitanXP(), 16)
 	p := optical.DefaultParams()
 	commFor := func(pr core.Profile) float64 {
-		res, err := optical.RunProfile(p, pr, w.GradBytes)
+		f, err := p.Fabric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fabric.Engine{Fabric: f}.RunProfile(pr, w.GradBytes)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,10 +15,17 @@
 //
 // # Quick start
 //
-//	sched, err := wrht.NewSchedule(wrht.Config{N: 15, Wavelengths: 2})
+//	sched, err := wrht.Build(wrht.KindWRHT, 15, wrht.WithWavelengths(2))
 //	// sched.NumSteps() == 3 (the paper's Fig-2 motivating example)
 //	out, err := wrht.AllReduce(sched, vectors, true) // real float32 data
-//	res, err := wrht.SimulateOptical(wrht.DefaultOpticalParams(), sched, 100e6)
+//	res, err := wrht.Simulate(wrht.Optical, sched, 100e6)
+//
+// Build (build.go) is the single schedule-construction entrypoint —
+// kind plus functional options (WithWavelengths, WithGroupSize,
+// WithFaults, …) — and Simulate (simulate.go) the single simulation
+// entrypoint over both fabrics; fault injection and degraded-mode
+// scheduling are exposed through faults.go. The positional quick-start
+// constructors below remain as thin wrappers.
 //
 // The package is a facade over the implementation packages under
 // internal/; the experiment harness behind `cmd/wrhtsim` and the root
@@ -60,8 +67,6 @@ type (
 	OpticalParams = optical.Params
 	// ElectricalParams is the Table-2 electrical system configuration.
 	ElectricalParams = electrical.Params
-	// OpticalResult is the simulated timing of a collective.
-	OpticalResult = optical.Result
 	// Budget is the §4.4 optical link budget (insertion loss, crosstalk).
 	Budget = phys.Budget
 	// Torus is the §6.1 R×C torus topology.
@@ -78,17 +83,20 @@ func NewSchedule(cfg Config) (*Schedule, error) { return core.BuildWRHT(cfg) }
 // reduce stages, a column all-reduce among row representatives, and the
 // reversed row broadcasts.
 func NewTorusSchedule(t Torus, wavelengths, groupSize int) (*Schedule, error) {
-	return core.BuildWRHTTorus(t, wavelengths, groupSize)
+	return Build(KindTorus, t.Rows*t.Cols, WithDims(t.Rows, t.Cols),
+		WithWavelengths(wavelengths), WithGroupSize(groupSize))
 }
 
 // NewTorus returns an r×c torus topology.
 func NewTorus(r, c int) Torus { return topo.NewTorus(r, c) }
 
-// Baseline schedule constructors (§5.2).
-func RingSchedule(n int) *Schedule                 { return collective.BuildRing(n) }
-func BTSchedule(n int) *Schedule                   { return collective.BuildBT(n) }
-func RDSchedule(n int) (*Schedule, error)          { return collective.BuildRD(n) }
-func HRingSchedule(n, m, w int) (*Schedule, error) { return collective.BuildHRing(n, m, w) }
+// Baseline schedule constructors (§5.2), thin wrappers over Build.
+func RingSchedule(n int) *Schedule        { return collective.BuildRing(n) }
+func BTSchedule(n int) *Schedule          { return collective.BuildBT(n) }
+func RDSchedule(n int) (*Schedule, error) { return Build(KindRD, n) }
+func HRingSchedule(n, m, w int) (*Schedule, error) {
+	return Build(KindHRing, n, WithGroupSize(m), WithWavelengths(w))
+}
 
 // Analytic step profiles for timing at arbitrary scale.
 func WRHTProfile(cfg Config) (Profile, error) { return collective.WRHTProfile(cfg) }
@@ -128,24 +136,22 @@ func DefaultElectricalParams() ElectricalParams { return electrical.DefaultParam
 
 // SimulateOptical times an explicit schedule carrying a dBytes-sized
 // per-node vector on the optical ring (Eq 6), validating the wavelength
-// budget first.
-func SimulateOptical(p OpticalParams, s *Schedule, dBytes float64) (OpticalResult, error) {
-	return optical.RunSchedule(p, s, dBytes, true)
+// budget first. Thin wrapper over Simulate.
+func SimulateOptical(p OpticalParams, s *Schedule, dBytes float64) (SimResult, error) {
+	return Simulate(Optical, s, dBytes, WithOpticalParams(p))
 }
 
 // SimulateOpticalProfile times an analytic profile (preferred at
-// N ≥ thousands, where explicit Ring schedules are large).
-func SimulateOpticalProfile(p OpticalParams, pr Profile, dBytes float64) (OpticalResult, error) {
-	return optical.RunProfile(p, pr, dBytes)
+// N ≥ thousands, where explicit Ring schedules are large). Thin wrapper
+// over Simulate.
+func SimulateOpticalProfile(p OpticalParams, pr Profile, dBytes float64) (SimResult, error) {
+	return Simulate(Optical, pr, dBytes, WithOpticalParams(p))
 }
 
 // SimulateElectrical times a schedule on the fat-tree with n hosts.
+// Thin wrapper over Simulate, returning just the completion time.
 func SimulateElectrical(p ElectricalParams, n int, s *Schedule, dBytes float64) (float64, error) {
-	nw, err := electrical.NewNetwork(n, p)
-	if err != nil {
-		return 0, err
-	}
-	res, err := nw.RunSchedule(s, dBytes)
+	res, err := Simulate(ElectricalFatTree, s, dBytes, WithElectricalParams(p), WithHosts(n))
 	if err != nil {
 		return 0, err
 	}
@@ -177,7 +183,8 @@ func NewMesh(r, c int) topo.Mesh { return topo.NewMesh(r, c) }
 // variant but on lines, with the one-stage line all-to-all in the final
 // reduce step.
 func NewMeshSchedule(m topo.Mesh, wavelengths, groupSize int) (*Schedule, error) {
-	return core.BuildWRHTMesh(m, wavelengths, groupSize)
+	return Build(KindMesh, m.Rows*m.Cols, WithDims(m.Rows, m.Cols),
+		WithWavelengths(wavelengths), WithGroupSize(groupSize))
 }
 
 // NewSegmentSchedule constructs a WRHT all-reduce among an ascending
@@ -185,7 +192,8 @@ func NewMeshSchedule(m topo.Mesh, wavelengths, groupSize int) (*Schedule, error)
 // disjoint segments (e.g. per-stage data-parallel groups in hybrid
 // training, §6.2) can run concurrently with full wavelength reuse.
 func NewSegmentSchedule(ringN int, participants []int, wavelengths, groupSize int) (*Schedule, error) {
-	return core.BuildWRHTSegment(ringN, participants, wavelengths, groupSize)
+	return Build(KindSegment, ringN, WithParticipants(participants...),
+		WithWavelengths(wavelengths), WithGroupSize(groupSize))
 }
 
 // DBTreeSchedule constructs the double-binary-tree all-reduce of [25]
@@ -194,12 +202,12 @@ func DBTreeSchedule(n int) *Schedule { return collective.BuildDBTree(n) }
 
 // BroadcastSchedule constructs a WRHT-style broadcast from root.
 func BroadcastSchedule(n, wavelengths, root int) (*Schedule, error) {
-	return collective.BuildBroadcast(n, wavelengths, root)
+	return Build(KindBroadcast, n, WithWavelengths(wavelengths), WithRoot(root))
 }
 
 // ReduceSchedule constructs a WRHT-style reduction to root.
 func ReduceSchedule(n, wavelengths, root int) (*Schedule, error) {
-	return collective.BuildReduce(n, wavelengths, root)
+	return Build(KindReduce, n, WithWavelengths(wavelengths), WithRoot(root))
 }
 
 // ReduceScatterSchedule constructs the ring reduce-scatter; node i ends
@@ -219,7 +227,7 @@ func VerifyMRR(s *Schedule) error { return optical.VerifySchedule(s) }
 // with H-Ring's bandwidth-optimal chunking (see
 // internal/collective/wdmhring.go). Requires m | n.
 func WDMHRingSchedule(n, m, w int) (*Schedule, error) {
-	return collective.BuildWDMHRing(n, m, w)
+	return Build(KindWDMHRing, n, WithGroupSize(m), WithWavelengths(w))
 }
 
 // WDMHRingProfile returns its analytic step profile.
