@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|schedule|all>
+//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|all>
 //
 // Flags may also follow the subcommand (`wrhtsim faults -n 64`).
 //
@@ -15,6 +15,15 @@
 // fault mask upfront versus the same faults injected mid-run through
 // the engine's retry-with-reschedule path. Without -n it covers the
 // paper trio N ∈ {64, 1024, 4096}.
+//
+// The overlap subcommand compares the engine's opportunistic overlap
+// mode against schedules rewritten by the internal/ir pass pipeline
+// (DESIGN.md §2.5), reporting hidden-reconfig counts, hidden setup
+// time and total time per ring size. Without -n it covers N ∈ {1024,
+// 4096}. -passes selects the pipeline ("all", "none", or a
+// comma-separated subset of reorder, recolor, split); -check makes the
+// run exit nonzero unless the passes strictly beat the baseline
+// hidden-reconfig count at every point (the CI smoke gate).
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run
 // (any subcommand), for `go tool pprof`.
@@ -34,12 +43,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/exp"
 	"wrht/internal/fabric"
+	"wrht/internal/ir"
 	"wrht/internal/metrics"
 	"wrht/internal/obs"
 	"wrht/internal/optical"
@@ -55,6 +66,38 @@ func fatal(err error) int {
 	return 1
 }
 
+// overlapPasses resolves the -passes flag: "all" selects the default
+// pipeline (nil, so exp.OverlapSweep uses exp.OverlapPasses), "none"
+// the identity pipeline (an empty non-nil slice — a round-trip
+// control), anything else a comma-separated pass subset in the given
+// order.
+func overlapPasses(spec string, p optical.Params, dBytes float64) ([]ir.Pass, error) {
+	switch spec {
+	case "", "all":
+		return nil, nil
+	case "none":
+		return []ir.Pass{}, nil
+	}
+	var out []ir.Pass
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "reorder":
+			out = append(out, ir.Reorder{})
+		case "recolor":
+			out = append(out, ir.Recolor{})
+		case "split":
+			out = append(out, &ir.Split{
+				SetupSeconds:   p.ReconfigDelay,
+				BytesPerSecond: p.BandwidthBps / 8,
+				PayloadBytes:   dBytes,
+			})
+		default:
+			return nil, fmt.Errorf("unknown IR pass %q (want reorder, recolor, split, all or none)", name)
+		}
+	}
+	return out, nil
+}
+
 func main() {
 	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
@@ -62,13 +105,15 @@ func main() {
 	schedN := flag.Int("n", 64, "schedule/crossfabric/faults subcommands: ring size")
 	schedW := flag.Int("w", 8, "schedule/crossfabric/faults subcommands: wavelengths")
 	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
-	payloadMB := flag.Float64("d", 100, "crossfabric/faults subcommands: payload per node in MB")
+	payloadMB := flag.Float64("d", 100, "crossfabric/faults/overlap subcommands: payload per node in MB")
+	passSpec := flag.String("passes", "all", "overlap subcommand: IR passes to run (all, none, or comma-separated reorder,recolor,split)")
+	check := flag.Bool("check", false, "overlap subcommand: exit nonzero unless the passes strictly beat the baseline hidden-reconfig count at every N")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write the counter registry to this file on exit (- for stdout, .json for JSON)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|schedule|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,6 +158,8 @@ func main() {
 		w:           *schedW,
 		m:           *schedM,
 		payloadMB:   *payloadMB,
+		passes:      *passSpec,
+		check:       *check,
 		tracePath:   *tracePath,
 		metricsPath: *metricsPath,
 	})
@@ -145,8 +192,12 @@ type runConfig struct {
 	n, w, m     int
 	// nSet records whether -n was given explicitly; the faults sweep
 	// covers the paper trio {64, 1024, 4096} otherwise.
-	nSet        bool
-	payloadMB   float64
+	nSet      bool
+	payloadMB float64
+	// passes/check drive the overlap subcommand: the IR pass selection
+	// and the strict-improvement gate.
+	passes      string
+	check       bool
 	tracePath   string
 	metricsPath string
 }
@@ -330,6 +381,35 @@ func run(cfg runConfig) int {
 			return fatal(err)
 		}
 		fmt.Println(r.Table)
+		ran = true
+	}
+	if cmd == "overlap" || cmd == "all" {
+		// IR pass pipeline vs the opportunistic overlap baseline: how
+		// many reconfigurations each hides (see DESIGN.md §2.5). The
+		// golden pair N ∈ {1024, 4096} unless -n narrows it.
+		ns := []int{1024, 4096}
+		if cfg.nSet {
+			ns = []int{cfg.n}
+		}
+		d := cfg.payloadMB * 1e6
+		passes, err := overlapPasses(cfg.passes, o.Optical, d)
+		if err != nil {
+			return fatal(err)
+		}
+		r, err := exp.OverlapSweep(o, ns, cfg.w, d, passes)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Println(r.Table)
+		if cfg.check {
+			for _, pt := range r.Points {
+				if pt.PassHidden <= pt.BaselineHidden {
+					return fatal(fmt.Errorf("overlap check: N=%d w=%d: pass hidden-reconfig count %d not strictly above baseline %d",
+						pt.N, pt.W, pt.PassHidden, pt.BaselineHidden))
+				}
+			}
+			fmt.Printf("overlap check passed: hidden reconfigs strictly above baseline at all %d points\n\n", len(r.Points))
+		}
 		ran = true
 	}
 	if cmd == "crossover" || cmd == "all" {

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ElemsOf converts a per-node payload size in bytes into the vector
+// length in 4-byte float32 elements — the unit every timing path sizes
+// transfers with (the paper assumes float32 gradients throughout,
+// §5.1). The conversion truncates a trailing partial element, matching
+// the historical `int(dBytes / 4)` at every call site bit for bit, and
+// rejects sizes that would otherwise be timed as a garbage or zero
+// element count: NaN, infinities, negative byte counts, and values
+// beyond the int range.
+func ElemsOf(dBytes float64) (int, error) {
+	switch {
+	case math.IsNaN(dBytes):
+		return 0, fmt.Errorf("core: payload size is NaN")
+	case math.IsInf(dBytes, 0):
+		return 0, fmt.Errorf("core: payload size is infinite")
+	case dBytes < 0:
+		return 0, fmt.Errorf("core: negative payload size %g bytes", dBytes)
+	case dBytes/4 >= float64(math.MaxInt):
+		return 0, fmt.Errorf("core: payload size %g bytes overflows the element count", dBytes)
+	}
+	return int(dBytes / 4), nil
+}

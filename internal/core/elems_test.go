@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElemsOfMatchesLegacyTruncation(t *testing.T) {
+	for _, d := range []float64{0, 1, 3, 4, 5, 7, 8, 100, 399, 400, 401, 1e6, 1e6 + 2, 2.5e9} {
+		got, err := ElemsOf(d)
+		if err != nil {
+			t.Fatalf("ElemsOf(%g): %v", d, err)
+		}
+		if want := int(d / 4); got != want {
+			t.Errorf("ElemsOf(%g) = %d, want legacy int(d/4) = %d", d, got, want)
+		}
+	}
+}
+
+func TestElemsOfRejectsGarbageSizes(t *testing.T) {
+	for _, d := range []float64{
+		math.NaN(),
+		math.Inf(1),
+		math.Inf(-1),
+		-1,
+		-0.0001,
+		4 * float64(math.MaxInt),
+	} {
+		if n, err := ElemsOf(d); err == nil {
+			t.Errorf("ElemsOf(%g) = %d, want error", d, n)
+		}
+	}
+}

@@ -31,7 +31,12 @@ func runSchedule(nw *Network, s *core.Schedule, dBytes float64) (Result, error) 
 // verbatim (memoized stepDuration, summed in schedule order) so the
 // parity test can assert fabric.Engine changed no result bit.
 func legacyRunSchedule(nw *Network, s *core.Schedule, dBytes float64) Result {
-	elems := int(dBytes / 4)
+	// core.ElemsOf truncates exactly like the historical int(dBytes/4)
+	// here, so the oracle's arithmetic is unchanged.
+	elems, err := core.ElemsOf(dBytes)
+	if err != nil {
+		panic(err)
+	}
 	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
 	memo := map[string]float64{}
 	for _, st := range s.Steps {

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"testing"
+
+	"wrht/internal/ir"
+	"wrht/internal/obs"
+)
+
+// TestOverlapSweepManufacturesHiddenReconfigs pins the PR's acceptance
+// criterion at the golden configs: with the pass pipeline on, the
+// hidden-reconfig count must be strictly greater than the opportunistic
+// baseline at N ∈ {1024, 4096}, w=64, without ever making the schedule
+// slower.
+func TestOverlapSweepManufacturesHiddenReconfigs(t *testing.T) {
+	o := Defaults()
+	o.Metrics = obs.NewRegistry()
+	r, err := OverlapSweep(o, []int{1024, 4096}, 64, 100e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.PassHidden <= pt.BaselineHidden {
+			t.Errorf("N=%d: pass hidden count %d not > baseline %d", pt.N, pt.PassHidden, pt.BaselineHidden)
+		}
+		if pt.PassSaved <= pt.BaselineSaved {
+			t.Errorf("N=%d: pass saved %g not > baseline %g", pt.N, pt.PassSaved, pt.BaselineSaved)
+		}
+		// The split pass must never slow the schedule down: the setup it
+		// adds has to be hidden (tiny float slack for the re-summation).
+		if pt.PassTime > pt.BaselineTime+1e-9 {
+			t.Errorf("N=%d: pass time %g exceeds baseline %g", pt.N, pt.PassTime, pt.BaselineTime)
+		}
+	}
+	snap := o.Metrics.Snapshot()
+	for _, name := range []string{"reorder", "recolor", "split"} {
+		if snap.Counters["ir.pass."+name+".runs"] != 2 {
+			t.Errorf("ir.pass.%s.runs = %d, want 2 (one per sweep point)", name, snap.Counters["ir.pass."+name+".runs"])
+		}
+	}
+	if got := snap.Counters["ir.pass.split.boundaries_gained"]; got < 2 {
+		t.Errorf("split gained %d disjoint boundaries across the sweep, want >= 2", got)
+	}
+}
+
+// TestOverlapSweepIdentityPipeline: an empty (non-nil) pass list is the
+// round-trip control — both runs must agree exactly, because the IR's
+// precomputed boundaries replace probes without changing any decision.
+func TestOverlapSweepIdentityPipeline(t *testing.T) {
+	r, err := OverlapSweep(Defaults(), []int{64, 1024}, 64, 100e6, []ir.Pass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range r.Points {
+		if pt.PassSteps != pt.BaselineSteps || pt.PassHidden != pt.BaselineHidden ||
+			pt.PassSaved != pt.BaselineSaved || pt.PassTime != pt.BaselineTime {
+			t.Errorf("N=%d: identity pipeline diverged from baseline: %+v", pt.N, pt)
+		}
+	}
+}

@@ -32,6 +32,14 @@ type Options struct {
 	// the overlap probes so first-fit/saturation counters accumulate
 	// there.
 	RWAStats *rwa.Stats
+	// BoundaryDisjoint, when non-nil, supplies the overlap mode's
+	// per-boundary disjointness decisions up front: entry k-1 answers
+	// whether steps k-1 and k may hold their circuits simultaneously,
+	// replacing the per-boundary rwa probe. internal/ir computes it
+	// (Program.Boundaries) so schedules rewritten by IR passes are
+	// consumed without re-probing. The length must be NumSteps()-1 (0
+	// for empty schedules); it is ignored unless Overlap is set.
+	BoundaryDisjoint []bool
 }
 
 // Engine executes collective schedules and analytic profiles on a
@@ -92,9 +100,17 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 			return Result{}, err
 		}
 	}
-	elems := int(dBytes / 4)
+	elems, err := core.ElemsOf(dBytes)
+	if err != nil {
+		return Result{}, fmt.Errorf("fabric: %w", err)
+	}
+	bd := e.Opts.BoundaryDisjoint
+	if e.Opts.Overlap && bd != nil && len(bd) != max(s.NumSteps()-1, 0) {
+		return Result{}, fmt.Errorf("fabric: BoundaryDisjoint carries %d boundaries for a %d-step schedule", len(bd), s.NumSteps())
+	}
 	res := Result{Fabric: f.Name(), Algorithm: s.Algorithm, Steps: s.NumSteps()}
 	var memo map[string]StepCost
+	var probe *overlapProbe
 	var prevTransmit float64
 	for k, st := range s.Steps {
 		var c StepCost
@@ -111,9 +127,19 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 			c = f.StepCost(st, elems)
 		}
 		var hidden float64
-		if e.Opts.Overlap && k > 0 && c.Setup > 0 && prevTransmit > 0 &&
-			disjointSteps(s.Ring, s.Steps[k-1], st, e.Opts.RWAStats) {
-			hidden = math.Min(c.Setup, prevTransmit)
+		if e.Opts.Overlap && k > 0 && c.Setup > 0 && prevTransmit > 0 {
+			disjoint := false
+			if bd != nil {
+				disjoint = bd[k-1]
+			} else {
+				if probe == nil {
+					probe = newOverlapProbe(s.Ring)
+				}
+				disjoint = probe.disjoint(s.Ring, s.Steps[k-1], st, e.Opts.RWAStats)
+			}
+			if disjoint {
+				hidden = math.Min(c.Setup, prevTransmit)
+			}
 		}
 		if e.Opts.Observer != nil {
 			e.Opts.Observer.StepExecuted(StepEvent{
@@ -166,7 +192,11 @@ func (e Engine) RunProfile(pr core.Profile, dBytes float64) (Result, error) {
 // (per-layer or fused-bucket granularity): the profile is evaluated for
 // every bucket size and the times add up, because synchronous
 // data-parallel training serializes the bucket all-reduces on the same
-// fabric.
+// fabric. Every additive Result field is carried through the sum,
+// OverlapSaved included; PerStep is intentionally left nil — a bucket
+// run covers NumSteps()×len(bucketBytes) steps and the per-step
+// breakdown would not identify which bucket a step belongs to, so
+// callers needing it run the buckets individually.
 func (e Engine) RunBuckets(pr core.Profile, bucketBytes []float64) (Result, error) {
 	total := Result{Fabric: e.Fabric.Name(), Algorithm: pr.Algorithm}
 	for _, b := range bucketBytes {
@@ -179,6 +209,7 @@ func (e Engine) RunBuckets(pr core.Profile, bucketBytes []float64) (Result, erro
 		total.TransferTime += r.TransferTime
 		total.OverheadTime += r.OverheadTime
 		total.RouterTime += r.RouterTime
+		total.OverlapSaved += r.OverlapSaved
 	}
 	return total, nil
 }

@@ -3,6 +3,8 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -257,5 +259,155 @@ func TestRunBucketsSumsProfiles(t *testing.T) {
 	two, _ := Engine{Fabric: f}.RunProfile(pr, 200)
 	if res.Time != one.Time+two.Time || res.Steps != one.Steps+two.Steps {
 		t.Errorf("buckets %+v != %+v + %+v", res, one, two)
+	}
+}
+
+// TestRunBucketsCarriesEveryField walks the Result struct by reflection
+// so a future additive field cannot silently be dropped from the bucket
+// sum the way OverlapSaved once was: every numeric field of the bucket
+// total must equal the sum over per-bucket results, every string field
+// must match, and PerStep must stay nil (the documented omission — the
+// breakdown would not identify which bucket a step belongs to).
+func TestRunBucketsCarriesEveryField(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 1}
+	pr := core.Profile{Algorithm: "p", Groups: []core.ProfileGroup{{Steps: 3, FracOfD: 0.5}, {Steps: 1, FracOfD: 1}}}
+	buckets := []float64{100, 200, 400}
+	total, err := Engine{Fabric: f}.RunBuckets(pr, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]Result, len(buckets))
+	for i, b := range buckets {
+		if parts[i], err = (Engine{Fabric: f}).RunProfile(pr, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tv := reflect.ValueOf(total)
+	rt := tv.Type()
+	for fi := 0; fi < rt.NumField(); fi++ {
+		name := rt.Field(fi).Name
+		switch rt.Field(fi).Type.Kind() {
+		case reflect.Float64:
+			want := 0.0
+			for _, p := range parts {
+				want += reflect.ValueOf(p).Field(fi).Float()
+			}
+			if got := tv.Field(fi).Float(); got != want {
+				t.Errorf("field %s: bucket total %g != per-bucket sum %g", name, got, want)
+			}
+		case reflect.Int:
+			want := int64(0)
+			for _, p := range parts {
+				want += reflect.ValueOf(p).Field(fi).Int()
+			}
+			if got := tv.Field(fi).Int(); got != want {
+				t.Errorf("field %s: bucket total %d != per-bucket sum %d", name, got, want)
+			}
+		case reflect.String:
+			for _, p := range parts {
+				if got, want := tv.Field(fi).String(), reflect.ValueOf(p).Field(fi).String(); got != want {
+					t.Errorf("field %s: bucket total %q != per-bucket %q", name, got, want)
+				}
+			}
+		case reflect.Slice:
+			if name != "PerStep" {
+				t.Errorf("unexpected slice field %s: decide how RunBuckets handles it", name)
+			} else if !tv.Field(fi).IsNil() {
+				t.Error("PerStep must stay nil in bucket totals (documented omission)")
+			}
+		default:
+			t.Errorf("field %s has kind %s: extend this test", name, rt.Field(fi).Type.Kind())
+		}
+	}
+}
+
+// manyBoundarySchedule builds a 32-step schedule whose consecutive steps
+// occupy disjoint one-segment arcs, so overlap mode probes (and accepts)
+// every one of its 31 boundaries.
+func manyBoundarySchedule() *core.Schedule {
+	steps := make([]core.Step, 32)
+	for i := range steps {
+		steps[i] = step(2*i, 2*i+1, 0)
+	}
+	return sched(64, steps...)
+}
+
+// TestOverlapProbeReusesAllocations pins the allocation profile of the
+// overlap path: one occupancy index (plus its request buffers) serves
+// all boundaries of a run, where the old disjointSteps built a fresh
+// rwa.NewIndex — roughly ten allocations — per boundary.
+func TestOverlapProbeReusesAllocations(t *testing.T) {
+	s := manyBoundarySchedule()
+	f := &stubFabric{setup: 1, perByte: 0.1}
+	eng := Engine{Fabric: f, Opts: Options{Overlap: true}}
+	run := func() {
+		if _, err := eng.RunSchedule(s, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up outside the measurement
+	allocs := testing.AllocsPerRun(10, run)
+	// ~16 today: the PerStep growth doublings, one probe + index, and the
+	// three pooled request buffers. The pre-fix engine cost ~10 per
+	// boundary (~310 for this schedule); 25 leaves headroom for runtime
+	// jitter while still failing hard on any per-boundary regression.
+	if allocs > 25 {
+		t.Errorf("overlap run allocates %.0f times for 31 boundaries, want <= 25 (one shared probe index)", allocs)
+	}
+}
+
+func TestPrecomputedBoundariesMatchProbe(t *testing.T) {
+	// Boundary 0 (steps 0-1) is rwa-disjoint; boundary 1 (steps 1-2)
+	// clashes on (CW, λ0) over overlapping arcs.
+	s := sched(8, step(0, 1, 0), step(2, 3, 0), step(1, 4, 0))
+	f := &stubFabric{setup: 1, perByte: 0.1}
+	probed, err := Engine{Fabric: f, Opts: Options{Overlap: true}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Engine{Fabric: f, Opts: Options{Overlap: true, BoundaryDisjoint: []bool{true, false}}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(probed, pre) {
+		t.Errorf("precomputed boundaries diverge from probing:\nprobe: %+v\npre:   %+v", probed, pre)
+	}
+	// The supplied decisions are authoritative: flipping them flips the
+	// hidden setup even though the circuits themselves did not change.
+	flipped, err := Engine{Fabric: f, Opts: Options{Overlap: true, BoundaryDisjoint: []bool{false, true}}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped.PerStep[1].Overlapped != 0 || flipped.PerStep[2].Overlapped != f.setup {
+		t.Errorf("flipped decisions not honored: %+v", flipped.PerStep)
+	}
+	// A mismatched length is a hard error, not a silent truncation.
+	if _, err := (Engine{Fabric: f, Opts: Options{Overlap: true, BoundaryDisjoint: []bool{true}}}).RunSchedule(s, 400); err == nil {
+		t.Error("BoundaryDisjoint of wrong length accepted")
+	}
+	// Without overlap mode the precomputed decisions are ignored.
+	base, err := Engine{Fabric: f}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Engine{Fabric: f, Opts: Options{BoundaryDisjoint: []bool{true, true}}}.RunSchedule(s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, off) {
+		t.Error("BoundaryDisjoint leaked into a non-overlap run")
+	}
+}
+
+func TestRunScheduleRejectsGarbagePayloadSizes(t *testing.T) {
+	f := &stubFabric{setup: 1, perByte: 1}
+	s := sched(8, step(0, 1, 0))
+	for _, d := range []float64{math.NaN(), math.Inf(1), -4} {
+		if _, err := (Engine{Fabric: f}).RunSchedule(s, d); err == nil {
+			t.Errorf("RunSchedule accepted payload size %g", d)
+		}
+		if _, err := (Engine{Fabric: f}).RunScheduleFaulted(s, d, FaultOptions{}); err == nil {
+			t.Errorf("RunScheduleFaulted accepted payload size %g", d)
+		}
 	}
 }

@@ -109,7 +109,10 @@ func (e Engine) RunScheduleFaulted(s *core.Schedule, dBytes float64, fo FaultOpt
 	if maxRes == 0 {
 		maxRes = DefaultMaxReschedules
 	}
-	elems := int(dBytes / 4)
+	elems, err := core.ElemsOf(dBytes)
+	if err != nil {
+		return FaultResult{}, fmt.Errorf("fabric: %w", err)
+	}
 	res := FaultResult{Result: Result{Fabric: f.Name(), Algorithm: s.Algorithm}}
 	var memo map[string]StepCost
 	g := 0 // global executed-step counter: the injector's clock

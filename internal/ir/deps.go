@@ -1,0 +1,130 @@
+package ir
+
+import "wrht/internal/tensor"
+
+// Dependency analysis. A step j depends on an earlier step i when some
+// node's vector elements are written by one and read or written by the
+// other (RAW, WAR or WAW): transfer Src reads its chunk, transfer Dst
+// writes it (OpSum additionally reads the destination range, but that
+// read is covered by the write of the same range, so tracking
+// reads=src / writes=dst is exact for hazard purposes).
+//
+// Chunk ranges are compared exactly by evaluating Chunk.Range at a
+// common resolution L: the LCM of every chunk's divisor product. At
+// such an L every split is even (no ±1 rounding), so [lo, hi) at
+// resolution L is the chunk's exact rational span and overlap checks
+// are precise at any real vector length. Should L overflow the cap
+// (pathological nesting), the analysis degrades conservatively to
+// whole-node granularity — extra edges only, never a missed hazard.
+
+// maxResolution caps the common chunk resolution; beyond it the
+// analysis falls back to node granularity.
+const maxResolution = 1 << 20
+
+// span is a half-open element interval at the common resolution.
+type span struct{ lo, hi int }
+
+// access is one step's read/write footprint: per node, the element
+// spans its transfers read (as sources) and write (as destinations).
+type access struct {
+	reads, writes map[int][]span
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// chunkDenom returns the product of the chunk's nested divisors — the
+// denominator of its rational span — saturating above maxResolution.
+func chunkDenom(c tensor.Chunk) int {
+	d := c.Of
+	for sub := c.Sub; sub != nil; sub = sub.Sub {
+		if d > maxResolution {
+			return d
+		}
+		d *= sub.Of
+	}
+	return d
+}
+
+// resolution returns the common chunk resolution L, or 0 when it would
+// exceed maxResolution (node-granularity fallback).
+func (p *Program) resolution() int {
+	res := 1
+	for i := range p.Steps {
+		for _, t := range p.Steps[i].Transfers {
+			d := chunkDenom(t.Chunk)
+			if d <= 0 || d > maxResolution {
+				return 0
+			}
+			res = res / gcd(res, d) * d
+			if res > maxResolution {
+				return 0
+			}
+		}
+	}
+	return res
+}
+
+// stepAccess collects one step's footprint at resolution res (res == 0
+// means node granularity: every access covers the whole vector).
+func stepAccess(st *Step, res int) access {
+	a := access{reads: map[int][]span{}, writes: map[int][]span{}}
+	for _, t := range st.Transfers {
+		sp := span{0, 1}
+		if res > 0 {
+			sp.lo, sp.hi = t.Chunk.Range(res)
+		}
+		a.reads[t.Src] = append(a.reads[t.Src], sp)
+		a.writes[t.Dst] = append(a.writes[t.Dst], sp)
+	}
+	return a
+}
+
+func spansOverlap(a, b []span) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.lo < y.hi && y.lo < x.hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// conflicts reports whether two step footprints carry a hazard.
+func conflicts(a, b access) bool {
+	for n, w := range a.writes {
+		if spansOverlap(w, b.reads[n]) || spansOverlap(w, b.writes[n]) {
+			return true
+		}
+	}
+	for n, r := range a.reads {
+		if spansOverlap(r, b.writes[n]) {
+			return true
+		}
+	}
+	return false
+}
+
+// analyze recomputes every step's Deps from scratch. Mutating passes
+// call it after changing step order, count, or chunks (wavelength-only
+// rewrites don't move data and may skip it).
+func (p *Program) analyze() {
+	res := p.resolution()
+	acc := make([]access, len(p.Steps))
+	for i := range p.Steps {
+		acc[i] = stepAccess(&p.Steps[i], res)
+	}
+	for j := range p.Steps {
+		p.Steps[j].Deps = nil
+		for i := 0; i < j; i++ {
+			if conflicts(acc[i], acc[j]) {
+				p.Steps[j].Deps = append(p.Steps[j].Deps, i)
+			}
+		}
+	}
+}

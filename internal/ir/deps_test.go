@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// tstep builds a one-transfer step for dependency tests.
+func tstep(src, dst int, c tensor.Chunk, w int) core.Step {
+	return core.Step{Transfers: []core.Transfer{
+		{Src: src, Dst: dst, Chunk: c, Op: tensor.OpSum, Dir: topo.CW, Wavelength: w},
+	}}
+}
+
+func lowerSteps(t *testing.T, n int, steps ...core.Step) *Program {
+	t.Helper()
+	p, err := Lower(&core.Schedule{Algorithm: "t", Ring: topo.NewRing(n), Steps: steps}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDepsTrackReadAfterWrite(t *testing.T) {
+	// Step 0 writes node 1; step 1 reads node 1: RAW edge.
+	p := lowerSteps(t, 8,
+		tstep(0, 1, tensor.Whole, 0),
+		tstep(1, 2, tensor.Whole, 0),
+		tstep(4, 5, tensor.Whole, 0), // disjoint nodes: no edges
+	)
+	if got := p.Steps[1].Deps; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("step 1 deps = %v, want [0]", got)
+	}
+	if got := p.Steps[2].Deps; got != nil {
+		t.Errorf("step 2 deps = %v, want none", got)
+	}
+}
+
+func TestDepsTrackWriteAfterReadAndWrite(t *testing.T) {
+	p := lowerSteps(t, 8,
+		tstep(1, 2, tensor.Whole, 0), // reads node 1
+		tstep(0, 1, tensor.Whole, 0), // writes node 1: WAR edge on 0
+		tstep(3, 1, tensor.Whole, 0), // writes node 1 again: WAW edge on 1
+	)
+	if got := p.Steps[1].Deps; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("WAR deps = %v, want [0]", got)
+	}
+	// Step 2 hazards against both predecessors: WAR on step 0's read of
+	// node 1 and WAW on step 1's write of it.
+	if got := p.Steps[2].Deps; !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("WAW/WAR deps = %v, want [0 1]", got)
+	}
+}
+
+func TestDepsAreChunkRangeExact(t *testing.T) {
+	half := func(i int) tensor.Chunk { return tensor.Chunk{Index: i, Of: 2} }
+	// Writes to disjoint halves of node 1 carry no hazard; the nested
+	// quarter 1/2.0/2 overlaps half 1/2 but not half 0/2.
+	p := lowerSteps(t, 8,
+		tstep(0, 1, half(0), 0),
+		tstep(2, 1, half(1), 0),
+		tstep(4, 1, tensor.Chunk{Index: 1, Of: 2, Sub: &tensor.Chunk{Index: 0, Of: 2}}, 0),
+	)
+	if got := p.Steps[1].Deps; got != nil {
+		t.Errorf("disjoint halves carry deps %v, want none", got)
+	}
+	if got := p.Steps[2].Deps; !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("nested quarter deps = %v, want [1] (overlaps upper half only)", got)
+	}
+}
+
+func TestDepsOnNaturalSchedules(t *testing.T) {
+	// WRHT levels chain: each gather reads what the previous one
+	// reduced at the representatives, and the broadcast replays it
+	// backwards, so deps form a path 0 <- 1 <- ... <- θ-1.
+	s, err := core.BuildWRHT(core.Config{N: 4096, Wavelengths: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < len(p.Steps); j++ {
+		found := false
+		for _, d := range p.Steps[j].Deps {
+			if d == j-1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("WRHT step %d does not depend on step %d: %v", j, j-1, p.Steps[j].Deps)
+		}
+	}
+}
+
+func TestResolutionFallsBackConservatively(t *testing.T) {
+	// A chunk whose divisor product exceeds the cap forces node
+	// granularity: two disjoint-range writes to the same node now carry
+	// a (conservative) WAW edge.
+	deep := tensor.Chunk{Index: 0, Of: 1 << 11, Sub: &tensor.Chunk{Index: 0, Of: 1 << 11}}
+	p := lowerSteps(t, 8,
+		tstep(0, 1, deep, 0),
+		tstep(2, 1, tensor.Chunk{Index: 1, Of: 2}, 0),
+	)
+	if got := p.Steps[1].Deps; !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("coarse fallback deps = %v, want [0]", got)
+	}
+}

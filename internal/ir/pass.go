@@ -1,0 +1,74 @@
+package ir
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pass is one program rewrite. Apply reports whether it changed the
+// program; a changed program is re-validated by the pipeline, so a pass
+// that cannot prove its rewrite legal should revert and report false
+// rather than emit a conflicted schedule.
+type Pass interface {
+	Name() string
+	Apply(p *Program) (changed bool, err error)
+}
+
+// PassEvent describes one pass application for observers.
+type PassEvent struct {
+	Pass    string
+	Changed bool
+	// Step counts before/after (splitting grows the program).
+	StepsBefore, StepsAfter int
+	// Overlap-eligible boundary counts before/after — the pass
+	// framework's figure of merit.
+	DisjointBefore, DisjointAfter int
+	// Seconds is the pass's wall-clock duration.
+	Seconds float64
+}
+
+// Observer receives one event per applied pass. internal/obs implements
+// it (obs.IRObserver) over the metrics registry and tracer.
+type Observer interface {
+	PassApplied(ev PassEvent)
+}
+
+// Pipeline applies passes in order, validating the program after every
+// mutating pass. An empty pipeline is the identity: Lower → Run(empty)
+// → Raise reproduces the input schedule exactly.
+type Pipeline struct {
+	Passes   []Pass
+	Observer Observer
+}
+
+// Run applies every pass to p in order. The first pass error or
+// validation failure aborts the run; p may then hold the offending
+// pass's output for inspection, but its Raise()d schedule must not be
+// executed.
+func (pl Pipeline) Run(p *Program) error {
+	for _, pass := range pl.Passes {
+		stepsBefore, disjBefore := len(p.Steps), p.DisjointBoundaries()
+		start := time.Now()
+		changed, err := pass.Apply(p)
+		if err != nil {
+			return fmt.Errorf("ir: pass %s: %w", pass.Name(), err)
+		}
+		if changed {
+			if err := p.check(); err != nil {
+				return fmt.Errorf("ir: pass %s produced an invalid schedule: %w", pass.Name(), err)
+			}
+		}
+		if pl.Observer != nil {
+			pl.Observer.PassApplied(PassEvent{
+				Pass:           pass.Name(),
+				Changed:        changed,
+				StepsBefore:    stepsBefore,
+				StepsAfter:     len(p.Steps),
+				DisjointBefore: disjBefore,
+				DisjointAfter:  p.DisjointBoundaries(),
+				Seconds:        time.Since(start).Seconds(),
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+func TestReorderPlacesDisjointStepsAdjacent(t *testing.T) {
+	// Two conflicting pairs on (CW, λ0): A0/A1 overlap on arcs [0,2)/[1,3),
+	// B0/B1 on [4,6)/[5,7); A and B arcs are mutually disjoint, and no
+	// step shares a node with another, so any order is dependency-legal.
+	// [A0, A1, B0, B1] has one disjoint boundary; interleaving to
+	// [A0, B0, A1, B1] makes all three disjoint.
+	p := lowerSteps(t, 8,
+		tstep(0, 2, tensor.Whole, 0), // A0
+		tstep(1, 3, tensor.Whole, 0), // A1
+		tstep(4, 6, tensor.Whole, 0), // B0
+		tstep(5, 7, tensor.Whole, 0), // B1
+	)
+	if got := p.DisjointBoundaries(); got != 1 {
+		t.Fatalf("pre-reorder disjoint boundaries = %d, want 1", got)
+	}
+	changed, err := Reorder{}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("reorder reported no change")
+	}
+	if got := p.DisjointBoundaries(); got != 3 {
+		t.Errorf("post-reorder disjoint boundaries = %d, want 3", got)
+	}
+	order := make([]int, len(p.Steps))
+	for i, st := range p.Steps {
+		order[i] = st.Transfers[0].Src
+	}
+	if want := []int{0, 4, 1, 5}; !reflect.DeepEqual(order, want) {
+		t.Errorf("greedy order %v, want %v (A0 B0 A1 B1)", order, want)
+	}
+}
+
+func TestReorderHonorsDependencies(t *testing.T) {
+	// Same conflict structure, but B1 reads what A1 wrote (node 3), so
+	// B1 may never move before A1.
+	p := lowerSteps(t, 8,
+		tstep(0, 2, tensor.Whole, 0), // A0
+		tstep(1, 3, tensor.Whole, 0), // A1 writes node 3
+		tstep(4, 6, tensor.Whole, 0), // B0
+		tstep(3, 7, tensor.Whole, 0), // B1 reads node 3
+	)
+	if _, err := (Reorder{}).Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	posOf := func(src int) int {
+		for i, st := range p.Steps {
+			if st.Transfers[0].Src == src {
+				return i
+			}
+		}
+		t.Fatalf("step with src %d lost", src)
+		return -1
+	}
+	if posOf(3) < posOf(1) {
+		t.Errorf("dependent step moved before its producer: order %v", p.Steps)
+	}
+	if err := p.check(); err != nil {
+		t.Errorf("reorder output invalid: %v", err)
+	}
+}
+
+func TestReorderStaysInsidePhaseRuns(t *testing.T) {
+	// A broadcast step disjoint from the first reduce step may not cross
+	// the phase boundary to sit next to it.
+	mk := func(phase core.Phase, src, dst int) core.Step {
+		st := tstep(src, dst, tensor.Whole, 0)
+		st.Phase = phase
+		return st
+	}
+	p := lowerSteps(t, 8,
+		mk(core.PhaseReduce, 0, 2),
+		mk(core.PhaseReduce, 1, 3),
+		mk(core.PhaseBroadcast, 4, 6),
+	)
+	changed, err := Reorder{}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("reorder crossed a phase boundary (or reordered a 2-chain)")
+	}
+	for i, want := range []core.Phase{core.PhaseReduce, core.PhaseReduce, core.PhaseBroadcast} {
+		if p.Steps[i].Phase != want {
+			t.Errorf("step %d phase %v, want %v", i, p.Steps[i].Phase, want)
+		}
+	}
+}
+
+func TestRecolorBreaksBoundaryClash(t *testing.T) {
+	// Steps on overlapping CW arcs, both λ0. With budget 2 the second
+	// step recolors to λ1 and the boundary becomes disjoint.
+	s := &core.Schedule{Algorithm: "t", Ring: topo.NewRing(8), Steps: []core.Step{
+		tstep(0, 4, tensor.Whole, 0),
+		tstep(2, 6, tensor.Whole, 0),
+	}}
+	p, err := Lower(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := Recolor{}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || p.DisjointBoundaries() != 1 {
+		t.Fatalf("recolor changed=%v disjoint=%d, want true/1", changed, p.DisjointBoundaries())
+	}
+	if err := p.check(); err != nil {
+		t.Errorf("recolor output invalid: %v", err)
+	}
+
+	// With budget 1 there is no second wavelength: the pass must revert
+	// and leave the program untouched.
+	p1, err := Lower(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p1.Raise()
+	changed, err = Recolor{}.Apply(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || !reflect.DeepEqual(before, p1.Raise()) {
+		t.Error("recolor mutated a program it could not improve")
+	}
+}
+
+func TestSplitManufacturesDisjointBoundary(t *testing.T) {
+	s := &core.Schedule{Algorithm: "t", Ring: topo.NewRing(8), Steps: []core.Step{
+		tstep(0, 4, tensor.Whole, 0),
+	}}
+	p, err := Lower(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &Split{SetupSeconds: 25e-6, BytesPerSecond: 5e9, PayloadBytes: 100e6}
+	changed, err := sp.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || len(p.Steps) != 2 {
+		t.Fatalf("split changed=%v steps=%d, want true/2", changed, len(p.Steps))
+	}
+	if got := p.Boundaries(); !reflect.DeepEqual(got, []bool{true}) {
+		t.Errorf("internal boundary %v, want [true]", got)
+	}
+	// Halves: same route, wavelengths shifted by W=1, chunks partition
+	// the original elements exactly at any vector length.
+	a, b := p.Steps[0].Transfers[0], p.Steps[1].Transfers[0]
+	if a.Wavelength != 0 || b.Wavelength != 1 {
+		t.Errorf("wavelengths %d/%d, want 0/1", a.Wavelength, b.Wavelength)
+	}
+	for _, n := range []int{7, 8, 100, 101} {
+		alo, ahi := a.Chunk.Range(n)
+		blo, bhi := b.Chunk.Range(n)
+		if alo != 0 || ahi != blo || bhi != n {
+			t.Errorf("n=%d: halves [%d,%d)+[%d,%d) do not partition [0,%d)", n, alo, ahi, blo, bhi, n)
+		}
+	}
+	// The second half depends on nothing new; the dependency edges were
+	// rebuilt for the longer program.
+	if deps := p.Steps[1].Deps; len(deps) != 0 {
+		t.Errorf("disjoint-range halves carry deps %v", deps)
+	}
+	if err := p.check(); err != nil {
+		t.Errorf("split output invalid: %v", err)
+	}
+}
+
+func TestSplitRespectsGates(t *testing.T) {
+	s := &core.Schedule{Algorithm: "t", Ring: topo.NewRing(8), Steps: []core.Step{
+		tstep(0, 4, tensor.Whole, 1),
+	}}
+	// Budget gate: the step uses wavelength count 2 (λ1), doubling needs
+	// 4 > budget 3.
+	p, err := Lower(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &Split{SetupSeconds: 25e-6, BytesPerSecond: 5e9, PayloadBytes: 100e6}
+	if changed, _ := sp.Apply(p); changed {
+		t.Error("split ignored the wavelength budget")
+	}
+	// Profitability gate: a payload whose half-transmission undercuts
+	// the setup delay must not be split (it would stretch the schedule).
+	p2, err := Lower(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := &Split{SetupSeconds: 25e-6, BytesPerSecond: 5e9, PayloadBytes: 1e3}
+	if changed, _ := tiny.Apply(p2); changed {
+		t.Error("split ignored the profitability gate")
+	}
+	// MaxSplits gate.
+	many := &core.Schedule{Algorithm: "t", Ring: topo.NewRing(8), Steps: []core.Step{
+		tstep(0, 4, tensor.Whole, 0),
+		tstep(1, 5, tensor.Whole, 0),
+	}}
+	p3, err := Lower(many, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := &Split{SetupSeconds: 25e-6, BytesPerSecond: 5e9, PayloadBytes: 100e6, MaxSplits: 1}
+	if _, err := capped.Apply(p3); err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Steps) != 3 {
+		t.Errorf("MaxSplits=1 produced %d steps, want 3", len(p3.Steps))
+	}
+}
+
+// passEventRecorder captures pipeline observer events.
+type passEventRecorder struct{ events []PassEvent }
+
+func (r *passEventRecorder) PassApplied(ev PassEvent) { r.events = append(r.events, ev) }
+
+func TestPipelineObserverSeesEveryPass(t *testing.T) {
+	p := lowerSteps(t, 8,
+		tstep(0, 2, tensor.Whole, 0),
+		tstep(1, 3, tensor.Whole, 0),
+		tstep(4, 6, tensor.Whole, 0),
+		tstep(5, 7, tensor.Whole, 0),
+	)
+	rec := &passEventRecorder{}
+	if err := (Pipeline{Passes: testPasses(), Observer: rec}).Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(rec.events))
+	}
+	re := rec.events[0]
+	if re.Pass != "reorder" || !re.Changed || re.DisjointBefore != 1 || re.DisjointAfter != 3 {
+		t.Errorf("reorder event %+v, want changed 1→3", re)
+	}
+	se := rec.events[2]
+	if se.Pass != "split" || se.StepsAfter <= se.StepsBefore {
+		t.Errorf("split event %+v, want steps to grow", se)
+	}
+	for _, ev := range rec.events {
+		if ev.Seconds < 0 {
+			t.Errorf("pass %s has negative duration %g", ev.Pass, ev.Seconds)
+		}
+	}
+}
+
+// conflictingPass deliberately breaks the program to prove the pipeline
+// re-validates after every mutating pass.
+type conflictingPass struct{}
+
+func (conflictingPass) Name() string { return "sabotage" }
+func (conflictingPass) Apply(p *Program) (bool, error) {
+	for i := range p.Steps[0].Transfers {
+		p.Steps[0].Transfers[i].Wavelength = 1 << 20 // far beyond any budget
+	}
+	return true, nil
+}
+
+func TestPipelineRejectsInvalidPassOutput(t *testing.T) {
+	s, err := core.BuildWRHT(core.Config{N: 16, Wavelengths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (Pipeline{Passes: []Pass{conflictingPass{}}}).Run(p); err == nil {
+		t.Error("pipeline accepted an over-budget pass output")
+	}
+}
+
+// TestPassesManufactureOverlapOnWRHT is the tentpole's figure of merit
+// at the IR level: on the golden configs the natural WRHT schedule has
+// 0 (N=1024) and 1 (N=4096) overlap-eligible boundaries, and the pass
+// pipeline must strictly improve both (the engine-level counterpart is
+// asserted in internal/exp and in CI).
+func TestPassesManufactureOverlapOnWRHT(t *testing.T) {
+	for _, tc := range []struct {
+		n, baseline, want int
+	}{
+		{1024, 0, 1}, // split the all-to-all exchange
+		{4096, 1, 3}, // split the level-2 gather and broadcast
+	} {
+		s, err := core.BuildWRHT(core.Config{N: tc.n, Wavelengths: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Lower(s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.DisjointBoundaries(); got != tc.baseline {
+			t.Errorf("N=%d: natural schedule has %d disjoint boundaries, want %d", tc.n, got, tc.baseline)
+		}
+		if err := (Pipeline{Passes: testPasses()}).Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.DisjointBoundaries(); got < tc.want {
+			t.Errorf("N=%d: passes yield %d disjoint boundaries, want >= %d", tc.n, got, tc.want)
+		} else if got <= tc.baseline {
+			t.Errorf("N=%d: passes did not improve on the %d-boundary baseline", tc.n, tc.baseline)
+		}
+	}
+}

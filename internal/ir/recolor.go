@@ -1,0 +1,91 @@
+package ir
+
+import "wrht/internal/rwa"
+
+// Recolor re-assigns one step's wavelengths to break (direction,
+// wavelength) clashes at its boundaries. For each step whose adjacent
+// boundaries are not all disjoint, it rebuilds the step's assignment
+// with rwa's boundary-biased first-fit (Index.FirstFreeAvoiding): the
+// avoid set holds the neighbors' circuits, so the pick dodges any
+// wavelength a neighbor uses on an overlapping same-direction arc when
+// the budget allows, and falls back to plain first-fit when it does
+// not. The rewrite is kept only if it strictly increases the step's
+// disjoint-boundary count while staying within the wavelength budget;
+// otherwise the original colors are restored, so the pass can never
+// regress a program (in particular it is the identity on natural WRHT
+// schedules, whose gather steps saturate the full budget next to every
+// representative and leave recoloring no room).
+//
+// Routing (Src, Dst, Dir) and chunks are untouched — wavelength-only
+// rewrites move no data, so dependency edges stay valid.
+type Recolor struct{}
+
+// Name implements Pass.
+func (Recolor) Name() string { return "recolor" }
+
+// Apply implements Pass.
+func (Recolor) Apply(p *Program) (bool, error) {
+	if len(p.Steps) < 2 {
+		return false, nil
+	}
+	work := rwa.NewIndex(p.Ring)  // the step's own occupancy during re-assignment
+	avoid := rwa.NewIndex(p.Ring) // the neighbors' circuits to dodge
+	changed := false
+	for k := range p.Steps {
+		st := &p.Steps[k]
+		if len(st.Transfers) == 0 {
+			continue
+		}
+		var neighbors []*Step
+		if k > 0 {
+			neighbors = append(neighbors, &p.Steps[k-1])
+		}
+		if k+1 < len(p.Steps) {
+			neighbors = append(neighbors, &p.Steps[k+1])
+		}
+		before := 0
+		for _, nb := range neighbors {
+			if p.disjointPair(st, nb) {
+				before++
+			}
+		}
+		if before == len(neighbors) {
+			continue // both boundaries already overlap-eligible
+		}
+		avoid.Reset()
+		for _, nb := range neighbors {
+			for i, t := range nb.Transfers {
+				avoid.Occupy(t.Dir, nb.Arcs[i], t.Wavelength)
+			}
+		}
+		old := make([]int, len(st.Transfers))
+		for i, t := range st.Transfers {
+			old[i] = t.Wavelength
+		}
+		work.Reset()
+		maxUsed := 0
+		for i := range st.Transfers {
+			t := &st.Transfers[i]
+			w := work.FirstFreeAvoiding(t.Dir, st.Arcs[i], avoid, p.Budget)
+			work.Occupy(t.Dir, st.Arcs[i], w)
+			t.Wavelength = w
+			if w+1 > maxUsed {
+				maxUsed = w + 1
+			}
+		}
+		after := 0
+		for _, nb := range neighbors {
+			if p.disjointPair(st, nb) {
+				after++
+			}
+		}
+		if (p.Budget > 0 && maxUsed > p.Budget) || after <= before {
+			for i := range st.Transfers {
+				st.Transfers[i].Wavelength = old[i]
+			}
+			continue
+		}
+		changed = true
+	}
+	return changed, nil
+}

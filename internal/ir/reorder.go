@@ -1,0 +1,98 @@
+package ir
+
+// Reorder permutes steps within each maximal run of equal-phase steps,
+// respecting dependency edges, to place rwa-disjoint steps adjacent:
+// every adjacent disjoint pair is a boundary where the engine hides the
+// next step's reconfiguration. Phase runs are never crossed — the
+// collective's reduce → all-to-all → broadcast structure (and the
+// correctness argument behind it) survives any legal permutation
+// within a phase, but not across phases.
+//
+// The order is rebuilt greedily: among the dependency-ready steps of a
+// run, prefer the lowest-index one disjoint from the previously placed
+// step (the step just before the run counts as "previous" for the first
+// slot), falling back to the lowest-index ready step. Ties resolve by
+// original position, so the pass is deterministic and is the identity
+// on programs whose runs are dependency chains — which includes every
+// natural WRHT schedule, where each level reads what the previous level
+// reduced.
+type Reorder struct{}
+
+// Name implements Pass.
+func (Reorder) Name() string { return "reorder" }
+
+// Apply implements Pass.
+func (Reorder) Apply(p *Program) (bool, error) {
+	order := make([]int, 0, len(p.Steps))
+	for lo := 0; lo < len(p.Steps); {
+		hi := lo + 1
+		for hi < len(p.Steps) && p.Steps[hi].Phase == p.Steps[lo].Phase {
+			hi++
+		}
+		order = append(order, reorderRun(p, lo, hi)...)
+		lo = hi
+	}
+	changed := false
+	for i, o := range order {
+		if o != i {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return false, nil
+	}
+	ns := make([]Step, len(p.Steps))
+	for i, o := range order {
+		ns[i] = p.Steps[o]
+	}
+	p.Steps = ns
+	p.analyze() // step indices moved: dependency edges must be rebuilt
+	return true, nil
+}
+
+// reorderRun greedily orders the steps of run [lo, hi) and returns
+// their original indices in placement order. Dependency edges within
+// the run are honored (edges to steps outside the run always point
+// before lo or after hi-1 and cannot be violated by an intra-run
+// permutation); the greedy output is always a topological order, which
+// exists because every edge points from a lower to a higher index.
+func reorderRun(p *Program, lo, hi int) []int {
+	n := hi - lo
+	out := make([]int, 0, n)
+	if n == 1 {
+		return append(out, lo)
+	}
+	placed := make([]bool, n)
+	ready := func(k int) bool {
+		for _, d := range p.Steps[lo+k].Deps {
+			if d >= lo && d < hi && !placed[d-lo] {
+				return false
+			}
+		}
+		return true
+	}
+	var prev *Step
+	if lo > 0 {
+		prev = &p.Steps[lo-1]
+	}
+	for len(out) < n {
+		pick := -1
+		for k := 0; k < n; k++ {
+			if placed[k] || !ready(k) {
+				continue
+			}
+			if pick < 0 {
+				pick = k // lowest-index ready step: the fallback
+			}
+			if prev != nil && p.disjointPair(prev, &p.Steps[lo+k]) {
+				pick = k
+				break
+			}
+		}
+		placed[pick] = true
+		out = append(out, lo+pick)
+		prev = &p.Steps[lo+pick]
+	}
+	return out
+}

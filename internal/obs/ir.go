@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+
+	"wrht/internal/ir"
+)
+
+// IRObserver implements ir.Observer, turning pass-pipeline events into
+// registry counters and (when the tracer carries a wall clock) Perfetto
+// spans on an "ir"/"passes" track. Like every producer hook in this
+// package it is nil-safe piecewise: Tracer and Metrics may each be nil
+// independently, and pass spans are wall-clock diagnostics — the IR
+// passes run at build time, before any simulated clock exists — so they
+// are only emitted when Tracer.Clock is set, mirroring the sweep
+// engine's progress spans.
+type IRObserver struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// NewIRObserver returns an observer emitting into tr and reg (either
+// may be nil).
+func NewIRObserver(tr *Tracer, reg *Registry) *IRObserver {
+	return &IRObserver{Tracer: tr, Metrics: reg}
+}
+
+// irTrack is the Perfetto track carrying pass spans.
+var irTrack = Track{Process: "ir", Name: "passes"}
+
+// PassApplied implements ir.Observer.
+func (o *IRObserver) PassApplied(e ir.PassEvent) {
+	if o == nil {
+		return
+	}
+	if m := o.Metrics; m != nil {
+		prefix := "ir.pass." + e.Pass
+		m.Counter(prefix + ".runs").Inc()
+		if e.Changed {
+			m.Counter(prefix + ".changed").Inc()
+		}
+		m.Counter(prefix + ".boundaries_gained").Add(int64(e.DisjointAfter - e.DisjointBefore))
+		m.Counter(prefix + ".steps_added").Add(int64(e.StepsAfter - e.StepsBefore))
+	}
+	if t := o.Tracer; t != nil && t.Clock != nil {
+		end := t.Clock()
+		t.Span(irTrack, e.Pass, end-e.Seconds, e.Seconds, Args{
+			"changed":         e.Changed,
+			"steps":           fmt.Sprintf("%d->%d", e.StepsBefore, e.StepsAfter),
+			"disjoint_bounds": fmt.Sprintf("%d->%d", e.DisjointBefore, e.DisjointAfter),
+		})
+	}
+}

@@ -39,7 +39,10 @@ func RunScheduleDESObserved(p Params, s *core.Schedule, dBytes float64, delay Tr
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	elems := int(dBytes / 4)
+	elems, err := core.ElemsOf(dBytes)
+	if err != nil {
+		return Result{}, fmt.Errorf("optical: %w", err)
+	}
 	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
 
 	k := des.Kernel{Hook: hook}

@@ -56,7 +56,12 @@ func runBuckets(p Params, pr core.Profile, bucketBytes []float64) (Result, error
 }
 
 func legacyRunSchedule(p Params, s *core.Schedule, dBytes float64) Result {
-	elems := int(dBytes / 4)
+	// core.ElemsOf truncates exactly like the historical int(dBytes/4)
+	// here, so the oracle's arithmetic is unchanged.
+	elems, err := core.ElemsOf(dBytes)
+	if err != nil {
+		panic(err)
+	}
 	res := Result{Algorithm: s.Algorithm, Steps: s.NumSteps()}
 	for _, st := range s.Steps {
 		var maxBytes float64

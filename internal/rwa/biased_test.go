@@ -1,0 +1,76 @@
+package rwa
+
+import (
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+func TestFirstFreeAvoidingSkipsNeighborWavelengths(t *testing.T) {
+	r := topo.NewRing(8)
+	ix := NewIndex(r)
+	avoid := NewIndex(r)
+	arc := r.ArcOf(2, 6, topo.CW)
+
+	// Nothing to avoid: behaves like plain first-fit.
+	if w := ix.FirstFreeAvoiding(topo.CW, arc, nil, 64); w != 0 {
+		t.Fatalf("nil avoid pick = %d, want 0", w)
+	}
+	if w := ix.FirstFreeAvoiding(topo.CW, arc, avoid, 64); w != 0 {
+		t.Fatalf("empty avoid pick = %d, want 0", w)
+	}
+
+	// A neighboring circuit holds λ0 on an overlapping arc: the biased
+	// pick must skip it.
+	avoid.Occupy(topo.CW, r.ArcOf(0, 4, topo.CW), 0)
+	if w := ix.FirstFreeAvoiding(topo.CW, arc, avoid, 64); w != 1 {
+		t.Errorf("biased pick = %d, want 1 (λ0 held by neighbor)", w)
+	}
+	// Opposite fiber never conflicts, so CCW ignores the CW neighbor.
+	if w := ix.FirstFreeAvoiding(topo.CCW, r.ArcOf(6, 2, topo.CCW), avoid, 64); w != 0 {
+		t.Errorf("CCW pick = %d, want 0", w)
+	}
+	// Own occupancy still counts on top of the avoid set.
+	ix.Occupy(topo.CW, arc, 1)
+	if w := ix.FirstFreeAvoiding(topo.CW, arc, avoid, 64); w != 2 {
+		t.Errorf("biased pick with own λ1 = %d, want 2", w)
+	}
+}
+
+func TestFirstFreeAvoidingFallsBackAtLimit(t *testing.T) {
+	r := topo.NewRing(8)
+	ix := NewIndex(r)
+	avoid := NewIndex(r)
+	arc := r.ArcOf(0, 4, topo.CW)
+	// The avoid set saturates wavelengths 0..3; with a budget of 4 the
+	// biased pick (4) is out of range, so the probe must fall back to the
+	// plain first-fit answer over ix alone.
+	var st Stats
+	ix.Stats = &st
+	for w := 0; w < 4; w++ {
+		avoid.Occupy(topo.CW, arc, w)
+	}
+	ix.Occupy(topo.CW, arc, 0)
+	if w := ix.FirstFreeAvoiding(topo.CW, arc, avoid, 4); w != 1 {
+		t.Errorf("capped pick = %d, want plain first-fit 1", w)
+	}
+	if st.BiasedFitCalls.Load() != 1 || st.BiasedFallbacks.Load() != 1 {
+		t.Errorf("stats: calls=%d fallbacks=%d, want 1/1",
+			st.BiasedFitCalls.Load(), st.BiasedFallbacks.Load())
+	}
+	// Uncapped (limit <= 0), the biased pick stands.
+	if w := ix.FirstFreeAvoiding(topo.CW, arc, avoid, 0); w != 4 {
+		t.Errorf("uncapped pick = %d, want 4", w)
+	}
+}
+
+func TestFirstFreeAvoidingPanicsOnRingMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched avoid ring size did not panic")
+		}
+	}()
+	ix := NewIndex(topo.NewRing(8))
+	avoid := NewIndex(topo.NewRing(16))
+	ix.FirstFreeAvoiding(topo.CW, topo.Arc{Lo: 0, Len: 2, N: 8}, avoid, 0)
+}

@@ -21,6 +21,12 @@ type Stats struct {
 	// occupied — the early-exit case the block summaries make nearly
 	// free.
 	SaturatedWords atomic.Int64
+	// BiasedFitCalls counts FirstFreeAvoiding probes (boundary-biased
+	// first-fit, used by the ir recolor pass).
+	BiasedFitCalls atomic.Int64
+	// BiasedFallbacks counts biased probes whose avoid-aware pick missed
+	// the wavelength cap and fell back to plain first-fit.
+	BiasedFallbacks atomic.Int64
 	// ConflictProbes counts ConflictFree invocations (one per overlap
 	// boundary the fabric engine considers).
 	ConflictProbes atomic.Int64
@@ -41,6 +47,8 @@ func (st *Stats) Publish(sink func(name string, v int64)) {
 	sink("rwa.randomfit.calls", st.RandomFitCalls.Load())
 	sink("rwa.words.scanned", st.WordsScanned.Load())
 	sink("rwa.words.saturated", st.SaturatedWords.Load())
+	sink("rwa.biasedfit.calls", st.BiasedFitCalls.Load())
+	sink("rwa.biasedfit.fallbacks", st.BiasedFallbacks.Load())
 	sink("rwa.conflict.probes", st.ConflictProbes.Load())
 	sink("rwa.conflict.found", st.ConflictsFound.Load())
 }
