@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|all>
+//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|build|all>
 //
 // Flags may also follow the subcommand (`wrhtsim faults -n 64`).
 //
@@ -24,6 +24,15 @@
 // comma-separated subset of reorder, recolor, split); -check makes the
 // run exit nonzero unless the passes strictly beat the baseline
 // hidden-reconfig count at every point (the CI smoke gate).
+//
+// The build subcommand constructs and validates the -n/-w/-m WRHT
+// schedule without simulating it — the at-scale smoke test for the
+// streaming pipeline. -stream consumes the schedule as a step stream
+// (peak memory O(max step) + O(index), so million-node rings fit
+// comfortably); -memstats reports the measured peak live heap and
+// bytes/node for either mode. Example:
+//
+//	wrhtsim build -n 1048576 -w 64 -stream -memstats
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run
 // (any subcommand), for `go tool pprof`.
@@ -55,6 +64,7 @@ import (
 	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/parallel"
+	"wrht/internal/rwa"
 	"wrht/internal/trace"
 	"wrht/internal/workload"
 )
@@ -106,6 +116,8 @@ func main() {
 	schedW := flag.Int("w", 8, "schedule/crossfabric/faults subcommands: wavelengths")
 	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
 	payloadMB := flag.Float64("d", 100, "crossfabric/faults/overlap subcommands: payload per node in MB")
+	stream := flag.Bool("stream", false, "build subcommand: stream-and-consume instead of materializing the schedule")
+	memstats := flag.Bool("memstats", false, "build subcommand: report peak live heap and bytes/node for the construction")
 	passSpec := flag.String("passes", "all", "overlap subcommand: IR passes to run (all, none, or comma-separated reorder,recolor,split)")
 	check := flag.Bool("check", false, "overlap subcommand: exit nonzero unless the passes strictly beat the baseline hidden-reconfig count at every N")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -113,7 +125,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write the counter registry to this file on exit (- for stdout, .json for JSON)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|build|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -158,6 +170,8 @@ func main() {
 		w:           *schedW,
 		m:           *schedM,
 		payloadMB:   *payloadMB,
+		stream:      *stream,
+		memstats:    *memstats,
 		passes:      *passSpec,
 		check:       *check,
 		tracePath:   *tracePath,
@@ -194,6 +208,10 @@ type runConfig struct {
 	// covers the paper trio {64, 1024, 4096} otherwise.
 	nSet      bool
 	payloadMB float64
+	// stream/memstats drive the build subcommand: streamed vs
+	// materialized construction and the memory report.
+	stream   bool
+	memstats bool
 	// passes/check drive the overlap subcommand: the IR pass selection
 	// and the strict-improvement gate.
 	passes      string
@@ -241,6 +259,69 @@ func run(cfg runConfig) int {
 		if _, err := s.WriteTo(os.Stdout); err != nil {
 			return fatal(err)
 		}
+		return 0
+	}
+	if cmd == "build" {
+		// Construct (and validate) the WRHT schedule for -n/-w/-m without
+		// simulating it — the at-scale smoke test for the streamed
+		// pipeline. -stream selects stream-and-consume (peak memory
+		// O(max step) + O(index)); -memstats reports the measured peak
+		// live heap, normalized per node.
+		wcfg := core.Config{N: cfg.n, Wavelengths: cfg.w, GroupSize: cfg.m}
+		if cfg.memstats {
+			var rep exp.MemReport
+			var err error
+			if cfg.stream {
+				rep, err = exp.StreamedBuildMem(func() (core.StepSource, error) {
+					return core.StreamWRHT(wcfg)
+				}, cfg.w, true)
+			} else {
+				rep, err = exp.MaterializedBuildMem(func() (*core.Schedule, error) {
+					return core.BuildWRHT(wcfg)
+				}, cfg.w, true)
+			}
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Println(rep)
+			return 0
+		}
+		if cfg.stream {
+			src, err := core.StreamWRHT(wcfg)
+			if err != nil {
+				return fatal(err)
+			}
+			ring := src.Ring()
+			v := core.NewStepValidator(ring, rwa.NewIndex(ring), cfg.w)
+			steps, transfers := 0, 0
+			for {
+				st, ok := src.Next()
+				if !ok {
+					break
+				}
+				if err := v.Step(st); err != nil {
+					return fatal(err)
+				}
+				steps++
+				transfers += len(st.Transfers)
+			}
+			fmt.Printf("streamed %s N=%d w=%d: %d steps, %d transfers, validated\n",
+				src.Algorithm(), ring.N, cfg.w, steps, transfers)
+			return 0
+		}
+		s, err := core.BuildWRHT(wcfg)
+		if err != nil {
+			return fatal(err)
+		}
+		if err := s.Validate(cfg.w); err != nil {
+			return fatal(err)
+		}
+		transfers := 0
+		for _, st := range s.Steps {
+			transfers += len(st.Transfers)
+		}
+		fmt.Printf("materialized %s N=%d w=%d: %d steps, %d transfers, validated\n",
+			s.Algorithm, s.Ring.N, cfg.w, s.NumSteps(), transfers)
 		return 0
 	}
 	if cmd == "table1" || cmd == "all" {

@@ -1,11 +1,7 @@
 package collective
 
 import (
-	"fmt"
-
 	"wrht/internal/core"
-	"wrht/internal/tensor"
-	"wrht/internal/topo"
 )
 
 // BuildHRing constructs the hierarchical-ring all-reduce of [28]
@@ -25,98 +21,11 @@ import (
 // constructed schedule by one step at the paper's settings (416 built vs
 // 417 from the formula at N=1024, m=5); EXPERIMENTS.md discusses this.
 func BuildHRing(n, m, w int) (*core.Schedule, error) {
-	s := &core.Schedule{Algorithm: "hring", Ring: topo.NewRing(n)}
-	if n <= 1 {
-		return s, nil
+	src, err := StreamHRing(n, m, w)
+	if err != nil {
+		return nil, err
 	}
-	if m < 2 || m > n {
-		return nil, fmt.Errorf("collective: hring group size m=%d out of range [2,%d]", m, n)
-	}
-	if n%m != 0 {
-		return nil, fmt.Errorf("collective: hring requires m | n, got n=%d m=%d", n, m)
-	}
-	if w < 1 {
-		return nil, fmt.Errorf("collective: hring wavelengths w=%d < 1", w)
-	}
-	g := n / m
-
-	node := func(grp, slot int) int { return grp*m + slot }
-
-	// intraStep emits one intra-group ring pass: member i sends band
-	// bandOf(i) to member i+1 (wrapping inside the group). Members
-	// 0..m−2 travel CW one hop; member m−1 travels CCW back across the
-	// group span. Both fibers use wavelength 0 (arcs are group-disjoint).
-	intraStep := func(bandOf func(i int) int, op tensor.ReduceOp, phase core.Phase) core.Step {
-		st := core.Step{Phase: phase}
-		for grp := 0; grp < g; grp++ {
-			for i := 0; i < m; i++ {
-				b := bandOf(i)
-				tr := core.Transfer{
-					Src:   node(grp, i),
-					Dst:   node(grp, (i+1)%m),
-					Chunk: tensor.Chunk{Index: b, Of: m},
-					Op:    op,
-				}
-				if i == m-1 {
-					tr.Dir = topo.CCW
-				} else {
-					tr.Dir = topo.CW
-				}
-				tr.Wavelength = 0
-				st.Transfers = append(st.Transfers, tr)
-			}
-		}
-		return st
-	}
-
-	// Phase 1: intra-group reduce-scatter. Step t: member i sends band
-	// (i−t) mod m; after m−1 steps member i owns the group-reduced band
-	// (i+1) mod m.
-	for t := 0; t < m-1; t++ {
-		tt := t
-		s.Steps = append(s.Steps, intraStep(func(i int) int { return ((i-tt)%m + m) % m }, tensor.OpSum, core.PhaseReduce))
-	}
-
-	// Phase 2: per-slot inter-group rings over band (slot+1) mod m,
-	// subdivided into G sub-chunks. Slot j travels on wavelength j within
-	// its batch; with w < m the slots serialize into ⌈m/w⌉ batches.
-	batches := (m + w - 1) / w
-	interStep := func(subOf func(grp int) int, op tensor.ReduceOp, phase core.Phase, batch int) core.Step {
-		st := core.Step{Phase: phase}
-		for j := batch * w; j < min((batch+1)*w, m); j++ {
-			band := (j + 1) % m
-			for grp := 0; grp < g; grp++ {
-				st.Transfers = append(st.Transfers, core.Transfer{
-					Src:   node(grp, j),
-					Dst:   node((grp+1)%g, j),
-					Chunk: tensor.Chunk{Index: band, Of: m, Sub: &tensor.Chunk{Index: subOf(grp), Of: g}},
-					Op:    op,
-					Dir:   topo.CW, Wavelength: j - batch*w,
-				})
-			}
-		}
-		return st
-	}
-	for t := 0; t < g-1; t++ {
-		tt := t
-		for b := 0; b < batches; b++ {
-			s.Steps = append(s.Steps, interStep(func(grp int) int { return ((grp-tt)%g + g) % g }, tensor.OpSum, core.PhaseReduce, b))
-		}
-	}
-	for t := 0; t < g-1; t++ {
-		tt := t
-		for b := 0; b < batches; b++ {
-			s.Steps = append(s.Steps, interStep(func(grp int) int { return ((grp+1-tt)%g + g) % g }, tensor.OpCopy, core.PhaseBroadcast, b))
-		}
-	}
-
-	// Phase 3: intra-group all-gather. Member i owns complete band
-	// (i+1) mod m; step t sends band (i+1−t) mod m.
-	for t := 0; t < m-1; t++ {
-		tt := t
-		s.Steps = append(s.Steps, intraStep(func(i int) int { return ((i+1-tt)%m + m) % m }, tensor.OpCopy, core.PhaseBroadcast))
-	}
-	return s, nil
+	return core.Collect(src), nil
 }
 
 // HRingSteps returns the step count of the constructive H-Ring schedule:

@@ -3,7 +3,6 @@ package collective
 import (
 	"wrht/internal/core"
 	"wrht/internal/tensor"
-	"wrht/internal/topo"
 )
 
 // BuildRD constructs recursive halving/doubling all-reduce (the paper's
@@ -19,54 +18,11 @@ import (
 // chosen per distance so the validator accepts the schedule, though RD
 // is not wavelength-efficient (it is an electrical-system algorithm).
 func BuildRD(n int) (*core.Schedule, error) {
-	s := &core.Schedule{Algorithm: "rd", Ring: topo.NewRing(n)}
-	if n <= 1 {
-		return s, nil
+	src, err := StreamRD(n)
+	if err != nil {
+		return nil, err
 	}
-	if n&(n-1) != 0 {
-		return nil, errNotPow2(n)
-	}
-	k := 0
-	for 1<<k < n {
-		k++
-	}
-	ring := topo.NewRing(n)
-	// Halving phase, steps t = 0..k-1: node i pairs with p = i XOR 2^(k-1-t)
-	// and sends the half of its live block owned by p's side: the chunk
-	// block (p >> (k-t-1)) of 2^(t+1) blocks.
-	mk := func(t int, op tensor.ReduceOp) core.Step {
-		phase := core.PhaseReduce
-		if op == tensor.OpCopy {
-			phase = core.PhaseBroadcast
-		}
-		st := core.Step{Phase: phase}
-		bit := k - 1 - t
-		for i := 0; i < n; i++ {
-			p := i ^ (1 << bit)
-			var c tensor.Chunk
-			if op == tensor.OpSum {
-				c = nestedBlock(p>>bit, k-bit)
-			} else {
-				// Doubling: send the block the sender completed, which the
-				// partner lacks: the sender's own side.
-				c = nestedBlock(i>>bit, k-bit)
-			}
-			dir, dist := ring.ShortestDir(i, p)
-			st.Transfers = append(st.Transfers, core.Transfer{
-				Src: i, Dst: p,
-				Chunk: c, Op: op,
-				Dir: dir, Wavelength: wavelengthForPair(i, dist),
-			})
-		}
-		return st
-	}
-	for t := 0; t < k; t++ {
-		s.Steps = append(s.Steps, mk(t, tensor.OpSum))
-	}
-	for t := k - 1; t >= 0; t-- {
-		s.Steps = append(s.Steps, mk(t, tensor.OpCopy))
-	}
-	return s, nil
+	return core.Collect(src), nil
 }
 
 // nestedBlock returns the chunk selecting block q among 2^depth blocks

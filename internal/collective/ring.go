@@ -10,8 +10,6 @@ package collective
 
 import (
 	"wrht/internal/core"
-	"wrht/internal/tensor"
-	"wrht/internal/topo"
 )
 
 // BuildRing constructs the classic Ring all-reduce on an n-node ring:
@@ -20,42 +18,7 @@ import (
 // It uses a single wavelength (neighbour arcs are segment-disjoint),
 // which is exactly why it cannot exploit WDM (§1).
 func BuildRing(n int) *core.Schedule {
-	s := &core.Schedule{Algorithm: "ring", Ring: topo.NewRing(n)}
-	if n <= 1 {
-		return s
-	}
-	// Reduce-scatter: in step t, node i forwards chunk (i−t mod n) to its
-	// CW neighbour, which accumulates. After n−1 steps node i holds the
-	// fully reduced chunk (i+1 mod n).
-	for t := 0; t < n-1; t++ {
-		st := core.Step{Phase: core.PhaseReduce}
-		for i := 0; i < n; i++ {
-			c := ((i-t)%n + n) % n
-			st.Transfers = append(st.Transfers, core.Transfer{
-				Src: i, Dst: (i + 1) % n,
-				Chunk: tensor.Chunk{Index: c, Of: n},
-				Op:    tensor.OpSum,
-				Dir:   topo.CW, Wavelength: 0,
-			})
-		}
-		s.Steps = append(s.Steps, st)
-	}
-	// All-gather: in step t, node i forwards the reduced chunk
-	// (i+1−t mod n) to its CW neighbour, which overwrites.
-	for t := 0; t < n-1; t++ {
-		st := core.Step{Phase: core.PhaseBroadcast}
-		for i := 0; i < n; i++ {
-			c := ((i+1-t)%n + n) % n
-			st.Transfers = append(st.Transfers, core.Transfer{
-				Src: i, Dst: (i + 1) % n,
-				Chunk: tensor.Chunk{Index: c, Of: n},
-				Op:    tensor.OpCopy,
-				Dir:   topo.CW, Wavelength: 0,
-			})
-		}
-		s.Steps = append(s.Steps, st)
-	}
-	return s
+	return core.Collect(StreamRing(n))
 }
 
 // RingProfile returns the analytic step profile of Ring all-reduce:
@@ -80,44 +43,7 @@ func RingProfile(n int) core.Profile {
 // single wavelength: within a step the sender→receiver arcs of distinct
 // runs are segment-disjoint.
 func BuildBT(n int) *core.Schedule {
-	s := &core.Schedule{Algorithm: "bt", Ring: topo.NewRing(n)}
-	if n <= 1 {
-		return s
-	}
-	levels := core.CeilLog(2, n)
-	mk := func(i int, op tensor.ReduceOp) core.Step {
-		phase := core.PhaseReduce
-		if op == tensor.OpCopy {
-			phase = core.PhaseBroadcast
-		}
-		st := core.Step{Phase: phase}
-		span := 1 << i
-		half := span >> 1
-		for lo := 0; lo < n; lo += span {
-			src := lo + half
-			if src >= n {
-				continue
-			}
-			tr := core.Transfer{
-				Src: src, Dst: lo,
-				Chunk: tensor.Whole, Op: op,
-				Dir: topo.CCW, Wavelength: 0,
-			}
-			if op == tensor.OpCopy {
-				tr.Src, tr.Dst = lo, src
-				tr.Dir = topo.CW
-			}
-			st.Transfers = append(st.Transfers, tr)
-		}
-		return st
-	}
-	for i := 1; i <= levels; i++ {
-		s.Steps = append(s.Steps, mk(i, tensor.OpSum))
-	}
-	for i := levels; i >= 1; i-- {
-		s.Steps = append(s.Steps, mk(i, tensor.OpCopy))
-	}
-	return s
+	return core.Collect(StreamBT(n))
 }
 
 // BTProfile returns the analytic step profile of binary-tree all-reduce:

@@ -1,0 +1,296 @@
+package collective
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// Streaming producers for the baseline collectives. Every Build* in
+// this package is core.Collect over the matching Stream*, so the
+// materialized schedules are bit-identical to the streamed ones by
+// construction; the streams exist because at large N the baselines are
+// the memory hogs — Ring is 2(N−1) steps of N transfers, O(N²)
+// materialized, while its stream holds exactly one step. All step
+// counts here are closed-form, so the producers run off
+// core.NewIndexedSource with an emit function per algorithm.
+
+// StreamRing returns a streaming producer of the Ring all-reduce
+// schedule (see BuildRing).
+func StreamRing(n int) core.StepSource {
+	steps := 0
+	if n > 1 {
+		steps = 2 * (n - 1)
+	}
+	return core.NewIndexedSource("ring", topo.NewRing(n), steps, func(k int, st *core.Step) {
+		// Reduce-scatter step t forwards chunk (i−t mod n); the
+		// all-gather step t forwards the reduced chunk (i+1−t mod n).
+		t, op, phase := k, tensor.OpSum, core.PhaseReduce
+		off := 0
+		if k >= n-1 {
+			t, op, phase = k-(n-1), tensor.OpCopy, core.PhaseBroadcast
+			off = 1
+		}
+		st.Phase = phase
+		for i := 0; i < n; i++ {
+			c := ((i+off-t)%n + n) % n
+			st.Transfers = append(st.Transfers, core.Transfer{
+				Src: i, Dst: (i + 1) % n,
+				Chunk: tensor.Chunk{Index: c, Of: n},
+				Op:    op,
+				Dir:   topo.CW, Wavelength: 0,
+			})
+		}
+	})
+}
+
+// btStepInto emits binary-tree level i (1-based): in runs of 2^i, the
+// node at offset 2^(i−1) exchanges with the run's first node.
+func btStepInto(st *core.Step, n, i int, op tensor.ReduceOp) {
+	phase := core.PhaseReduce
+	if op == tensor.OpCopy {
+		phase = core.PhaseBroadcast
+	}
+	st.Phase = phase
+	span := 1 << i
+	half := span >> 1
+	for lo := 0; lo < n; lo += span {
+		src := lo + half
+		if src >= n {
+			continue
+		}
+		tr := core.Transfer{
+			Src: src, Dst: lo,
+			Chunk: tensor.Whole, Op: op,
+			Dir: topo.CCW, Wavelength: 0,
+		}
+		if op == tensor.OpCopy {
+			tr.Src, tr.Dst = lo, src
+			tr.Dir = topo.CW
+		}
+		st.Transfers = append(st.Transfers, tr)
+	}
+}
+
+// StreamBT returns a streaming producer of the binary-tree all-reduce
+// schedule (see BuildBT).
+func StreamBT(n int) core.StepSource {
+	steps, levels := 0, 0
+	if n > 1 {
+		levels = core.CeilLog(2, n)
+		steps = 2 * levels
+	}
+	return core.NewIndexedSource("bt", topo.NewRing(n), steps, func(k int, st *core.Step) {
+		if k < levels {
+			btStepInto(st, n, k+1, tensor.OpSum)
+		} else {
+			btStepInto(st, n, 2*levels-k, tensor.OpCopy)
+		}
+	})
+}
+
+// StreamRD returns a streaming producer of the recursive
+// halving/doubling schedule (see BuildRD). N must be a power of two.
+func StreamRD(n int) (core.StepSource, error) {
+	ring := topo.NewRing(n)
+	if n <= 1 {
+		return core.NewIndexedSource("rd", ring, 0, nil), nil
+	}
+	if n&(n-1) != 0 {
+		return nil, errNotPow2(n)
+	}
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return core.NewIndexedSource("rd", ring, 2*k, func(idx int, st *core.Step) {
+		t, op := idx, tensor.OpSum
+		if idx >= k {
+			t, op = 2*k-1-idx, tensor.OpCopy
+		}
+		rdStepInto(st, ring, n, k, t, op)
+	}), nil
+}
+
+// rdStepInto emits halving/doubling step t: node i pairs with
+// p = i XOR 2^(k-1-t), shipping the nested half-block its partner's
+// side owns (halving) or the sender's own completed side (doubling).
+func rdStepInto(st *core.Step, ring topo.Ring, n, k, t int, op tensor.ReduceOp) {
+	phase := core.PhaseReduce
+	if op == tensor.OpCopy {
+		phase = core.PhaseBroadcast
+	}
+	st.Phase = phase
+	bit := k - 1 - t
+	for i := 0; i < n; i++ {
+		p := i ^ (1 << bit)
+		var c tensor.Chunk
+		if op == tensor.OpSum {
+			c = nestedBlock(p>>bit, k-bit)
+		} else {
+			c = nestedBlock(i>>bit, k-bit)
+		}
+		dir, dist := ring.ShortestDir(i, p)
+		st.Transfers = append(st.Transfers, core.Transfer{
+			Src: i, Dst: p,
+			Chunk: c, Op: op,
+			Dir: dir, Wavelength: wavelengthForPair(i, dist),
+		})
+	}
+}
+
+// StreamHRing returns a streaming producer of the hierarchical-ring
+// schedule (see BuildHRing). Step layout: m−1 intra reduce steps,
+// (G−1)·⌈m/w⌉ inter reduce, the same again broadcast, m−1 intra
+// broadcast.
+func StreamHRing(n, m, w int) (core.StepSource, error) {
+	ring := topo.NewRing(n)
+	if n <= 1 {
+		return core.NewIndexedSource("hring", ring, 0, nil), nil
+	}
+	if m < 2 || m > n {
+		return nil, fmt.Errorf("collective: hring group size m=%d out of range [2,%d]", m, n)
+	}
+	if n%m != 0 {
+		return nil, fmt.Errorf("collective: hring requires m | n, got n=%d m=%d", n, m)
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("collective: hring wavelengths w=%d < 1", w)
+	}
+	g := n / m
+	batches := (m + w - 1) / w
+	inter := (g - 1) * batches
+	steps := 2*(m-1) + 2*inter
+	return core.NewIndexedSource("hring", ring, steps, func(k int, st *core.Step) {
+		switch {
+		case k < m-1:
+			t := k
+			hringIntraInto(st, n, m, func(i int) int { return ((i-t)%m + m) % m }, tensor.OpSum, core.PhaseReduce)
+		case k < m-1+inter:
+			t, b := (k-(m-1))/batches, (k-(m-1))%batches
+			hringInterInto(st, n, m, w, b, func(grp int) int { return ((grp-t)%g + g) % g },
+				func(j int) int { return (j + 1) % m }, tensor.OpSum, core.PhaseReduce)
+		case k < m-1+2*inter:
+			t, b := (k-(m-1)-inter)/batches, (k-(m-1)-inter)%batches
+			hringInterInto(st, n, m, w, b, func(grp int) int { return ((grp+1-t)%g + g) % g },
+				func(j int) int { return (j + 1) % m }, tensor.OpCopy, core.PhaseBroadcast)
+		default:
+			t := k - (m - 1) - 2*inter
+			hringIntraInto(st, n, m, func(i int) int { return ((i+1-t)%m + m) % m }, tensor.OpCopy, core.PhaseBroadcast)
+		}
+	}), nil
+}
+
+// hringIntraInto emits one intra-group ring pass (see BuildHRing:
+// member i sends band bandOf(i) to member i+1 within its group).
+func hringIntraInto(st *core.Step, n, m int, bandOf func(i int) int, op tensor.ReduceOp, phase core.Phase) {
+	st.Phase = phase
+	g := n / m
+	for grp := 0; grp < g; grp++ {
+		for i := 0; i < m; i++ {
+			b := bandOf(i)
+			tr := core.Transfer{
+				Src:   grp*m + i,
+				Dst:   grp*m + (i+1)%m,
+				Chunk: tensor.Chunk{Index: b, Of: m},
+				Op:    op,
+			}
+			if i == m-1 {
+				tr.Dir = topo.CCW
+			} else {
+				tr.Dir = topo.CW
+			}
+			tr.Wavelength = 0
+			st.Transfers = append(st.Transfers, tr)
+		}
+	}
+}
+
+// hringInterInto emits one inter-group ring sub-step for wavelength
+// batch `batch`: slot j of every group forwards band bandOf(j),
+// sub-chunk subOf(grp), to the next group's slot j.
+func hringInterInto(st *core.Step, n, m, w, batch int, subOf func(grp int) int, bandOf func(j int) int, op tensor.ReduceOp, phase core.Phase) {
+	st.Phase = phase
+	g := n / m
+	for j := batch * w; j < min((batch+1)*w, m); j++ {
+		band := bandOf(j)
+		for grp := 0; grp < g; grp++ {
+			st.Transfers = append(st.Transfers, core.Transfer{
+				Src:   grp*m + j,
+				Dst:   ((grp+1)%g)*m + j,
+				Chunk: tensor.Chunk{Index: band, Of: m, Sub: &tensor.Chunk{Index: subOf(grp), Of: g}},
+				Op:    op,
+				Dir:   topo.CW, Wavelength: j - batch*w,
+			})
+		}
+	}
+}
+
+// StreamWDMHRing returns a streaming producer of the WDM-enhanced
+// hierarchical-ring schedule (see BuildWDMHRing). The in-group
+// all-to-all sub-steps are structurally identical across groups modulo
+// a +grp·m node offset, so the stream retains one compact interned
+// template per sub-step (built from group 0) and expands it across
+// groups per emission instead of materializing the merged steps.
+func StreamWDMHRing(n, m, w int) (core.StepSource, error) {
+	ring := topo.NewRing(n)
+	if n <= 1 {
+		return core.NewIndexedSource("wdm-hring", ring, 0, nil), nil
+	}
+	if m < 2 || m > n || n%m != 0 {
+		return nil, fmt.Errorf("collective: wdm-hring needs 2 <= m <= n with m | n, got n=%d m=%d", n, m)
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("collective: wdm-hring wavelengths %d < 1", w)
+	}
+	g := n / m
+	members := make([]int, m)
+	for i := range members {
+		members[i] = i
+	}
+	compact := func(steps []core.Step) []core.CompactStep {
+		out := make([]core.CompactStep, len(steps))
+		for i, st := range steps {
+			out[i] = core.CompactOf(st)
+		}
+		return out
+	}
+	scatter := compact(lineA2AGroupSteps(members, w, func(_, dst int) tensor.Chunk {
+		return tensor.Chunk{Index: dst, Of: m}
+	}, tensor.OpSum, core.PhaseReduce))
+	gather := compact(lineA2AGroupSteps(members, w, func(src, _ int) tensor.Chunk {
+		return tensor.Chunk{Index: src, Of: m}
+	}, tensor.OpCopy, core.PhaseBroadcast))
+
+	batches := (m + w - 1) / w
+	inter := (g - 1) * batches
+	steps := len(scatter) + 2*inter + len(gather)
+	// expandGroups reuses one offset-closure across every expansion.
+	off := 0
+	mapID := func(id int) int { return id + off }
+	expandGroups := func(st *core.Step, tmpl core.CompactStep) {
+		st.Phase = tmpl.Phase
+		for grp := 0; grp < g; grp++ {
+			off = grp * m
+			tmpl.AppendTo(st, mapID)
+		}
+	}
+	return core.NewIndexedSource("wdm-hring", ring, steps, func(k int, st *core.Step) {
+		switch {
+		case k < len(scatter):
+			expandGroups(st, scatter[k])
+		case k < len(scatter)+inter:
+			t, b := (k-len(scatter))/batches, (k-len(scatter))%batches
+			hringInterInto(st, n, m, w, b, func(grp int) int { return ((grp-t)%g + g) % g },
+				func(j int) int { return j }, tensor.OpSum, core.PhaseReduce)
+		case k < len(scatter)+2*inter:
+			t, b := (k-len(scatter)-inter)/batches, (k-len(scatter)-inter)%batches
+			hringInterInto(st, n, m, w, b, func(grp int) int { return ((grp+1-t)%g + g) % g },
+				func(j int) int { return j }, tensor.OpCopy, core.PhaseBroadcast)
+		default:
+			expandGroups(st, gather[k-len(scatter)-2*inter])
+		}
+	}), nil
+}

@@ -1,8 +1,6 @@
 package collective
 
 import (
-	"fmt"
-
 	"wrht/internal/core"
 	"wrht/internal/tensor"
 	"wrht/internal/topo"
@@ -127,84 +125,11 @@ func lineA2AGroupSteps(members []int, w int, payloadOf func(srcIdx, dstIdx int) 
 // BuildWDMHRing constructs the WDM-enhanced hierarchical ring
 // all-reduce. Requires 2 ≤ m ≤ n, m | n and w ≥ 1.
 func BuildWDMHRing(n, m, w int) (*core.Schedule, error) {
-	s := &core.Schedule{Algorithm: "wdm-hring", Ring: topo.NewRing(n)}
-	if n <= 1 {
-		return s, nil
+	src, err := StreamWDMHRing(n, m, w)
+	if err != nil {
+		return nil, err
 	}
-	if m < 2 || m > n || n%m != 0 {
-		return nil, fmt.Errorf("collective: wdm-hring needs 2 <= m <= n with m | n, got n=%d m=%d", n, m)
-	}
-	if w < 1 {
-		return nil, fmt.Errorf("collective: wdm-hring wavelengths %d < 1", w)
-	}
-	g := n / m
-	node := func(grp, slot int) int { return grp*m + slot }
-
-	// Phase 1: per-group all-to-all reduce-scatter. Transfer (i→j)
-	// carries chunk {j, m}; member j sums. The sub-step structure is
-	// identical for all groups, so merge group-by-group per sub-step.
-	groupMembers := func(grp int) []int {
-		out := make([]int, m)
-		for i := range out {
-			out[i] = node(grp, i)
-		}
-		return out
-	}
-	mergeGroups := func(payloadOf func(srcIdx, dstIdx int) tensor.Chunk, op tensor.ReduceOp, phase core.Phase) []core.Step {
-		var merged []core.Step
-		for grp := 0; grp < g; grp++ {
-			steps := lineA2AGroupSteps(groupMembers(grp), w, payloadOf, op, phase)
-			if merged == nil {
-				merged = steps
-				continue
-			}
-			for i := range steps {
-				merged[i].Transfers = append(merged[i].Transfers, steps[i].Transfers...)
-			}
-		}
-		return merged
-	}
-	s.Steps = append(s.Steps, mergeGroups(func(_, dst int) tensor.Chunk {
-		return tensor.Chunk{Index: dst, Of: m}
-	}, tensor.OpSum, core.PhaseReduce)...)
-
-	// Phase 2: per-slot inter-group ring all-reduce over band j,
-	// subdivided into G sub-chunks (slot batching when w < m).
-	batches := (m + w - 1) / w
-	interStep := func(subOf func(grp int) int, op tensor.ReduceOp, phase core.Phase, batch int) core.Step {
-		st := core.Step{Phase: phase}
-		for j := batch * w; j < min((batch+1)*w, m); j++ {
-			for grp := 0; grp < g; grp++ {
-				st.Transfers = append(st.Transfers, core.Transfer{
-					Src:   node(grp, j),
-					Dst:   node((grp+1)%g, j),
-					Chunk: tensor.Chunk{Index: j, Of: m, Sub: &tensor.Chunk{Index: subOf(grp), Of: g}},
-					Op:    op,
-					Dir:   topo.CW, Wavelength: j - batch*w,
-				})
-			}
-		}
-		return st
-	}
-	for t := 0; t < g-1; t++ {
-		tt := t
-		for b := 0; b < batches; b++ {
-			s.Steps = append(s.Steps, interStep(func(grp int) int { return ((grp-tt)%g + g) % g }, tensor.OpSum, core.PhaseReduce, b))
-		}
-	}
-	for t := 0; t < g-1; t++ {
-		tt := t
-		for b := 0; b < batches; b++ {
-			s.Steps = append(s.Steps, interStep(func(grp int) int { return ((grp+1-tt)%g + g) % g }, tensor.OpCopy, core.PhaseBroadcast, b))
-		}
-	}
-
-	// Phase 3: per-group all-to-all all-gather: transfer (i→j) carries
-	// member i's now-complete chunk {i, m}; member j overwrites.
-	s.Steps = append(s.Steps, mergeGroups(func(src, _ int) tensor.Chunk {
-		return tensor.Chunk{Index: src, Of: m}
-	}, tensor.OpCopy, core.PhaseBroadcast)...)
-	return s, nil
+	return core.Collect(src), nil
 }
 
 // WDMHRingProfile returns the analytic step profile (tolerates ragged n

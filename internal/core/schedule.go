@@ -110,40 +110,22 @@ func (s *Schedule) WavelengthsNeeded() int {
 // no two same-direction same-wavelength transfers with overlapping arcs,
 // and (if wavelengths > 0) every wavelength within budget.
 func (s *Schedule) Validate(wavelengths int) error {
-	// One occupancy index serves every step: the per-step conflict check
-	// is near-linear in the transfer count, and the arcs are computed
-	// once here rather than recomputed inside the validator.
+	// One occupancy index serves every step, updated with per-step
+	// occupy/release deltas; every scratch buffer (requests, arcs,
+	// circuits) is reused across steps (see StepValidator).
 	return s.ValidateWithIndex(rwa.NewIndex(s.Ring), wavelengths)
 }
 
 // ValidateWithIndex is Validate over a caller-supplied occupancy index,
 // so fault-aware callers can seed pre-occupied (masked) cells — dead
 // wavelengths, cut fiber segments — that every step must route around
-// (the index is reset per step, which preserves the seeds; a step
-// touching one fails with rwa.MaskedConflict).
+// (the index is reset once on entry, which preserves the seeds; a step
+// touching one fails with rwa.MaskedConflict). Validation runs over the
+// schedule's step stream with delta index updates between steps
+// (validate.go); the errors are identical to the historical per-step
+// Reset+replay behaviour.
 func (s *Schedule) ValidateWithIndex(ix *rwa.Index, wavelengths int) error {
-	n := s.Ring.N
-	for si, st := range s.Steps {
-		reqs := make([]rwa.Request, 0, len(st.Transfers))
-		asn := make(rwa.Assignment, 0, len(st.Transfers))
-		for ti, t := range st.Transfers {
-			if t.Src < 0 || t.Src >= n || t.Dst < 0 || t.Dst >= n {
-				return fmt.Errorf("core: step %d transfer %d: node out of range: %v", si, ti, t)
-			}
-			if t.Src == t.Dst {
-				return fmt.Errorf("core: step %d transfer %d: self transfer: %v", si, ti, t)
-			}
-			if err := t.Chunk.Validate(); err != nil {
-				return fmt.Errorf("core: step %d transfer %d: %w", si, ti, err)
-			}
-			reqs = append(reqs, rwa.Request{Src: t.Src, Dst: t.Dst, Dir: t.Dir})
-			asn = append(asn, t.Wavelength)
-		}
-		if err := ix.Validate(reqs, rwa.ArcsOf(s.Ring, reqs), asn, wavelengths); err != nil {
-			return fmt.Errorf("core: step %d: %w", si, err)
-		}
-	}
-	return nil
+	return ValidateSource(s.Source(), ix, wavelengths)
 }
 
 // StepsByPhase returns the number of steps per phase.

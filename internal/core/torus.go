@@ -50,8 +50,36 @@ func remapStep(st Step, mapID func(int) int) Step {
 // wavelengths per waveguide and first-step group size m (0 = the
 // Lemma-1 optimum 2w+1, clamped to the row length). Transfers carry
 // global node ids (row·C + col); ValidateTorus checks per-waveguide
-// wavelength feasibility.
+// wavelength feasibility. The construction streams through
+// StreamWRHTTorus.
 func BuildWRHTTorus(t topo.Torus, w, m int) (*Schedule, error) {
+	src, err := StreamWRHTTorus(t, w, m)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(src), nil
+}
+
+// torusStream streams the torus schedule from compact interned
+// templates: the retained state is one CompactStep per row-template
+// step (over a C-node ring) and per column step (over an R-node ring) —
+// O(R + C) transfers' worth — while the merged row steps, which carry
+// O(N) transfers each, only ever exist one at a time in the emission
+// buffer.
+type torusStream struct {
+	t       topo.Torus
+	ring    topo.Ring
+	rowTmpl []CompactStep // L gathers then L broadcasts, column ids
+	colTmpl []CompactStep // column-stage WRHT, row ids
+	gathers int
+	repCol  int
+	k       int
+	buf     Step
+}
+
+// StreamWRHTTorus returns a streaming producer of the torus schedule,
+// bit-identical to BuildWRHTTorus's output (which is Collect over it).
+func StreamWRHTTorus(t topo.Torus, w, m int) (StepSource, error) {
 	if t.Rows < 1 || t.Cols < 1 {
 		return nil, fmt.Errorf("core: torus %dx%d invalid", t.Rows, t.Cols)
 	}
@@ -59,38 +87,26 @@ func BuildWRHTTorus(t topo.Torus, w, m int) (*Schedule, error) {
 	if t.Cols == 1 {
 		rowCfg.GroupSize = 0
 	}
-	s := &Schedule{Algorithm: "wrht-torus", Ring: topo.NewRing(t.N())}
+	ts := &torusStream{t: t, ring: topo.NewRing(t.N())}
 
 	// Row reduce/broadcast template on a C-node ring (ids = columns).
-	var rowSteps []Step
 	if t.Cols > 1 {
 		rowSched, err := BuildWRHT(rowCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: torus row stage: %w", err)
 		}
-		rowSteps = rowSched.Steps // L gathers then L broadcasts
-	}
-	gathers := len(rowSteps) / 2
-
-	// Merge each row-template step across all rows.
-	mergeRows := func(tmpl Step) Step {
-		out := Step{Phase: tmpl.Phase}
-		for r := 0; r < t.Rows; r++ {
-			mapped := remapStep(tmpl, func(col int) int { return t.Index(r, col) })
-			out.Transfers = append(out.Transfers, mapped.Transfers...)
+		ts.rowTmpl = make([]CompactStep, len(rowSched.Steps))
+		for i, st := range rowSched.Steps {
+			ts.rowTmpl[i] = CompactOf(st)
 		}
-		return out
 	}
-	for i := 0; i < gathers; i++ {
-		s.Steps = append(s.Steps, mergeRows(rowSteps[i]))
-	}
+	ts.gathers = len(ts.rowTmpl) / 2
 
 	// Column stage: full WRHT all-reduce among the row representatives,
 	// which all sit in the representative column.
 	if t.Rows > 1 {
-		repCol := 0
 		if t.Cols > 1 {
-			repCol = rowRepPosition(t.Cols, rowCfg.EffectiveGroupSize())
+			ts.repCol = rowRepPosition(t.Cols, rowCfg.EffectiveGroupSize())
 		}
 		colCfg := Config{N: t.Rows, Wavelengths: w, GroupSize: m}
 		if colCfg.GroupSize > t.Rows {
@@ -100,16 +116,43 @@ func BuildWRHTTorus(t topo.Torus, w, m int) (*Schedule, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: torus column stage: %w", err)
 		}
-		for _, st := range colSched.Steps {
-			s.Steps = append(s.Steps, remapStep(st, func(row int) int { return t.Index(row, repCol) }))
+		ts.colTmpl = make([]CompactStep, len(colSched.Steps))
+		for i, st := range colSched.Steps {
+			ts.colTmpl[i] = CompactOf(st)
 		}
 	}
+	return ts, nil
+}
 
-	// Row broadcast stage (reverse of the gathers).
-	for i := gathers; i < len(rowSteps); i++ {
-		s.Steps = append(s.Steps, mergeRows(rowSteps[i]))
+func (ts *torusStream) Algorithm() string { return "wrht-torus" }
+func (ts *torusStream) Ring() topo.Ring   { return ts.ring }
+
+// mergeRows expands one row-template step across every row into the
+// emission buffer (each row is its own waveguide, so the template's
+// wavelengths are reused across rows unchanged).
+func (ts *torusStream) mergeRows(tmpl CompactStep) {
+	ts.buf.Phase = tmpl.Phase
+	ts.buf.Transfers = ts.buf.Transfers[:0]
+	for r := 0; r < ts.t.Rows; r++ {
+		tmpl.AppendTo(&ts.buf, func(col int) int { return ts.t.Index(r, col) })
 	}
-	return s, nil
+}
+
+func (ts *torusStream) Next() (*Step, bool) {
+	k := ts.k
+	ts.k++
+	switch {
+	case k < ts.gathers:
+		ts.mergeRows(ts.rowTmpl[k])
+	case k < ts.gathers+len(ts.colTmpl):
+		ts.colTmpl[k-ts.gathers].ExpandInto(&ts.buf, func(row int) int { return ts.t.Index(row, ts.repCol) })
+	case k < len(ts.rowTmpl)+len(ts.colTmpl):
+		// Row broadcast stage (reverse of the gathers).
+		ts.mergeRows(ts.rowTmpl[k-len(ts.colTmpl)])
+	default:
+		return nil, false
+	}
+	return &ts.buf, true
 }
 
 // ValidateTorus checks a torus schedule: every transfer must stay within
@@ -118,6 +161,20 @@ func BuildWRHTTorus(t topo.Torus, w, m int) (*Schedule, error) {
 // budget check). Wavelength reuse across distinct rows/columns is free —
 // they are separate waveguides.
 func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
+	return ValidateTorusSource(s.Source(), t, wavelengths)
+}
+
+// ValidateTorusSource is ValidateTorus over a step stream, holding one
+// step at a time. The per-domain request/arc/assignment scratch and the
+// domain-bucketing map are reused across steps, so validation allocates
+// O(max step) regardless of the step count. Each (row/column, index)
+// domain is validated by Reset+replay on one shared index per dimension
+// rather than the ring validator's delta updates: persisting delta
+// state would need one occupancy index per row and column — O(N) words
+// per domain, O(N·(R+C)) total — which is exactly the memory class this
+// path exists to avoid, while per-domain replay stays near-linear in
+// the domain's transfer count.
+func ValidateTorusSource(src StepSource, t topo.Torus, wavelengths int) error {
 	type domain struct {
 		row bool
 		idx int
@@ -126,8 +183,18 @@ func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
 	// per-domain check below is near-linear in its transfer count.
 	rowRing, colRing := topo.NewRing(t.Cols), topo.NewRing(t.Rows)
 	rowIx, colIx := rwa.NewIndex(rowRing), rwa.NewIndex(colRing)
-	for si, st := range s.Steps {
-		byDomain := map[domain][]int{}
+	byDomain := map[domain][]int{}
+	var reqs []rwa.Request
+	var asn rwa.Assignment
+	var arcs []topo.Arc
+	for si := 0; ; si++ {
+		st, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		for dom := range byDomain {
+			byDomain[dom] = byDomain[dom][:0]
+		}
 		for ti, tr := range st.Transfers {
 			sr, sc := t.Coord(tr.Src)
 			dr, dc := t.Coord(tr.Dst)
@@ -141,12 +208,14 @@ func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
 			}
 		}
 		for dom, tis := range byDomain {
+			if len(tis) == 0 {
+				continue
+			}
 			ring, ix := rowRing, rowIx
 			if !dom.row {
 				ring, ix = colRing, colIx
 			}
-			reqs := make([]rwa.Request, 0, len(tis))
-			asn := make(rwa.Assignment, 0, len(tis))
+			reqs, asn, arcs = reqs[:0], asn[:0], arcs[:0]
 			for _, ti := range tis {
 				tr := st.Transfers[ti]
 				sr, sc := t.Coord(tr.Src)
@@ -159,13 +228,13 @@ func ValidateTorus(s *Schedule, t topo.Torus, wavelengths int) error {
 				}
 				reqs = append(reqs, rwa.Request{Src: src, Dst: dst, Dir: tr.Dir})
 				asn = append(asn, tr.Wavelength)
+				arcs = append(arcs, ring.ArcOf(src, dst, tr.Dir))
 			}
-			if err := ix.Validate(reqs, rwa.ArcsOf(ring, reqs), asn, wavelengths); err != nil {
+			if err := ix.Validate(reqs, arcs, asn, wavelengths); err != nil {
 				return fmt.Errorf("core: torus step %d (%v ring %d): %w", si, dom.row, dom.idx, err)
 			}
 		}
 	}
-	return nil
 }
 
 // StepsWRHTTorus returns the analytic step count of the torus scheme:

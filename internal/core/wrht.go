@@ -108,11 +108,21 @@ func partition(participants []int, m int) []group {
 // equidistant on opposite sides reuse the same wavelength on the two
 // opposite fibers (§3.3) and at most ⌊m/2⌋ wavelengths are used.
 func gatherStep(groups []group, op tensor.ReduceOp) Step {
+	var st Step
+	gatherStepInto(&st, groups, op)
+	return st
+}
+
+// gatherStepInto is gatherStep writing into a reused buffer: the phase
+// is set and the transfers are appended to buf.Transfers[:0], keeping
+// the capacity across steps (the streaming producers emit through it).
+func gatherStepInto(buf *Step, groups []group, op tensor.ReduceOp) {
 	phase := PhaseReduce
 	if op == tensor.OpCopy {
 		phase = PhaseBroadcast
 	}
-	st := Step{Phase: phase}
+	buf.Phase = phase
+	buf.Transfers = buf.Transfers[:0]
 	for _, g := range groups {
 		for i, node := range g.Members {
 			if i == g.RepIdx {
@@ -136,10 +146,9 @@ func gatherStep(groups []group, op tensor.ReduceOp) Step {
 				tr.Src, tr.Dst = g.rep(), node
 				tr.Dir = dir.Opposite()
 			}
-			st.Transfers = append(st.Transfers, tr)
+			buf.Transfers = append(buf.Transfers, tr)
 		}
 	}
-	return st
 }
 
 // AllToAllWavelengths returns the paper's wavelength requirement
@@ -182,59 +191,13 @@ func allToAllStep(r topo.Ring, reps []int, strat rwa.Strategy, rng *rand.Rand) S
 // grouped gathers until the surviving representatives either fit a
 // wavelength-feasible all-to-all exchange or collapse to a single root,
 // then the broadcast stage replays the gather levels in reverse with the
-// reduced vector.
+// reduced vector. The construction streams through StreamWRHT; callers
+// that can consume one step at a time should use the stream directly and
+// skip materializing the schedule (see stream.go).
 func BuildWRHT(cfg Config) (*Schedule, error) {
-	if err := cfg.validate(); err != nil {
+	src, err := StreamWRHT(cfg)
+	if err != nil {
 		return nil, err
 	}
-	m := cfg.EffectiveGroupSize()
-	ring := topo.NewRing(cfg.N)
-	s := &Schedule{Algorithm: "wrht", Ring: ring}
-	if cfg.N == 1 {
-		return s, nil
-	}
-	var rng *rand.Rand
-	if cfg.Strategy == rwa.RandomFit {
-		rng = rand.New(rand.NewSource(cfg.Seed))
-	}
-
-	participants := make([]int, cfg.N)
-	for i := range participants {
-		participants[i] = i
-	}
-
-	// Reduce stage: grouped gathers, with the final step replaced by an
-	// all-to-all among the remaining representatives when the wavelength
-	// budget ⌈r²/8⌉ ≤ w permits (§4.1.2).
-	var levels [][]group
-	for len(participants) > 1 {
-		r := len(participants)
-		if r <= m && !cfg.DisableAllToAll && AllToAllRequirement(r) <= cfg.Wavelengths {
-			if cfg.Strategy == rwa.RandomFit {
-				// Ablation path: random-fit assignment over shortest-path
-				// routes. Conflict-free but may exceed the tiling
-				// construction's wavelength count.
-				s.Steps = append(s.Steps, allToAllStep(ring, participants, cfg.Strategy, rng))
-			} else {
-				s.Steps = append(s.Steps, buildAllToAllStep(ring, participants))
-			}
-			break
-		}
-		groups := partition(participants, m)
-		s.Steps = append(s.Steps, gatherStep(groups, tensor.OpSum))
-		levels = append(levels, groups)
-		next := make([]int, len(groups))
-		for i, g := range groups {
-			next[i] = g.rep()
-		}
-		participants = next
-	}
-
-	// Broadcast stage: reverse of the reduce stage. If the all-to-all ran,
-	// every top-level representative already holds the full reduction, so
-	// the topmost gather level needs no broadcast counterpart.
-	for i := len(levels) - 1; i >= 0; i-- {
-		s.Steps = append(s.Steps, gatherStep(levels[i], tensor.OpCopy))
-	}
-	return s, nil
+	return Collect(src), nil
 }

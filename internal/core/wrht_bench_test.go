@@ -27,6 +27,30 @@ func BenchmarkBuildWRHT(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildWRHTStream drives the streamed pipeline end to end —
+// StreamWRHT into a StepValidator over the delta occupancy index, the
+// schedule never materialized — at sizes up to the million-node point
+// the materialized path cannot reach comfortably. ReportAllocs makes
+// allocation growth across sizes visible: the per-op totals track the
+// widest single step, not the schedule.
+func BenchmarkBuildWRHTStream(b *testing.B) {
+	for _, n := range []int{16384, 65536, 1 << 20} {
+		cfg := Config{N: n, Wavelengths: 64}
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src, err := StreamWRHT(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ValidateSource(src, nil, cfg.Wavelengths); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBuildWRHTValidate measures full-schedule conflict validation
 // — every transfer of every step checked through the bitset occupancy
 // index — which before this index was quadratic in per-step transfers.

@@ -1,0 +1,9 @@
+//go:build !race
+
+package exp
+
+// Full-scale memory-ceiling configuration: the acceptance-criterion
+// million-node ring. Under the race detector every allocation carries
+// shadow memory, so memceil_race_test.go downscales N to keep `go test
+// -race ./...` tractable.
+const memCeilingNodes = 1 << 20

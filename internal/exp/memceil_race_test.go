@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// Race-detector builds downscale the memory-ceiling test: shadow
+// memory inflates every byte and the CI race job is about correctness,
+// not footprint. The !race build (memceil_norace_test.go) runs the
+// full 2^20-node configuration.
+const memCeilingNodes = 1 << 16

@@ -109,10 +109,84 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 		return Result{}, fmt.Errorf("fabric: BoundaryDisjoint carries %d boundaries for a %d-step schedule", len(bd), s.NumSteps())
 	}
 	res := Result{Fabric: f.Name(), Algorithm: s.Algorithm, Steps: s.NumSteps()}
+	if err := e.timeSteps(s.Source(), elems, nil, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// RunStream is RunSchedule over a step stream: the schedule is never
+// materialized, so peak memory is O(max step) + O(occupancy index)
+// regardless of the step count, and N in the millions becomes
+// reachable. The timing accumulation is the exact statement sequence of
+// RunSchedule, so streamed and materialized results are bit-identical
+// on the same schedule (pinned by the parity tests).
+//
+// Differences forced by single-pass consumption: validation
+// (Options.ValidateWavelengths) runs inline per step through the delta
+// occupancy index instead of up front, so on an invalid schedule any
+// Observer has already seen the steps before the offending one; the
+// StepEvent.Step pointer is only valid during the callback (it aliases
+// the producer's buffer); and a too-short Options.BoundaryDisjoint is
+// only detected when the stream outruns it. PerStep is still populated
+// per step — WRHT-family streams have O(log N) steps; callers running
+// O(N)-step baseline streams who need O(1) memory should consume an
+// Observer instead and discard PerStep.
+func (e Engine) RunStream(src core.StepSource, dBytes float64) (Result, error) {
+	f := e.Fabric
+	// Fabric admission checks only read the header (algorithm + ring).
+	if err := f.CheckSchedule(&core.Schedule{Algorithm: src.Algorithm(), Ring: src.Ring()}); err != nil {
+		return Result{}, err
+	}
+	budget, err := f.CircuitBudget(e.Opts.UseFiberMultiplicity)
+	if err != nil {
+		return Result{}, err
+	}
+	elems, err := core.ElemsOf(dBytes)
+	if err != nil {
+		return Result{}, fmt.Errorf("fabric: %w", err)
+	}
+	var v *core.StepValidator
+	if e.Opts.ValidateWavelengths {
+		v = core.NewStepValidator(src.Ring(), rwa.NewIndex(src.Ring()), budget)
+	}
+	res := Result{Fabric: f.Name(), Algorithm: src.Algorithm()}
+	if err := e.timeSteps(src, elems, v, &res); err != nil {
+		return Result{}, err
+	}
+	if bd := e.Opts.BoundaryDisjoint; e.Opts.Overlap && bd != nil && len(bd) != max(res.Steps-1, 0) {
+		return Result{}, fmt.Errorf("fabric: BoundaryDisjoint carries %d boundaries for a %d-step schedule", len(bd), res.Steps)
+	}
+	return res, nil
+}
+
+// timeSteps drains src through the per-step cost/overlap/observer
+// accounting shared by RunSchedule and RunStream, accumulating into
+// res (Steps included). v, when non-nil, validates each step before it
+// is timed. The previous step is retained in a reused copy buffer only
+// when the overlap probe needs it (Overlap set without
+// BoundaryDisjoint), keeping the streamed path's live set to at most
+// two steps.
+func (e Engine) timeSteps(src core.StepSource, elems int, v *core.StepValidator, res *Result) error {
+	f := e.Fabric
+	bd := e.Opts.BoundaryDisjoint
+	ring := src.Ring()
 	var memo map[string]StepCost
 	var probe *overlapProbe
 	var prevTransmit float64
-	for k, st := range s.Steps {
+	var prev core.Step
+	keepPrev := e.Opts.Overlap && bd == nil
+	for k := 0; ; k++ {
+		stp, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		st := *stp
+		if v != nil {
+			if err := v.Step(stp); err != nil {
+				return err
+			}
+		}
 		var c StepCost
 		if key, ok := f.StepKey(st, elems); ok {
 			if memo == nil {
@@ -130,12 +204,15 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 		if e.Opts.Overlap && k > 0 && c.Setup > 0 && prevTransmit > 0 {
 			disjoint := false
 			if bd != nil {
+				if k-1 >= len(bd) {
+					return fmt.Errorf("fabric: BoundaryDisjoint carries %d boundaries but the stream has more steps", len(bd))
+				}
 				disjoint = bd[k-1]
 			} else {
 				if probe == nil {
-					probe = newOverlapProbe(s.Ring)
+					probe = newOverlapProbe(ring)
 				}
-				disjoint = probe.disjoint(s.Ring, s.Steps[k-1], st, e.Opts.RWAStats)
+				disjoint = probe.disjoint(ring, prev, st, e.Opts.RWAStats)
 			}
 			if disjoint {
 				hidden = math.Min(c.Setup, prevTransmit)
@@ -143,7 +220,7 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 		}
 		if e.Opts.Observer != nil {
 			e.Opts.Observer.StepExecuted(StepEvent{
-				Index: k, Start: res.Time, Step: &s.Steps[k],
+				Index: k, Start: res.Time, Step: stp,
 				Cost: c, Hidden: hidden, Elems: elems,
 			})
 		}
@@ -154,8 +231,14 @@ func (e Engine) RunSchedule(s *core.Schedule, dBytes float64) (Result, error) {
 		res.OverlapSaved += hidden
 		res.PerStep = append(res.PerStep, StepReport{Phase: st.Phase, Cost: c, Overlapped: hidden})
 		prevTransmit = c.Transmission()
+		if keepPrev {
+			prev.Phase = st.Phase
+			prev.Transfers = append(prev.Transfers[:0], st.Transfers...)
+		}
+		if k >= res.Steps {
+			res.Steps = k + 1
+		}
 	}
-	return res, nil
 }
 
 // RunProfile times an analytic step profile in O(groups) work,

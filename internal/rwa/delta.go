@@ -1,0 +1,201 @@
+package rwa
+
+import (
+	"fmt"
+	"slices"
+
+	"wrht/internal/topo"
+)
+
+// Delta updates between consecutive schedule steps. Validating a
+// schedule used to Reset+replay the whole occupancy index per step;
+// consecutive steps of real collectives share most of their circuits
+// (the ring algorithms reuse identical neighbour circuits every step,
+// WRHT's broadcast replays its gathers), so Advance applies only the
+// occupy/release diff. Advance ≡ Reset+replay is pinned bit-identically
+// by the differential tests in delta_test.go and the FuzzAssign
+// Release coverage.
+
+// Circuit is one occupied (direction, arc, wavelength) resource — the
+// unit the delta API diffs between steps.
+type Circuit struct {
+	Dir topo.Direction
+	Arc topo.Arc
+	W   int
+}
+
+// Release clears wavelength w on every segment of arc a in direction
+// dir — the inverse of Occupy — repairing the 64-segment block
+// summaries by rescanning each affected block. Releasing a circuit that
+// shares cells with a pre-occupied (Preoccupy) mask or another live
+// circuit clears those cells too: the caller must only release circuits
+// it occupied and that were conflict-free when occupied (Advance's
+// contract), under which the cells are exclusively owned.
+func (ix *Index) Release(dir topo.Direction, a topo.Arc, w int) {
+	if w < 0 {
+		panic(fmt.Sprintf("rwa: negative wavelength %d", w))
+	}
+	word := w >> 6
+	if word >= ix.words {
+		return // never occupied this high
+	}
+	lo1, hi1, lo2, hi2 := ix.arcRanges(a)
+	mask := uint64(1) << (w & 63)
+	occRow := ix.occ[dir][word*ix.n : (word+1)*ix.n]
+	blkRow := ix.blk[dir][word*ix.nb : (word+1)*ix.nb]
+	unset := func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			occRow[s] &^= mask
+		}
+		for j := lo >> 6; j<<6 < hi; j++ {
+			// The block summary bit stays set iff any segment of the
+			// block — including those outside [lo, hi) — still holds it.
+			blo, bhi := j<<6, min(j<<6+64, ix.n)
+			live := false
+			for s := blo; s < bhi; s++ {
+				if occRow[s]&mask != 0 {
+					live = true
+					break
+				}
+			}
+			if !live {
+				blkRow[j] &^= mask
+			}
+		}
+	}
+	unset(lo1, hi1)
+	if hi2 > lo2 {
+		unset(lo2, hi2)
+	}
+}
+
+// compareCircuits is the total order the sorted-merge diff runs under.
+func compareCircuits(a, b Circuit) int {
+	if a.Dir != b.Dir {
+		return int(a.Dir) - int(b.Dir)
+	}
+	if a.W != b.W {
+		return a.W - b.W
+	}
+	if a.Arc.Lo != b.Arc.Lo {
+		return a.Arc.Lo - b.Arc.Lo
+	}
+	if a.Arc.Len != b.Arc.Len {
+		return a.Arc.Len - b.Arc.Len
+	}
+	return a.Arc.N - b.Arc.N
+}
+
+// Advance moves the index from "prev's circuits occupied" to "next's
+// circuits occupied" by applying the multiset diff: circuits present in
+// both steps are untouched, prev-only circuits are released, next-only
+// circuits are occupied. It assumes prev was conflict-free when
+// occupied and next is conflict-free (use AdvanceChecked otherwise);
+// the resulting occupancy is bit-identical to Reset + re-occupying
+// next. Pre-occupied (Preoccupy) cells are preserved: a valid prev
+// never shares cells with them, so no release touches them.
+//
+// Both slices are SORTED IN PLACE (diffing without reordering would
+// need private copies — at million-transfer steps that is tens of
+// megabytes of scratch, exactly the footprint the delta path exists to
+// avoid). The circuit multisets are unchanged, so callers that treat
+// the slices as sets, like StepValidator, pass them straight back as
+// the next call's prev. Advance performs zero heap allocations.
+func (ix *Index) Advance(prev, next []Circuit) {
+	ix.advance(prev, next, false)
+}
+
+// AdvanceChecked is Advance, additionally probing each newly occupied
+// circuit against the live occupancy (shared circuits, earlier
+// next-only circuits, and pre-occupied masked cells). It returns false
+// on the first conflict, leaving the index partially advanced — callers
+// then re-derive authoritative state (and the legacy-identical error)
+// via Validate, which resets on entry.
+func (ix *Index) AdvanceChecked(prev, next []Circuit) bool {
+	return ix.advance(prev, next, true)
+}
+
+func (ix *Index) advance(prev, next []Circuit, check bool) bool {
+	slices.SortFunc(prev, compareCircuits)
+	slices.SortFunc(next, compareCircuits)
+	// Two sorted-merge passes over the multiset diff. Every release must
+	// land before any occupy: a next-only circuit may claim cells a
+	// prev-only circuit is about to free, and occupying first would
+	// misreport a conflict.
+	i, j := 0, 0
+	for i < len(prev) {
+		switch {
+		case j >= len(next) || compareCircuits(prev[i], next[j]) < 0:
+			ix.Release(prev[i].Dir, prev[i].Arc, prev[i].W)
+			i++
+		case compareCircuits(prev[i], next[j]) > 0:
+			j++
+		default: // shared between the steps: keep as-is
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for j < len(next) {
+		switch {
+		case i >= len(prev) || compareCircuits(prev[i], next[j]) > 0:
+			c := next[j]
+			if check && ix.Occupied(c.Dir, c.Arc, c.W) {
+				return false
+			}
+			ix.Occupy(c.Dir, c.Arc, c.W)
+			j++
+		case compareCircuits(prev[i], next[j]) < 0:
+			i++
+		default:
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// EqualOccupancy reports whether two indexes over the same ring size
+// hold exactly the same occupied cells and block summaries — the
+// differential-testing probe pinning Advance bit-identical to
+// Reset+replay. Wavelength words beyond either index's in-use range
+// compare as zero, so an index that grew and then released everything
+// high compares equal to one that never grew.
+func (ix *Index) EqualOccupancy(other *Index) bool {
+	if ix.n != other.n {
+		return false
+	}
+	words := max(ix.words, other.words)
+	rowOf := func(x *Index, s []uint64, k, rowLen int) []uint64 {
+		if k >= x.words {
+			return nil
+		}
+		return s[k*rowLen : (k+1)*rowLen]
+	}
+	eq := func(a, b []uint64, rowLen int) bool {
+		for s := 0; s < rowLen; s++ {
+			var av, bv uint64
+			if a != nil {
+				av = a[s]
+			}
+			if b != nil {
+				bv = b[s]
+			}
+			if av != bv {
+				return false
+			}
+		}
+		return true
+	}
+	for d := range ix.occ {
+		for k := 0; k < words; k++ {
+			if !eq(rowOf(ix, ix.occ[d], k, ix.n), rowOf(other, other.occ[d], k, other.n), ix.n) {
+				return false
+			}
+			if !eq(rowOf(ix, ix.blk[d], k, ix.nb), rowOf(other, other.blk[d], k, other.nb), ix.nb) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package rwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/topo"
+)
+
+// randomStep draws a conflict-free circuit set on ring r: random
+// requests colored by AssignInto, so wavelengths never clash within the
+// step (the precondition Advance's release path relies on).
+func randomStep(t *testing.T, r topo.Ring, rng *rand.Rand, maxReqs int) []Circuit {
+	t.Helper()
+	nr := rng.Intn(maxReqs + 1)
+	reqs := make([]Request, nr)
+	for i := range reqs {
+		src := rng.Intn(r.N)
+		dst := (src + 1 + rng.Intn(r.N-1)) % r.N
+		dir := topo.CW
+		if rng.Intn(2) == 1 {
+			dir = topo.CCW
+		}
+		reqs[i] = Request{Src: src, Dst: dst, Dir: dir}
+	}
+	arcs := ArcsOf(r, reqs)
+	ix := NewIndex(r)
+	asn := make(Assignment, nr)
+	ix.AssignInto(asn, reqs, arcs, FirstFit, nil)
+	out := make([]Circuit, nr)
+	for i := range reqs {
+		out[i] = Circuit{Dir: reqs[i].Dir, Arc: arcs[i], W: asn[i]}
+	}
+	return out
+}
+
+// occupyAll occupies every circuit on a reset index.
+func occupyAll(ix *Index, step []Circuit) {
+	for _, c := range step {
+		ix.Occupy(c.Dir, c.Arc, c.W)
+	}
+}
+
+// TestAdvanceMatchesResetReplay chains random conflict-free steps
+// through one delta-updated index and pins its occupancy (cells AND
+// block summaries) bit-identical to a fresh Reset+replay of each step,
+// with and without a pre-occupied fault mask.
+func TestAdvanceMatchesResetReplay(t *testing.T) {
+	for _, masked := range []bool{false, true} {
+		for _, n := range []int{2, 5, 16, 64, 100} {
+			r := topo.NewRing(n)
+			rng := rand.New(rand.NewSource(int64(n) * 31))
+			delta := NewIndex(r)
+			ref := NewIndex(r)
+			if masked {
+				// Park the mask on a high wavelength word so it never
+				// collides with the assigned circuits.
+				for _, ix := range []*Index{delta, ref} {
+					ix.Preoccupy(topo.CW, r.ArcOf(0, n/2+1, topo.CW), 130)
+					ix.Preoccupy(topo.CCW, r.ArcOf(1, 0, topo.CCW), 64)
+				}
+			}
+			delta.Reset()
+			var prev []Circuit
+			for step := 0; step < 40; step++ {
+				next := randomStep(t, r, rng, 24)
+				delta.Advance(prev, next)
+				ref.Reset()
+				occupyAll(ref, next)
+				if !delta.EqualOccupancy(ref) {
+					t.Fatalf("n=%d masked=%v step %d: delta occupancy diverged from reset+replay", n, masked, step)
+				}
+				if !ref.EqualOccupancy(delta) {
+					t.Fatalf("n=%d masked=%v step %d: EqualOccupancy not symmetric", n, masked, step)
+				}
+				prev = next
+			}
+		}
+	}
+}
+
+// TestAdvanceCheckedMatchesConflictFree pins AdvanceChecked's verdict
+// to the authoritative ConflictFree check on steps that are randomly
+// either clean or corrupted (a duplicated circuit forces a clash).
+// After a rejection the index state is unspecified, so the chain
+// restarts from Reset exactly as StepValidator's fallback path does.
+func TestAdvanceCheckedMatchesConflictFree(t *testing.T) {
+	r := topo.NewRing(24)
+	rng := rand.New(rand.NewSource(7))
+	ix := NewIndex(r)
+	ix.Preoccupy(topo.CW, r.ArcOf(3, 9, topo.CW), 200)
+	ix.Reset()
+	oracle := NewIndex(r)
+	oracle.Preoccupy(topo.CW, r.ArcOf(3, 9, topo.CW), 200)
+	var prev []Circuit
+	sawBad := false
+	for step := 0; step < 200; step++ {
+		next := randomStep(t, r, rng, 12)
+		if len(next) > 0 && rng.Intn(3) == 0 {
+			// Corrupt: clone a circuit so it overlaps itself.
+			next = append(next, next[rng.Intn(len(next))])
+		}
+		reqs := make([]Request, len(next))
+		arcs := make([]topo.Arc, len(next))
+		asn := make(Assignment, len(next))
+		for i, c := range next {
+			reqs[i] = Request{Src: c.Arc.Lo, Dst: (c.Arc.Lo + c.Arc.Len) % r.N, Dir: c.Dir}
+			arcs[i] = c.Arc
+			asn[i] = c.W
+		}
+		want := oracle.ConflictFree(reqs, arcs, asn)
+		got := ix.AdvanceChecked(prev, next)
+		if got != want {
+			t.Fatalf("step %d: AdvanceChecked=%v, ConflictFree=%v (%d circuits)", step, got, want, len(next))
+		}
+		if !got {
+			sawBad = true
+			// A rejected step aborts validation in the real pipeline, so
+			// the chain restarts clean: Advance's release contract only
+			// covers conflict-free previous steps.
+			ix.Reset()
+			prev = nil
+			continue
+		}
+		prev = next
+	}
+	if !sawBad {
+		t.Fatal("corruption never produced a conflict; test is vacuous")
+	}
+}
+
+// TestReleaseRepairsBlockSummaries occupies same-wavelength circuits
+// sharing a 64-segment summary block, releases one, and checks both the
+// per-segment cells and the block summaries match an index that never
+// saw the released circuit.
+func TestReleaseRepairsBlockSummaries(t *testing.T) {
+	r := topo.NewRing(200) // several summary blocks, wrap-around arcs
+	cases := [][2]Circuit{
+		// Same block, disjoint segments.
+		{{topo.CW, r.ArcOf(2, 10, topo.CW), 5}, {topo.CW, r.ArcOf(20, 30, topo.CW), 5}},
+		// Different blocks, same word.
+		{{topo.CW, r.ArcOf(0, 40, topo.CW), 7}, {topo.CW, r.ArcOf(100, 180, topo.CW), 7}},
+		// Wrap-around release crossing the ring seam.
+		{{topo.CCW, r.ArcOf(10, 190, topo.CCW), 66}, {topo.CCW, r.ArcOf(100, 60, topo.CCW), 66}},
+		// Different wavelengths in the same word on overlapping segments.
+		{{topo.CW, r.ArcOf(50, 90, topo.CW), 3}, {topo.CW, r.ArcOf(60, 95, topo.CW), 4}},
+	}
+	for i, pair := range cases {
+		keep, drop := pair[0], pair[1]
+		ix := NewIndex(r)
+		ix.Occupy(keep.Dir, keep.Arc, keep.W)
+		ix.Occupy(drop.Dir, drop.Arc, drop.W)
+		ix.Release(drop.Dir, drop.Arc, drop.W)
+		ref := NewIndex(r)
+		ref.Occupy(keep.Dir, keep.Arc, keep.W)
+		// Force ref to the same word growth as ix so only occupancy
+		// content, not capacity, can differ.
+		if !ix.EqualOccupancy(ref) {
+			t.Errorf("case %d: release left occupancy != never-occupied reference", i)
+		}
+		if !ix.Occupied(keep.Dir, keep.Arc, keep.W) {
+			t.Errorf("case %d: release of %v cleared the kept circuit %v", i, drop, keep)
+		}
+	}
+}
+
+// TestReleaseAboveGrownWords releases a wavelength the index never grew
+// to: a no-op, not a panic.
+func TestReleaseAboveGrownWords(t *testing.T) {
+	r := topo.NewRing(8)
+	ix := NewIndex(r)
+	ix.Occupy(topo.CW, r.ArcOf(0, 3, topo.CW), 1)
+	ref := NewIndex(r)
+	ref.Occupy(topo.CW, r.ArcOf(0, 3, topo.CW), 1)
+	ix.Release(topo.CCW, r.ArcOf(2, 6, topo.CCW), 500)
+	if !ix.EqualOccupancy(ref) {
+		t.Fatal("high-wavelength release disturbed occupancy")
+	}
+}
+
+// TestAdvanceReleaseBeforeOccupy pins the diff ordering: a next-only
+// circuit claiming exactly the cells a prev-only circuit frees must not
+// be misreported as a conflict.
+func TestAdvanceReleaseBeforeOccupy(t *testing.T) {
+	r := topo.NewRing(16)
+	ix := NewIndex(r)
+	arc := r.ArcOf(2, 9, topo.CW)
+	prev := []Circuit{{topo.CW, arc, 3}}
+	occupyAll(ix, prev)
+	// Same cells, but a different Circuit value (distinct arc bounds).
+	next := []Circuit{{topo.CW, r.ArcOf(1, 10, topo.CW), 3}}
+	if !ix.AdvanceChecked(prev, next) {
+		t.Fatal("AdvanceChecked misreported a conflict for cells freed within the same step")
+	}
+	ref := NewIndex(r)
+	occupyAll(ref, next)
+	if !ix.EqualOccupancy(ref) {
+		t.Fatal("occupancy after handover diverged from replay")
+	}
+}

@@ -62,6 +62,27 @@ func FuzzAssign(f *testing.F) {
 			if err := validateQuadratic(ring, reqs, asn, used); err != nil {
 				t.Fatalf("%v: assignment rejected by oracle validator: %v", strat, err)
 			}
+
+			// Release coverage: occupy the whole assignment, release a
+			// data-derived subset, and pin the surviving occupancy (cells
+			// and block summaries) bit-identical to an index that only ever
+			// occupied the kept circuits.
+			arcs := ArcsOf(ring, reqs)
+			ix := NewIndex(ring)
+			kept := NewIndex(ring)
+			for i, q := range reqs {
+				ix.Occupy(q.Dir, arcs[i], asn[i])
+			}
+			for i, q := range reqs {
+				if data[(i*3)%max(len(data), 1)]&0x40 != 0 {
+					ix.Release(q.Dir, arcs[i], asn[i])
+				} else {
+					kept.Occupy(q.Dir, arcs[i], asn[i])
+				}
+			}
+			if !ix.EqualOccupancy(kept) {
+				t.Fatalf("%v: released occupancy differs from never-occupied reference", strat)
+			}
 		}
 	})
 }
