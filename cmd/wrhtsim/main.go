@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|build|all>
+//	wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|plan|schedule|build|all>
 //
 // Flags may also follow the subcommand (`wrhtsim faults -n 64`).
 //
@@ -24,6 +24,18 @@
 // comma-separated subset of reorder, recolor, split); -check makes the
 // run exit nonzero unless the passes strictly beat the baseline
 // hidden-reconfig count at every point (the CI smoke gate).
+//
+// The plan subcommand sweeps the internal/plan cost-model planner for
+// the final all-to-all over an (r, a) grid at the -w budget (DESIGN.md
+// §2.7): every candidate plan is priced analytically and re-simulated
+// on the engine, and the table reports the chosen family, predicted
+// and simulated times, and the unstriped one-shot / gather-fallback
+// comparators. A second table measures the planner rescue on the named
+// fallback configurations (N=256 w=8, N=1024 w=16). -r and -a take
+// comma-separated replica counts and reconfiguration delays (us), -d
+// the payload in MB; -check exits nonzero unless predicted == simulated
+// argmin at every point and every rescue speedup exceeds 1 (the CI
+// gate); -json dumps the swept points and rescue rows.
 //
 // The build subcommand constructs and validates the -n/-w/-m WRHT
 // schedule without simulating it — the at-scale smoke test for the
@@ -46,12 +58,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -108,6 +122,31 @@ func overlapPasses(spec string, p optical.Params, dBytes float64) ([]ir.Pass, er
 	return out, nil
 }
 
+// intList and floatList parse the comma-separated -r/-a grid flags.
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func floatList(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
@@ -119,13 +158,15 @@ func main() {
 	stream := flag.Bool("stream", false, "build subcommand: stream-and-consume instead of materializing the schedule")
 	memstats := flag.Bool("memstats", false, "build subcommand: report peak live heap and bytes/node for the construction")
 	passSpec := flag.String("passes", "all", "overlap subcommand: IR passes to run (all, none, or comma-separated reorder,recolor,split)")
-	check := flag.Bool("check", false, "overlap subcommand: exit nonzero unless the passes strictly beat the baseline hidden-reconfig count at every N")
+	check := flag.Bool("check", false, "overlap/plan subcommands: exit nonzero unless the gate holds at every point")
+	planR := flag.String("r", "8,16,32", "plan subcommand: comma-separated representative counts")
+	planA := flag.String("a", "25", "plan subcommand: comma-separated reconfiguration delays in µs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write the counter registry to this file on exit (- for stdout, .json for JSON)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|schedule|build|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|plan|schedule|build|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -174,6 +215,8 @@ func main() {
 		memstats:    *memstats,
 		passes:      *passSpec,
 		check:       *check,
+		planR:       *planR,
+		planA:       *planA,
 		tracePath:   *tracePath,
 		metricsPath: *metricsPath,
 	})
@@ -213,11 +256,14 @@ type runConfig struct {
 	stream   bool
 	memstats bool
 	// passes/check drive the overlap subcommand: the IR pass selection
-	// and the strict-improvement gate.
-	passes      string
-	check       bool
-	tracePath   string
-	metricsPath string
+	// and the strict-improvement gate (check also gates plan).
+	passes string
+	check  bool
+	// planR/planA drive the plan subcommand: comma-separated
+	// representative counts and reconfiguration delays (µs).
+	planR, planA string
+	tracePath    string
+	metricsPath  string
 }
 
 func run(cfg runConfig) int {
@@ -490,6 +536,76 @@ func run(cfg runConfig) int {
 				}
 			}
 			fmt.Printf("overlap check passed: hidden reconfigs strictly above baseline at all %d points\n\n", len(r.Points))
+		}
+		ran = true
+	}
+	if cmd == "plan" || cmd == "all" {
+		// All-to-all planner gate: sweep the (r, w, a) grid (-r, -w, -a;
+		// both fabrics), cross-checking the planner's predicted argmin
+		// against the simulated one, then the end-to-end rescue of the
+		// named fallback configurations. -check makes any gate violation
+		// exit nonzero; -json dumps the raw points.
+		rs, err := intList(cfg.planR)
+		if err != nil {
+			return fatal(fmt.Errorf("plan: -r: %w", err))
+		}
+		as, err := floatList(cfg.planA)
+		if err != nil {
+			return fatal(fmt.Errorf("plan: -a: %w", err))
+		}
+		r, err := exp.PlanSweep(o, rs, []int{cfg.w}, as, cfg.payloadMB*1e6)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Println(r.Table)
+		rescue, err := exp.RescueSweep(o, []int{256, 1024}, []int{8, 16}, cfg.payloadMB*1e6)
+		if err != nil {
+			return fatal(err)
+		}
+		rt := &metrics.Table{
+			Title:   "Planner rescue of fallback configurations (full WRHT, optical, overlap on)",
+			Headers: []string{"N", "w", "final r", "req", "steps", "fallback (ms)", "planned (ms)", "speedup"},
+		}
+		for _, pt := range rescue {
+			rt.AddRow(fmt.Sprint(pt.N), fmt.Sprint(pt.W), fmt.Sprint(pt.FinalR), fmt.Sprint(pt.Requirement),
+				fmt.Sprintf("%d -> %d", pt.FallbackSteps, pt.PlannedSteps),
+				fmt.Sprintf("%.3f", pt.FallbackTime*1e3), fmt.Sprintf("%.3f", pt.PlannedTime*1e3),
+				fmt.Sprintf("%.2fx", pt.Speedup))
+		}
+		fmt.Println(rt)
+		if cfg.check {
+			for _, pt := range r.Points {
+				if err := pt.Check(); err != nil {
+					return fatal(fmt.Errorf("plan check (%s, r=%d, w=%d, a=%gus): %w", pt.Fabric, pt.R, pt.W, pt.AMicro, err))
+				}
+			}
+			for _, pt := range rescue {
+				if pt.Speedup <= 1 {
+					return fatal(fmt.Errorf("plan check: rescue (N=%d, w=%d) speedup %.3f not above 1", pt.N, pt.W, pt.Speedup))
+				}
+			}
+			fmt.Printf("plan check passed: predicted argmin == simulated argmin at all %d points, rescue speedups above 1\n\n", len(r.Points))
+		}
+		if cfg.jsonOut != "" {
+			out := struct {
+				Points []exp.PlanPoint   `json:"points"`
+				Rescue []exp.RescuePoint `json:"rescue"`
+			}{r.Points, rescue}
+			f, err := os.Create(cfg.jsonOut)
+			if err != nil {
+				return fatal(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				f.Close()
+				return fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				return fatal(err)
+			}
+			fmt.Printf("raw plan points written to %s\n", cfg.jsonOut)
+			cfg.jsonOut = "" // consumed; skip the figure recorder below
 		}
 		ran = true
 	}

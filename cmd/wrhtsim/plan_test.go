@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPlanSubcommand drives the plan gate the way CI does: the -check
+// run must exit zero and the -json dump must carry every grid point
+// plus the rescue rows.
+func TestPlanSubcommand(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "plan.json")
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	code := run(runConfig{
+		cmd:         "plan",
+		granularity: "fused",
+		workers:     1,
+		w:           8,
+		payloadMB:   25,
+		planR:       "8,16,32",
+		planA:       "25",
+		check:       true,
+		jsonOut:     jsonPath,
+	})
+	os.Stdout = old
+	null.Close()
+	if code != 0 {
+		t.Fatalf("plan -check exited %d", code)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Points []struct {
+			Fabric string `json:"Fabric"`
+			R      int    `json:"R"`
+		} `json:"points"`
+		Rescue []struct {
+			N       int     `json:"N"`
+			Speedup float64 `json:"Speedup"`
+		} `json:"rescue"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 3+3 { // 3 optical + 3 electrical rows
+		t.Errorf("dumped %d points, want 6", len(out.Points))
+	}
+	if len(out.Rescue) != 2 {
+		t.Errorf("dumped %d rescue rows, want 2", len(out.Rescue))
+	}
+	for _, r := range out.Rescue {
+		if r.Speedup <= 1 {
+			t.Errorf("rescue N=%d speedup %.3f not above 1", r.N, r.Speedup)
+		}
+	}
+}
+
+// TestPlanSubcommandBadGrid rejects malformed -r/-a lists.
+func TestPlanSubcommandBadGrid(t *testing.T) {
+	for _, cfg := range []runConfig{
+		{cmd: "plan", granularity: "fused", planR: "8,x", planA: "25"},
+		{cmd: "plan", granularity: "fused", planR: "8", planA: ""},
+	} {
+		if code := run(cfg); code == 0 {
+			t.Errorf("run(%+v) exited 0, want failure", cfg)
+		}
+	}
+}

@@ -66,6 +66,11 @@ type WRHTSteps struct {
 	// FinalGroup is the representative count entering the final reduce
 	// step (m* in §4.1.2).
 	FinalGroup int
+	// Planned reports that Config.PlanAllToAll replaced the single-root
+	// gather fallback with a multi-round reconfiguration plan;
+	// PlanSteps is that plan's step count (included in Total).
+	Planned   bool
+	PlanSteps int
 	// Total is θ, the total communication step count.
 	Total int
 }
@@ -89,15 +94,26 @@ func StepsWRHT(cfg Config) (WRHTSteps, error) {
 			out.FinalGroup = r
 			break
 		}
+		if r <= m && !cfg.DisableAllToAll && cfg.PlanAllToAll {
+			if plan, ok := DefaultPhasePlan(r, cfg.Wavelengths); ok {
+				out.Planned = true
+				out.PlanSteps = plan.NumSteps()
+				out.FinalGroup = r
+				break
+			}
+		}
 		if r <= m {
 			out.FinalGroup = r
 		}
 		r = ceilDiv(r, m)
 		out.GatherLevels++
 	}
-	if out.AllToAll {
+	switch {
+	case out.AllToAll:
 		out.Total = 2*out.GatherLevels + 1 // gathers + a2a + broadcasts
-	} else {
+	case out.Planned:
+		out.Total = 2*out.GatherLevels + out.PlanSteps // gathers + plan rounds + broadcasts
+	default:
 		out.Total = 2 * out.GatherLevels
 	}
 	return out, nil

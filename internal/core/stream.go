@@ -227,6 +227,10 @@ type wrhtStream struct {
 	phase        int // 0 = reduce, 1 = broadcast, 2 = done
 	bcast        int
 	buf          Step
+	// planSteps/planIdx drive the Config.PlanAllToAll replacement of the
+	// gather fallback: the phase plan's steps, emitted one per Next.
+	planSteps []Step
+	planIdx   int
 }
 
 // StreamWRHT returns a streaming producer of the WRHT schedule (§4.1),
@@ -269,6 +273,28 @@ func (ws *wrhtStream) Next() (*Step, bool) {
 				}
 				ws.phase, ws.bcast = 1, len(ws.levels)-1
 				return &ws.buf, true
+			}
+			if r <= ws.m && !ws.cfg.DisableAllToAll && ws.cfg.PlanAllToAll {
+				// One-shot all-to-all over budget: carry the exchange
+				// over the default multi-round reconfiguration plan
+				// instead of gathering to a single root.
+				if ws.planSteps == nil {
+					plan, ok := DefaultPhasePlan(r, ws.cfg.Wavelengths)
+					if ok {
+						steps, err := BuildPhaseSteps(ws.ring, ws.participants, plan)
+						if err == nil {
+							ws.planSteps = steps
+						}
+					}
+				}
+				if ws.planIdx < len(ws.planSteps) {
+					st := &ws.planSteps[ws.planIdx]
+					ws.planIdx++
+					if ws.planIdx == len(ws.planSteps) {
+						ws.phase, ws.bcast = 1, len(ws.levels)-1
+					}
+					return st, true
+				}
 			}
 			groups := partition(ws.participants, ws.m)
 			gatherStepInto(&ws.buf, groups, tensor.OpSum)

@@ -27,8 +27,16 @@ type Config struct {
 	// DisableAllToAll forces the final reduce step to gather to a single
 	// root even when the wavelength budget would allow the all-to-all
 	// exchange, yielding θ = 2⌈log_m N⌉ instead of 2⌈log_m N⌉−1.
-	// Used by the ablation benchmarks.
+	// Used by the ablation benchmarks. It also disables PlanAllToAll.
 	DisableAllToAll bool
+	// PlanAllToAll replaces the single-root gather fallback with a
+	// multi-round reconfiguration plan (DefaultPhasePlan) whenever the
+	// final representatives' one-shot all-to-all exceeds the wavelength
+	// budget: the exchange the fallback abandons is carried over k
+	// striped rounds instead. Configurations whose one-shot exchange
+	// fits the budget build identical schedules with or without this
+	// option; payload-aware plan selection is internal/plan's job.
+	PlanAllToAll bool
 	// Strategy selects the wavelength-assignment heuristic for the final
 	// all-to-all step (First Fit by default, §4.1.2).
 	Strategy rwa.Strategy

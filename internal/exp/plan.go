@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/electrical"
+	"wrht/internal/fabric"
+	"wrht/internal/metrics"
+	"wrht/internal/obs"
+	"wrht/internal/plan"
+	"wrht/internal/topo"
+)
+
+// PlanPoint is one row of the all-to-all planner sweep: a standalone
+// final-phase exchange among r representatives on a w-wavelength ring
+// with reconfiguration delay a, planned and then simulated.
+type PlanPoint struct {
+	// Fabric is the pricing backend ("optical", "electrical").
+	Fabric string
+	// R is the representative count, W the wavelength budget (0 on the
+	// electrical fabric) and AMicro the reconfiguration delay in µs
+	// (ignored by the electrical fabric).
+	R, W   int
+	AMicro float64
+	// Chosen describes the winning plan; ChosenSteps its step count.
+	Chosen      string
+	ChosenSteps int
+	// Predicted is the planner's time for the chosen plan; Simulated is
+	// fabric.Engine's time for the same steps. The two must be equal —
+	// the planner mirrors the engine's accumulation — and Argmin
+	// reports that the chosen plan also simulates no slower than every
+	// other candidate.
+	Predicted, Simulated float64
+	Argmin               bool
+	// OneShot and Fallback are the simulated times of the two fixed
+	// strategies the planner competes with: the unstriped single-step
+	// exchange (0 when it exceeds the budget) and the unstriped
+	// gather-to-root + broadcast the builder historically fell back to.
+	OneShot, Fallback float64
+}
+
+// PlanSweepResult bundles the rendered table with the raw points.
+type PlanSweepResult struct {
+	Table  *metrics.Table
+	Points []PlanPoint
+}
+
+// phaseSchedule wraps plan steps for the engine.
+func phaseSchedule(ring topo.Ring, steps []core.Step) *core.Schedule {
+	return &core.Schedule{Algorithm: "a2a-plan", Ring: ring, Steps: steps}
+}
+
+// fallbackPlan is the phase the pre-planner builder executed when the
+// one-shot exchange exceeded the budget: an unstriped gather of every
+// representative's partial to a single root, mirrored by a broadcast.
+func fallbackPlan(r int) core.PhasePlan {
+	return core.PhasePlan{
+		Family: "fallback",
+		Levels: []core.PhaseLevel{{Group: r, Stripe: 1, BcastStripe: 1}},
+	}
+}
+
+// planPoint plans and cross-checks one grid point on fab.
+func planPoint(fab fabric.Fabric, budget, r int, aMicro, dBytes float64, overlap bool, o plan.Observer) (PlanPoint, error) {
+	ring := topo.NewRing(r)
+	reps := make([]int, r)
+	for i := range reps {
+		reps[i] = i
+	}
+	pl := plan.Planner{Fabric: fab, Budget: budget, Overlap: overlap, Observer: o}
+	d, err := pl.Plan(ring, reps, dBytes)
+	if err != nil {
+		return PlanPoint{}, err
+	}
+	eng := fabric.Engine{Fabric: fab, Opts: fabric.Options{Overlap: overlap, ValidateWavelengths: true}}
+	pt := PlanPoint{
+		Fabric: fab.Name(), R: r, W: budget, AMicro: aMicro,
+		Chosen: d.Best().Plan.String(), ChosenSteps: d.Best().Steps,
+		Predicted: d.Best().Predicted,
+	}
+	// Simulate every candidate: the chosen one must be an argmin of the
+	// simulated times, not merely of the predictions.
+	minSim, chosenSim := 0.0, 0.0
+	for i, c := range d.Candidates {
+		steps, err := core.BuildPhaseSteps(ring, reps, c.Plan)
+		if err != nil {
+			return PlanPoint{}, fmt.Errorf("rebuild %s: %w", c.Plan, err)
+		}
+		res, err := eng.RunSchedule(phaseSchedule(ring, steps), dBytes)
+		if err != nil {
+			return PlanPoint{}, fmt.Errorf("simulate %s: %w", c.Plan, err)
+		}
+		if i == 0 || res.Time < minSim {
+			minSim = res.Time
+		}
+		if i == d.Chosen {
+			chosenSim = res.Time
+		}
+	}
+	pt.Simulated = chosenSim
+	pt.Argmin = chosenSim <= minSim
+	// The two fixed comparators (built outside the candidate set so the
+	// gate holds even where the planner enumerates striped variants).
+	if core.AllToAllRequirement(r) <= budget || budget <= 0 {
+		steps, err := core.BuildPhaseSteps(ring, reps, core.PhasePlan{Family: "one-shot", TopA2A: true, TopStripe: 1})
+		if err != nil {
+			return PlanPoint{}, err
+		}
+		res, err := eng.RunSchedule(phaseSchedule(ring, steps), dBytes)
+		if err != nil {
+			return PlanPoint{}, err
+		}
+		pt.OneShot = res.Time
+	}
+	if steps, err := core.BuildPhaseSteps(ring, reps, fallbackPlan(r)); err == nil {
+		if res, err := eng.RunSchedule(phaseSchedule(ring, steps), dBytes); err == nil {
+			pt.Fallback = res.Time
+		}
+	}
+	return pt, nil
+}
+
+// Check reports whether the point passes the planner gate: the chosen
+// plan's prediction matches its simulation exactly, it is a simulated
+// argmin over the candidates, and it is no slower than either fixed
+// strategy where those are feasible.
+func (pt PlanPoint) Check() error {
+	if pt.Predicted != pt.Simulated {
+		return fmt.Errorf("predicted %.9g s != simulated %.9g s", pt.Predicted, pt.Simulated)
+	}
+	if !pt.Argmin {
+		return fmt.Errorf("chosen plan %s is not the simulated argmin", pt.Chosen)
+	}
+	if pt.OneShot > 0 && pt.Simulated > pt.OneShot {
+		return fmt.Errorf("chosen plan %s (%.9g s) slower than one-shot (%.9g s)", pt.Chosen, pt.Simulated, pt.OneShot)
+	}
+	if pt.Fallback > 0 && pt.Simulated > pt.Fallback {
+		return fmt.Errorf("chosen plan %s (%.9g s) slower than fallback (%.9g s)", pt.Chosen, pt.Simulated, pt.Fallback)
+	}
+	return nil
+}
+
+// PlanSweep runs the all-to-all planner over the (r, w, a) grid on the
+// optical fabric — every representative count in rs × every wavelength
+// budget in ws × every reconfiguration delay (µs) in aMicros — plus one
+// uncapped electrical row per r, cross-checking the planner's
+// prediction against fabric.Engine at every point. Options.Metrics
+// receives the planner's decision counters through obs.PlanObserver.
+func PlanSweep(o Options, rs, ws []int, aMicros []float64, dBytes float64) (PlanSweepResult, error) {
+	return newEngine(o).planSweep(rs, ws, aMicros, dBytes)
+}
+
+func (e *engine) planSweep(rs, ws []int, aMicros []float64, dBytes float64) (PlanSweepResult, error) {
+	if e.optFabErr != nil {
+		return PlanSweepResult{}, e.optFabErr
+	}
+	pObs := obs.NewPlanObserver(e.opts.Trace, e.opts.Metrics)
+	type gridPoint struct {
+		r, w   int
+		aMicro float64
+		elec   bool
+	}
+	var grid []gridPoint
+	for _, r := range rs {
+		for _, w := range ws {
+			for _, a := range aMicros {
+				grid = append(grid, gridPoint{r: r, w: w, aMicro: a})
+			}
+		}
+		grid = append(grid, gridPoint{r: r, elec: true})
+	}
+	points, err := sweep(e, len(grid), func(i int) (PlanPoint, error) {
+		g := grid[i]
+		if g.elec {
+			nw, err := electrical.NewNetwork(g.r, e.opts.Electrical)
+			if err != nil {
+				return PlanPoint{}, fmt.Errorf("plan sweep (r=%d, electrical): %w", g.r, err)
+			}
+			pt, err := planPoint(nw.Fabric(), 0, g.r, 0, dBytes, false, pObs)
+			if err != nil {
+				return PlanPoint{}, fmt.Errorf("plan sweep (r=%d, electrical): %w", g.r, err)
+			}
+			return pt, nil
+		}
+		params := e.opts.Optical
+		params.Wavelengths = g.w
+		params.ReconfigDelay = g.aMicro * 1e-6
+		fab, err := params.Fabric()
+		if err != nil {
+			return PlanPoint{}, fmt.Errorf("plan sweep (r=%d, w=%d, a=%gus): %w", g.r, g.w, g.aMicro, err)
+		}
+		pt, err := planPoint(fab, g.w, g.r, g.aMicro, dBytes, true, pObs)
+		if err != nil {
+			return PlanPoint{}, fmt.Errorf("plan sweep (r=%d, w=%d, a=%gus): %w", g.r, g.w, g.aMicro, err)
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return PlanSweepResult{}, err
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("All-to-all planner sweep, %.0f MB payload (predicted == simulated at every row)", dBytes/1e6),
+		Headers: []string{"fabric", "r", "w", "a (us)", "chosen plan", "time (ms)", "one-shot (ms)", "fallback (ms)", "argmin"},
+	}
+	msOrDash := func(v float64) string {
+		if v <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", v*1e3)
+	}
+	for _, pt := range points {
+		t.AddRow(pt.Fabric, fmt.Sprint(pt.R), fmt.Sprint(pt.W), fmt.Sprintf("%g", pt.AMicro),
+			pt.Chosen, fmt.Sprintf("%.3f", pt.Simulated*1e3),
+			msOrDash(pt.OneShot), msOrDash(pt.Fallback), fmt.Sprint(pt.Argmin))
+	}
+	return PlanSweepResult{Table: t, Points: points}, nil
+}
+
+// RescuePoint is one end-to-end comparison of a configuration whose
+// final representatives exceed the one-shot budget: the full WRHT
+// schedule with the historical gather fallback versus the same
+// configuration with Config.PlanAllToAll.
+type RescuePoint struct {
+	N, W int
+	// FinalR is the representative count entering the final phase and
+	// Requirement its one-shot wavelength requirement (> W here).
+	FinalR, Requirement int
+	// Steps and Time for the fallback and the planned schedule, both
+	// simulated end to end on the optical fabric in overlap mode.
+	FallbackSteps, PlannedSteps int
+	FallbackTime, PlannedTime   float64
+	// Speedup is FallbackTime / PlannedTime.
+	Speedup float64
+}
+
+// RescueSweep measures the headline win of Config.PlanAllToAll: full
+// WRHT schedules at (N, w) points in the fallback regime
+// (AllToAllRequirement(final r) > w), with and without the planner.
+func RescueSweep(o Options, ns, ws []int, dBytes float64) ([]RescuePoint, error) {
+	e := newEngine(o)
+	if e.optFabErr != nil {
+		return nil, e.optFabErr
+	}
+	if len(ns) != len(ws) {
+		return nil, fmt.Errorf("plan rescue: %d ring sizes vs %d budgets", len(ns), len(ws))
+	}
+	return sweep(e, len(ns), func(i int) (RescuePoint, error) {
+		n, w := ns[i], ws[i]
+		params := e.opts.Optical
+		params.Wavelengths = w
+		fab, err := params.Fabric()
+		if err != nil {
+			return RescuePoint{}, err
+		}
+		eng := fabric.Engine{Fabric: fab, Opts: fabric.Options{Overlap: true, ValidateWavelengths: true}}
+		run := func(planned bool) (fabric.Result, core.WRHTSteps, error) {
+			cfg := core.Config{N: n, Wavelengths: w, PlanAllToAll: planned}
+			st, err := core.StepsWRHT(cfg)
+			if err != nil {
+				return fabric.Result{}, core.WRHTSteps{}, err
+			}
+			s, err := core.BuildWRHT(cfg)
+			if err != nil {
+				return fabric.Result{}, core.WRHTSteps{}, err
+			}
+			res, err := eng.RunSchedule(s, dBytes)
+			return res, st, err
+		}
+		fb, _, err := run(false)
+		if err != nil {
+			return RescuePoint{}, fmt.Errorf("plan rescue (N=%d, w=%d) fallback: %w", n, w, err)
+		}
+		pl, plSt, err := run(true)
+		if err != nil {
+			return RescuePoint{}, fmt.Errorf("plan rescue (N=%d, w=%d) planned: %w", n, w, err)
+		}
+		r := plSt.FinalGroup
+		if req := core.AllToAllRequirement(r); req <= w {
+			return RescuePoint{}, fmt.Errorf("plan rescue (N=%d, w=%d): final r=%d requirement %d fits the budget — not a fallback configuration", n, w, r, req)
+		}
+		return RescuePoint{
+			N: n, W: w, FinalR: r, Requirement: core.AllToAllRequirement(r),
+			FallbackSteps: fb.Steps, PlannedSteps: pl.Steps,
+			FallbackTime: fb.Time, PlannedTime: pl.Time,
+			Speedup: fb.Time / pl.Time,
+		}, nil
+	})
+}

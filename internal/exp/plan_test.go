@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestPlanSweepCrossCheck runs the planner gate over a grid spanning
+// all three regimes — one-shot feasible (r=8, w=64), deep fallback
+// (r=32, w=8) and the middle (r=16) — at two reconfiguration delays,
+// asserting every point's prediction matches its simulation and the
+// chosen plan is the simulated argmin.
+func TestPlanSweepCrossCheck(t *testing.T) {
+	res, err := PlanSweep(Defaults(), []int{8, 16, 32}, []int{8, 64}, []float64{25, 250}, 25e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 3*2*2 + 3 // optical grid + one electrical row per r
+	if len(res.Points) != wantRows {
+		t.Fatalf("swept %d points, want %d", len(res.Points), wantRows)
+	}
+	elec := 0
+	for _, pt := range res.Points {
+		if err := pt.Check(); err != nil {
+			t.Errorf("(%s, r=%d, w=%d, a=%gus): %v", pt.Fabric, pt.R, pt.W, pt.AMicro, err)
+		}
+		if pt.Fabric == "electrical" {
+			elec++
+		}
+	}
+	if elec != 3 {
+		t.Errorf("%d electrical rows, want 3", elec)
+	}
+	if res.Table == nil || len(res.Table.Headers) == 0 {
+		t.Error("sweep produced no table")
+	}
+}
+
+// TestRescueSweep measures the headline win on the two named fallback
+// configurations: the planned schedule must beat the gather fallback
+// outright, end to end.
+func TestRescueSweep(t *testing.T) {
+	pts, err := RescueSweep(Defaults(), []int{256, 1024}, []int{8, 16}, 25e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Requirement <= pt.W {
+			t.Errorf("(N=%d, w=%d): requirement %d fits the budget — not a rescue point", pt.N, pt.W, pt.Requirement)
+		}
+		if pt.Speedup <= 1 {
+			t.Errorf("(N=%d, w=%d): planned %.6g s not faster than fallback %.6g s (final r=%d)",
+				pt.N, pt.W, pt.PlannedTime, pt.FallbackTime, pt.FinalR)
+		}
+	}
+}
+
+// TestRescueSweepRejectsFeasible refuses configurations whose final
+// exchange already fits the budget.
+func TestRescueSweepRejectsFeasible(t *testing.T) {
+	if _, err := RescueSweep(Defaults(), []int{8}, []int{64}, 1e6); err == nil {
+		t.Error("feasible configuration accepted as a rescue point")
+	}
+}

@@ -172,7 +172,7 @@ func (e Engine) timeSteps(src core.StepSource, elems int, v *core.StepValidator,
 	bd := e.Opts.BoundaryDisjoint
 	ring := src.Ring()
 	var memo map[string]StepCost
-	var probe *overlapProbe
+	var probe *rwa.Probe
 	var prevTransmit float64
 	var prev core.Step
 	keepPrev := e.Opts.Overlap && bd == nil
@@ -210,9 +210,9 @@ func (e Engine) timeSteps(src core.StepSource, elems int, v *core.StepValidator,
 				disjoint = bd[k-1]
 			} else {
 				if probe == nil {
-					probe = newOverlapProbe(ring)
+					probe = rwa.NewProbe(ring)
 				}
-				disjoint = probe.disjoint(ring, prev, st, e.Opts.RWAStats)
+				disjoint = StepsDisjoint(probe, ring, prev, st, e.Opts.RWAStats)
 			}
 			if disjoint {
 				hidden = math.Min(c.Setup, prevTransmit)

@@ -18,47 +18,22 @@ import (
 // rejects the boundary, falling back to the sequential setup-then-
 // transmit behaviour for that step.
 
-// overlapProbe owns the occupancy index and request buffers behind the
-// per-boundary disjointness checks of one engine run. ConflictFree
-// resets the index on entry, so a single probe serves every boundary of
-// a schedule with zero steady-state allocation, instead of building a
-// fresh rwa.NewIndex per boundary (the allocation profile is pinned by
-// TestOverlapProbeReusesAllocations).
-type overlapProbe struct {
-	ix   *rwa.Index
-	reqs []rwa.Request
-	arcs []topo.Arc
-	asn  rwa.Assignment
-}
-
-func newOverlapProbe(ring topo.Ring) *overlapProbe {
-	return &overlapProbe{ix: rwa.NewIndex(ring)}
-}
-
-// disjoint reports whether steps a and b can have their circuits up
+// StepsDisjoint reports whether steps a and b can have their circuits up
 // simultaneously: the pooled request set of both steps must be
-// conflict-free under the rwa model. stats, when non-nil, accumulates
+// conflict-free under the rwa model. The probe's index and buffers are
+// reused across calls, so a single probe serves every boundary of an
+// engine run — or every boundary pricing of a planner candidate — with
+// zero steady-state allocation instead of a fresh rwa.NewIndex per
+// boundary (the allocation profile is pinned by
+// TestOverlapProbeReusesAllocations). stats, when non-nil, accumulates
 // the probe counters.
-func (pb *overlapProbe) disjoint(ring topo.Ring, a, b core.Step, stats *rwa.Stats) bool {
-	// Size the pooled buffers exactly on first use (or when a bigger
-	// boundary shows up), so a run probing one boundary costs the same
-	// three allocations the pre-probe code paid instead of append's
-	// doubling growth, and later boundaries reuse them at zero cost.
-	if n := len(a.Transfers) + len(b.Transfers); cap(pb.reqs) < n {
-		pb.reqs = make([]rwa.Request, 0, n)
-		pb.asn = make(rwa.Assignment, 0, n)
-		pb.arcs = make([]topo.Arc, 0, n)
-	}
-	pb.reqs = pb.reqs[:0]
-	pb.asn = pb.asn[:0]
-	pb.arcs = pb.arcs[:0]
+func StepsDisjoint(pb *rwa.Probe, ring topo.Ring, a, b core.Step, stats *rwa.Stats) bool {
+	pb.Begin(len(a.Transfers) + len(b.Transfers))
 	for _, st := range [2]core.Step{a, b} {
 		for _, t := range st.Transfers {
-			pb.reqs = append(pb.reqs, rwa.Request{Src: t.Src, Dst: t.Dst, Dir: t.Dir})
-			pb.asn = append(pb.asn, t.Wavelength)
-			pb.arcs = append(pb.arcs, ring.ArcOf(t.Src, t.Dst, t.Dir))
+			pb.Add(rwa.Request{Src: t.Src, Dst: t.Dst, Dir: t.Dir}, ring.ArcOf(t.Src, t.Dst, t.Dir), t.Wavelength)
 		}
 	}
-	pb.ix.Stats = stats
-	return pb.ix.ConflictFree(pb.reqs, pb.arcs, pb.asn)
+	pb.Index().Stats = stats
+	return pb.ConflictFree()
 }

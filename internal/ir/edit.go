@@ -1,0 +1,48 @@
+package ir
+
+import (
+	"fmt"
+
+	"wrht/internal/core"
+	"wrht/internal/topo"
+)
+
+// ReplaceSteps splices the flat steps into the program in place of the
+// index range [lo, hi), recomputing each new transfer's occupied arc,
+// re-deriving the dependency edges of the whole program, and
+// re-validating it against the wavelength budget. On a validation
+// failure the program is restored to its prior state and the error
+// returned. This is the structural edit behind plan.Pass, which swaps a
+// contiguous all-to-all phase span for a multi-round reconfiguration
+// plan; unlike the circuit-metadata rewrites of the built-in passes, it
+// may change the step count.
+func (p *Program) ReplaceSteps(lo, hi int, steps []core.Step) error {
+	if lo < 0 || hi < lo || hi > len(p.Steps) {
+		return fmt.Errorf("ir: replace steps: range [%d,%d) out of bounds for %d steps", lo, hi, len(p.Steps))
+	}
+	repl := make([]Step, len(steps))
+	for i, st := range steps {
+		ns := Step{Phase: st.Phase}
+		if len(st.Transfers) > 0 {
+			ns.Transfers = append([]core.Transfer(nil), st.Transfers...)
+			ns.Arcs = make([]topo.Arc, len(st.Transfers))
+			for j, t := range st.Transfers {
+				ns.Arcs[j] = p.Ring.ArcOf(t.Src, t.Dst, t.Dir)
+			}
+		}
+		repl[i] = ns
+	}
+	old := p.Steps
+	next := make([]Step, 0, len(old)-(hi-lo)+len(repl))
+	next = append(next, old[:lo]...)
+	next = append(next, repl...)
+	next = append(next, old[hi:]...)
+	p.Steps = next
+	p.analyze()
+	if err := p.check(); err != nil {
+		p.Steps = old
+		p.analyze()
+		return fmt.Errorf("ir: replace steps [%d,%d): %w", lo, hi, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/tensor"
+	"wrht/internal/topo"
+)
+
+// TestReplaceStepsRoundTrip splices a span with a copy of itself: the
+// program must be unchanged (arcs and deps re-derived identically).
+func TestReplaceStepsRoundTrip(t *testing.T) {
+	s, err := core.BuildWRHT(core.Config{N: 32, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Raise()
+	span := make([]core.Step, 2)
+	for i := range span {
+		span[i] = core.Step{Phase: p.Steps[1+i].Phase, Transfers: append([]core.Transfer(nil), p.Steps[1+i].Transfers...)}
+	}
+	if err := p.ReplaceSteps(1, 3, span); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Raise(); !reflect.DeepEqual(got, want) {
+		t.Error("identity splice changed the program")
+	}
+}
+
+// TestReplaceStepsRejectsInvalid reverts on a splice that violates the
+// wavelength budget, leaving the program intact.
+func TestReplaceStepsRejectsInvalid(t *testing.T) {
+	s, err := core.BuildWRHT(core.Config{N: 32, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Raise()
+	bad := []core.Step{{Phase: core.PhaseReduce, Transfers: []core.Transfer{
+		{Src: 0, Dst: 1, Chunk: tensor.Whole, Op: tensor.OpSum, Dir: topo.CW, Wavelength: 99},
+	}}}
+	if err := p.ReplaceSteps(0, 1, bad); err == nil {
+		t.Fatal("over-budget splice did not error")
+	}
+	if got := p.Raise(); !reflect.DeepEqual(got, want) {
+		t.Error("failed splice left the program mutated")
+	}
+}
+
+// TestReplaceStepsBounds rejects out-of-range spans.
+func TestReplaceStepsBounds(t *testing.T) {
+	s, err := core.BuildWRHT(core.Config{N: 8, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]int{{-1, 0}, {0, len(p.Steps) + 1}, {2, 1}} {
+		if err := p.ReplaceSteps(tc[0], tc[1], nil); err == nil {
+			t.Errorf("range [%d,%d) did not error", tc[0], tc[1])
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"wrht/internal/plan"
+)
+
+// PlanObserver implements plan.Observer, turning planner decisions into
+// registry counters: how many decisions were made, how many candidates
+// were priced, and which plan family won (plan.chosen.<family>). Like
+// every producer hook in this package it is nil-safe piecewise — Tracer
+// and Metrics may each be nil independently — and decision spans are
+// wall-clock diagnostics emitted only when Tracer.Clock is set (the
+// planner runs at build time, before any simulated clock exists).
+type PlanObserver struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// NewPlanObserver returns an observer emitting into tr and reg (either
+// may be nil).
+func NewPlanObserver(tr *Tracer, reg *Registry) *PlanObserver {
+	return &PlanObserver{Tracer: tr, Metrics: reg}
+}
+
+// planTrack is the Perfetto track carrying decision spans.
+var planTrack = Track{Process: "plan", Name: "decisions"}
+
+// Decided implements plan.Observer.
+func (o *PlanObserver) Decided(d plan.Decision) {
+	if o == nil {
+		return
+	}
+	if m := o.Metrics; m != nil {
+		m.Counter("plan.decisions").Inc()
+		m.Counter("plan.candidates").Add(int64(len(d.Candidates)))
+		m.Counter("plan.chosen." + d.Best().Plan.Family).Inc()
+	}
+	if t := o.Tracer; t != nil && t.Clock != nil {
+		t.Span(planTrack, d.Best().Plan.String(), t.Clock(), 0, Args{
+			"r":          d.R,
+			"w":          d.W,
+			"fabric":     d.Fabric,
+			"candidates": len(d.Candidates),
+			"predicted":  d.Best().Predicted,
+		})
+	}
+}

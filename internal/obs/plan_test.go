@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/plan"
+)
+
+func decision(family string, n int) plan.Decision {
+	return plan.Decision{
+		R: 16, W: 8, Fabric: "optical",
+		Candidates: append(make([]plan.Candidate, n-1),
+			plan.Candidate{Plan: core.PhasePlan{Family: family}, Steps: 3, Predicted: 1e-3}),
+		Chosen: n - 1,
+	}
+}
+
+func TestPlanObserverCountersAndSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer()
+	now := 0.0
+	tr.Clock = func() float64 { now++; return now }
+	o := NewPlanObserver(tr, reg)
+	o.Decided(decision("k-round", 5))
+	o.Decided(decision("k-round", 3))
+	o.Decided(decision("one-shot", 2))
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"plan.decisions":       3,
+		"plan.candidates":      10,
+		"plan.chosen.k-round":  2,
+		"plan.chosen.one-shot": 1,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if tr.Events() != 3 {
+		t.Errorf("tracer recorded %d spans, want 3", tr.Events())
+	}
+}
+
+func TestPlanObserverIsNilSafe(t *testing.T) {
+	// No sinks at all: must not panic.
+	NewPlanObserver(nil, nil).Decided(decision("hybrid", 1))
+	// A tracer without a wall clock must stay span-free: decisions are
+	// wall-clock diagnostics, not simulated time.
+	tr := NewTracer()
+	NewPlanObserver(tr, nil).Decided(decision("hybrid", 1))
+	if tr.Events() != 0 {
+		t.Errorf("clockless tracer recorded %d events, want 0", tr.Events())
+	}
+	var nilObs *PlanObserver
+	nilObs.Decided(decision("hybrid", 1))
+}

@@ -1,0 +1,105 @@
+package plan
+
+import (
+	"fmt"
+	"reflect"
+
+	"wrht/internal/core"
+	"wrht/internal/ir"
+)
+
+// Pass is the IR entry point of the planner: it locates the schedule's
+// all-to-all phase span (every plan round carries core.PhaseAllToAll,
+// so a Config.PlanAllToAll schedule exposes its whole multi-round plan
+// here, and a feasible-regime schedule exposes its single exchange
+// step), re-plans the span for the pass's payload and fabric, and
+// splices the argmin schedule in through Program.ReplaceSteps. Unlike
+// the built-in circuit-metadata passes it may change the step count;
+// the pipeline re-validates after it, and ReplaceSteps itself reverts
+// on a validation failure.
+type Pass struct {
+	// Planner prices and picks the replacement. Its Budget must equal
+	// the program's (the splice is validated against the program's).
+	Planner *Planner
+	// DBytes is the per-node payload the span is re-planned for.
+	DBytes float64
+}
+
+// Name implements ir.Pass.
+func (ps *Pass) Name() string { return "plan-a2a" }
+
+// Apply implements ir.Pass.
+func (ps *Pass) Apply(p *ir.Program) (bool, error) {
+	if ps.Planner == nil {
+		return false, fmt.Errorf("plan: pass has no planner")
+	}
+	if ps.Planner.Budget != p.Budget {
+		return false, fmt.Errorf("plan: planner budget %d != program budget %d", ps.Planner.Budget, p.Budget)
+	}
+	lo, hi, err := phaseSpan(p)
+	if err != nil {
+		return false, err
+	}
+	if lo == hi {
+		return false, nil
+	}
+	span := make([]core.Step, hi-lo)
+	for i := range span {
+		span[i] = core.Step{Phase: p.Steps[lo+i].Phase, Transfers: p.Steps[lo+i].Transfers}
+	}
+	reps := sortedNodes(span)
+	if len(reps) < 2 {
+		return false, nil
+	}
+	d, err := ps.Planner.Plan(p.Ring, reps, ps.DBytes)
+	if err != nil {
+		return false, err
+	}
+	if sameSteps(span, d.Schedule) {
+		return false, nil
+	}
+	if err := p.ReplaceSteps(lo, hi, d.Schedule); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// phaseSpan returns the [lo, hi) index range of the program's
+// PhaseAllToAll steps (lo == hi when there are none). A non-contiguous
+// phase is not a schedule this pass understands and is an error.
+func phaseSpan(p *ir.Program) (lo, hi int, err error) {
+	lo, hi = -1, -1
+	for i := range p.Steps {
+		if p.Steps[i].Phase != core.PhaseAllToAll {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		} else if i != hi {
+			return 0, 0, fmt.Errorf("plan: all-to-all phase is not contiguous (steps %d and %d)", hi-1, i)
+		}
+		hi = i + 1
+	}
+	if lo < 0 {
+		return 0, 0, nil
+	}
+	return lo, hi, nil
+}
+
+// sameSteps reports whether the replacement is bit-identical to the
+// span it would replace (phase and transfer sequences), in which case
+// the pass leaves the program untouched.
+func sameSteps(a, b []core.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Phase != b[i].Phase || len(a[i].Transfers) != len(b[i].Transfers) {
+			return false
+		}
+		if len(a[i].Transfers) > 0 && !reflect.DeepEqual(a[i].Transfers, b[i].Transfers) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"testing"
+
+	"wrht/internal/core"
+	"wrht/internal/fabric"
+	"wrht/internal/ir"
+)
+
+// TestPassReplansPhase lowers a planned fallback-regime schedule, runs
+// the pass, and checks the rewritten program validates, still carries a
+// contiguous all-to-all phase, and times no worse than the input.
+func TestPassReplansPhase(t *testing.T) {
+	const n, w = 256, 8
+	const dBytes = 1e4 // small payload: overlap-aware re-planning has room to differ
+	fab := opticalFab(t, w, 0)
+	s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w, PlanAllToAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := fabric.Engine{Fabric: fab, Opts: fabric.Options{Overlap: true}}.RunSchedule(s, dBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Planner: &Planner{Fabric: fab, Budget: w, Overlap: true}, DBytes: dBytes}
+	if err := (ir.Pipeline{Passes: []ir.Pass{pass}}).Run(p); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fabric.Engine{
+		Fabric: fab,
+		Opts:   fabric.Options{Overlap: true, BoundaryDisjoint: p.Boundaries(), ValidateWavelengths: true},
+	}.RunSchedule(p.Raise(), dBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Time > before.Time {
+		t.Errorf("pass made the schedule slower: %.12g s -> %.12g s", before.Time, after.Time)
+	}
+	span := 0
+	for _, st := range p.Steps {
+		if st.Phase == core.PhaseAllToAll {
+			span++
+		}
+	}
+	if span == 0 {
+		t.Error("rewritten program lost its all-to-all phase")
+	}
+}
+
+// TestPassIdempotent re-applies the pass: the second application must
+// report no change (the span already is the argmin schedule).
+func TestPassIdempotent(t *testing.T) {
+	const n, w = 64, 4
+	fab := opticalFab(t, w, 0)
+	s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w, PlanAllToAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Planner: &Planner{Fabric: fab, Budget: w, Overlap: true}, DBytes: 64e6}
+	if _, err := pass.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := pass.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("second application still changed the program")
+	}
+}
+
+// TestPassNoPhase leaves phase-less schedules untouched.
+func TestPassNoPhase(t *testing.T) {
+	const n, w = 16, 2
+	fab := opticalFab(t, w, 0)
+	s, err := core.BuildWRHT(core.Config{N: n, Wavelengths: w, DisableAllToAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Planner: &Planner{Fabric: fab, Budget: w}, DBytes: 1e6}
+	changed, err := pass.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("pass changed a schedule with no all-to-all phase")
+	}
+}
+
+// TestPassBudgetMismatch rejects a planner whose budget disagrees with
+// the program's.
+func TestPassBudgetMismatch(t *testing.T) {
+	fab := opticalFab(t, 8, 0)
+	s, err := core.BuildWRHT(core.Config{N: 16, Wavelengths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Planner: &Planner{Fabric: fab, Budget: 4}, DBytes: 1e6}
+	if _, err := pass.Apply(p); err == nil {
+		t.Error("budget mismatch did not error")
+	}
+}

@@ -1,0 +1,60 @@
+package rwa
+
+import "wrht/internal/topo"
+
+// Probe pools an occupancy index with request/arc/assignment buffers
+// for repeated conflict checks over already-assigned circuit sets: the
+// engine's per-boundary overlap probes (internal/fabric) and the
+// all-to-all planner's per-round validation and boundary pricing
+// (internal/plan) both reuse one Probe across every check of a run, so
+// the steady state allocates nothing. Begin sizes the buffers exactly
+// on first use (or when a bigger check shows up), matching the
+// allocation profile the pre-probe code paid for a single check.
+//
+// A Probe is single-goroutine state, like the Index it wraps.
+type Probe struct {
+	ix   *Index
+	reqs []Request
+	arcs []topo.Arc
+	asn  Assignment
+}
+
+// NewProbe returns a probe over a fresh occupancy index for the ring.
+func NewProbe(r topo.Ring) *Probe {
+	return &Probe{ix: NewIndex(r)}
+}
+
+// Index exposes the underlying occupancy index (for attaching Stats).
+func (p *Probe) Index() *Index { return p.ix }
+
+// Begin clears the pooled buffers for a new check, growing them to
+// exactly capHint when they are smaller.
+func (p *Probe) Begin(capHint int) {
+	if cap(p.reqs) < capHint {
+		p.reqs = make([]Request, 0, capHint)
+		p.arcs = make([]topo.Arc, 0, capHint)
+		p.asn = make(Assignment, 0, capHint)
+	}
+	p.reqs = p.reqs[:0]
+	p.arcs = p.arcs[:0]
+	p.asn = p.asn[:0]
+}
+
+// Add appends one assigned circuit to the pending check.
+func (p *Probe) Add(q Request, arc topo.Arc, wavelength int) {
+	p.reqs = append(p.reqs, q)
+	p.arcs = append(p.arcs, arc)
+	p.asn = append(p.asn, wavelength)
+}
+
+// ConflictFree reports whether the added circuits can all be up
+// simultaneously (resetting the index first, like Index.ConflictFree).
+func (p *Probe) ConflictFree() bool {
+	return p.ix.ConflictFree(p.reqs, p.arcs, p.asn)
+}
+
+// Validate checks the added circuits against the wavelength budget
+// (0 = uncapped) with Index.Validate's exact error semantics.
+func (p *Probe) Validate(wavelengths int) error {
+	return p.ix.Validate(p.reqs, p.arcs, p.asn, wavelengths)
+}
