@@ -12,7 +12,9 @@
 //
 // -trace writes a Perfetto timeline of the simulated epoch (one trace
 // process per workload, a few sample workers plus the all-reduce
-// track); -metrics dumps per-workload epoch gauges on exit.
+// track); -metrics dumps per-workload epoch gauges on exit, by default
+// in the Prometheus text exposition format (-metrics-format=legacy for
+// the old name/value dump).
 package main
 
 import (
@@ -34,14 +36,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trainsim: ")
 	var (
-		n           = flag.Int("n", 1024, "data-parallel workers")
-		waves       = flag.Int("wavelengths", 64, "optical wavelengths")
-		dataset     = flag.Int("dataset", 1281167, "dataset size (ImageNet-1k train split)")
-		algo        = flag.String("algo", "wrht", "all-reduce algorithm: wrht, ring, bt, hring, dbtree, wdmhring")
-		tracePath   = flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
-		metricsPath = flag.String("metrics", "", "write per-workload gauges to this file on exit (- for stdout, .json for JSON)")
+		n             = flag.Int("n", 1024, "data-parallel workers")
+		waves         = flag.Int("wavelengths", 64, "optical wavelengths")
+		dataset       = flag.Int("dataset", 1281167, "dataset size (ImageNet-1k train split)")
+		algo          = flag.String("algo", "wrht", "all-reduce algorithm: wrht, ring, bt, hring, dbtree, wdmhring")
+		tracePath     = flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
+		metricsPath   = flag.String("metrics", "", "write per-workload gauges to this file on exit (- for stdout; format per -metrics-format)")
+		metricsFormat = flag.String("metrics-format", "prom", "-metrics serialization: prom (Prometheus text exposition) or legacy (sorted name/value lines, .json for a JSON snapshot)")
 	)
 	flag.Parse()
+	switch *metricsFormat {
+	case "prom", "legacy":
+	default:
+		log.Fatalf("unknown metrics format %q (want prom or legacy)", *metricsFormat)
+	}
 
 	var tr *obs.Tracer
 	if *tracePath != "" {
@@ -115,7 +123,13 @@ func main() {
 		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *tracePath)
 	}
 	if reg != nil {
-		if err := reg.WriteFile(*metricsPath); err != nil {
+		var err error
+		if *metricsFormat == "legacy" {
+			err = reg.WriteFile(*metricsPath)
+		} else {
+			err = reg.ExposeFile(*metricsPath)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	}

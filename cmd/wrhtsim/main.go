@@ -53,14 +53,31 @@
 // (open it at https://ui.perfetto.dev): for crossfabric the simulated
 // per-step timeline of every (algorithm, mode) cell, byte-identical
 // across runs; for the figure sweeps a wall-clock diagnostic of the
-// worker pool. -metrics dumps the counter registry on exit ("-" for
-// stdout, a .json suffix for JSON).
+// worker pool.
+//
+// -metrics dumps the metric registry on exit ("-" for stdout), by
+// default in the Prometheus text exposition format;
+// -metrics-format=legacy restores the old sorted name/value dump (a
+// .json suffix for a JSON snapshot). -prom writes the Prometheus
+// exposition to a file regardless of -metrics, and -promaddr serves
+// /metrics (append ?reset=1 for snapshot-and-reset delta scrapes) plus
+// net/http/pprof for the run's duration:
+//
+//	wrhtsim -promaddr :9090 fig5 &
+//	curl localhost:9090/metrics
+//	go tool pprof "http://localhost:9090/debug/pprof/profile?seconds=5"
+//
+// Any metrics-enabled run also prints a wall-clock latency summary
+// (p50/p99/max per histogram series) on exit.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -164,7 +181,10 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
-	metricsPath := flag.String("metrics", "", "write the counter registry to this file on exit (- for stdout, .json for JSON)")
+	metricsPath := flag.String("metrics", "", "write the metric registry to this file on exit (- for stdout; format per -metrics-format)")
+	metricsFormat := flag.String("metrics-format", "prom", "-metrics serialization: prom (Prometheus text exposition) or legacy (sorted name/value lines, .json for a JSON snapshot)")
+	promPath := flag.String("prom", "", "write the Prometheus text exposition to this file on exit (- for stdout)")
+	promAddr := flag.String("promaddr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address for the run's duration (e.g. :9090)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|plan|schedule|build|all>\n")
 		flag.PrintDefaults()
@@ -202,23 +222,26 @@ func main() {
 		defer f.Close()
 	}
 	code := run(runConfig{
-		cmd:         cmdArg,
-		nSet:        nSet,
-		granularity: *gran,
-		workers:     *workers,
-		jsonOut:     *jsonOut,
-		n:           *schedN,
-		w:           *schedW,
-		m:           *schedM,
-		payloadMB:   *payloadMB,
-		stream:      *stream,
-		memstats:    *memstats,
-		passes:      *passSpec,
-		check:       *check,
-		planR:       *planR,
-		planA:       *planA,
-		tracePath:   *tracePath,
-		metricsPath: *metricsPath,
+		cmd:           cmdArg,
+		nSet:          nSet,
+		granularity:   *gran,
+		workers:       *workers,
+		jsonOut:       *jsonOut,
+		n:             *schedN,
+		w:             *schedW,
+		m:             *schedM,
+		payloadMB:     *payloadMB,
+		stream:        *stream,
+		memstats:      *memstats,
+		passes:        *passSpec,
+		check:         *check,
+		planR:         *planR,
+		planA:         *planA,
+		tracePath:     *tracePath,
+		metricsPath:   *metricsPath,
+		metricsFormat: *metricsFormat,
+		promPath:      *promPath,
+		promAddr:      *promAddr,
 	})
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -264,6 +287,15 @@ type runConfig struct {
 	planR, planA string
 	tracePath    string
 	metricsPath  string
+	// metricsFormat selects the -metrics serialization: "prom" (default,
+	// Prometheus text exposition) or "legacy" (the pre-exposition dump:
+	// sorted name/value lines, or a JSON snapshot for .json paths).
+	metricsFormat string
+	// promPath writes the Prometheus exposition to a file on exit;
+	// promAddr serves /metrics and /debug/pprof over HTTP for the run's
+	// duration.
+	promPath string
+	promAddr string
 }
 
 func run(cfg runConfig) int {
@@ -288,8 +320,42 @@ func run(cfg runConfig) int {
 			o.Trace.Clock = func() float64 { return time.Since(start).Seconds() }
 		}
 	}
-	if cfg.metricsPath != "" {
+	switch cfg.metricsFormat {
+	case "", "prom", "legacy":
+	default:
+		fmt.Fprintf(os.Stderr, "wrhtsim: unknown metrics format %q (want prom or legacy)\n", cfg.metricsFormat)
+		return 2
+	}
+	if cfg.metricsPath != "" || cfg.promPath != "" || cfg.promAddr != "" {
 		o.Metrics = obs.NewRegistry()
+	}
+	if cfg.promAddr != "" {
+		// Serve /metrics (Prometheus text; ?reset=1 for snapshot-and-reset
+		// delta scrapes) plus net/http/pprof for the run's duration, on a
+		// private mux so nothing leaks onto http.DefaultServeMux.
+		mux := http.NewServeMux()
+		reg := o.Metrics
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if r.URL.Query().Get("reset") == "1" {
+				reg.ExposeAndReset(w)
+				return
+			}
+			reg.Expose(w)
+		})
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		ln, err := net.Listen("tcp", cfg.promAddr)
+		if err != nil {
+			return fatal(fmt.Errorf("-promaddr: %w", err))
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "wrhtsim: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
 	}
 
 	cmd := cfg.cmd
@@ -642,7 +708,18 @@ func run(cfg runConfig) int {
 		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", cfg.tracePath)
 	}
 	if o.Metrics != nil {
-		if err := o.Metrics.WriteFile(cfg.metricsPath); err != nil {
+		if t := latencySummary(o.Metrics); t != nil {
+			fmt.Println(t)
+		}
+	}
+	if cfg.metricsPath != "" {
+		var err error
+		if cfg.metricsFormat == "legacy" {
+			err = o.Metrics.WriteFile(cfg.metricsPath)
+		} else {
+			err = o.Metrics.ExposeFile(cfg.metricsPath)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.metricsPath, err)
 			return 1
 		}
@@ -650,5 +727,49 @@ func run(cfg runConfig) int {
 			fmt.Printf("metrics written to %s\n", cfg.metricsPath)
 		}
 	}
+	if cfg.promPath != "" {
+		if err := o.Metrics.ExposeFile(cfg.promPath); err != nil {
+			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.promPath, err)
+			return 1
+		}
+		if cfg.promPath != "-" {
+			fmt.Printf("prometheus exposition written to %s\n", cfg.promPath)
+		}
+	}
 	return 0
+}
+
+// latencySummary renders the wall-clock histograms as a p50/p99/max
+// table — the at-a-glance profile every metrics-enabled run prints —
+// or nil when no latency was recorded.
+func latencySummary(reg *obs.Registry) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Wall-clock latency summary (from -metrics/-prom histograms)",
+		Headers: []string{"Series", "count", "p50 (µs)", "p99 (µs)", "max (µs)"},
+	}
+	rows := 0
+	for _, f := range reg.Snapshot().Families() {
+		if f.Type != "histogram" {
+			continue
+		}
+		for _, se := range f.Series {
+			h := se.Hist
+			if h == nil || h.Count == 0 {
+				continue
+			}
+			name := f.Raw
+			if se.Labels != "" {
+				name += "{" + se.Labels + "}"
+			}
+			t.AddRow(name, fmt.Sprint(h.Count),
+				fmt.Sprintf("%.1f", h.Quantile(0.5)*1e6),
+				fmt.Sprintf("%.1f", h.Quantile(0.99)*1e6),
+				fmt.Sprintf("%.1f", h.Max*1e6))
+			rows++
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+	return t
 }

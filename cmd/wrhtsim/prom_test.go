@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wrht/internal/obs"
+)
+
+// promRun drives one crossfabric invocation with -prom and returns the
+// exposition bytes.
+func promRun(t *testing.T, dir, tag string) []byte {
+	t.Helper()
+	promPath := filepath.Join(dir, "metrics-"+tag+".prom")
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	code := run(runConfig{
+		cmd:         "crossfabric",
+		granularity: "fused",
+		n:           64,
+		w:           64,
+		payloadMB:   10,
+		promPath:    promPath,
+	})
+	os.Stdout = old
+	null.Close()
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	b, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// stripVolatileFamilies drops every family block whose "# VOLATILE"
+// marker flags it as wall-clock-dependent. Blocks start at "# HELP"
+// lines, exactly as Expose emits them.
+func stripVolatileFamilies(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var out []string
+	skip := false
+	sawVolatile := false
+	var block []string
+	flush := func() {
+		if !skip {
+			out = append(out, block...)
+		}
+		block, skip = nil, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			flush()
+		}
+		if strings.HasPrefix(line, "# VOLATILE ") {
+			skip = true
+			sawVolatile = true
+		}
+		block = append(block, line)
+	}
+	flush()
+	if !sawVolatile {
+		t.Fatal("exposition carries no # VOLATILE marker — wall-clock histograms missing?")
+	}
+	return []byte(strings.Join(out, "\n"))
+}
+
+// TestPromExposition is the CI gate for `wrhtsim -prom`: the N=64
+// crossfabric exposition must lint clean, contain latency histogram
+// series, and be byte-identical across two runs once the families
+// flagged "# VOLATILE" (wall-clock measurements) are excluded.
+func TestPromExposition(t *testing.T) {
+	dir := t.TempDir()
+	a := promRun(t, dir, "a")
+
+	if err := obs.ValidateExposition(a); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, a)
+	}
+	for _, want := range []string{
+		"_bucket{", // histogram series present
+		"exp_sweep_point_seconds_bucket",
+		"fabric_run_seconds_bucket",
+		"rwa_probe_seconds_bucket",
+		"# VOLATILE exp_sweep_point_seconds",
+		"fabric_steps ", // deterministic counters survive
+	} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	b := promRun(t, dir, "b")
+	sa, sb := stripVolatileFamilies(t, a), stripVolatileFamilies(t, b)
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("non-volatile exposition differs between identical runs:\n--- run a ---\n%s\n--- run b ---\n%s", sa, sb)
+	}
+}

@@ -20,15 +20,19 @@ func traceRun(t *testing.T, dir, tag string) (trace, metrics []byte) {
 		t.Fatal(err)
 	}
 	os.Stdout = null
+	// metricsFormat "legacy" is deliberate: this test parses the JSON
+	// snapshot, which only the legacy escape hatch still emits — it IS
+	// the coverage for -metrics-format=legacy.
 	code := run(runConfig{
-		cmd:         "crossfabric",
-		granularity: "fused",
-		workers:     1,
-		n:           64,
-		w:           64,
-		payloadMB:   10,
-		tracePath:   tracePath,
-		metricsPath: metricsPath,
+		cmd:           "crossfabric",
+		granularity:   "fused",
+		workers:       1,
+		n:             64,
+		w:             64,
+		payloadMB:     10,
+		tracePath:     tracePath,
+		metricsPath:   metricsPath,
+		metricsFormat: "legacy",
 	})
 	os.Stdout = old
 	null.Close()

@@ -37,7 +37,7 @@ func CrossFabric(o Options, n, w int, dBytes float64) (*CrossFabricResult, error
 	if o.Trace != nil {
 		o.Workers = 1
 	}
-	e := newEngine(o)
+	e := newEngine(o, "crossfabric")
 	if e.optFabErr != nil {
 		return nil, fmt.Errorf("exp: cross-fabric: %w", e.optFabErr)
 	}
@@ -78,7 +78,16 @@ func CrossFabric(o Options, n, w int, dBytes float64) (*CrossFabricResult, error
 
 	var rwaStats *rwa.Stats
 	if o.Metrics != nil {
-		rwaStats = &rwa.Stats{}
+		// The latency sink feeds the rwa probe histogram; Histogram.Observe
+		// is lock-free, so one shared Stats still serves all workers.
+		rwaStats = &rwa.Stats{Latency: e.prof.Hist("rwa.probe.seconds")}
+	}
+	// Per-mode wall-time histograms for the engine runs; handles are
+	// cached outside the sweep so the per-cell path takes no registry
+	// lock.
+	runHists := make([]*obs.Histogram, len(modes))
+	for i, mo := range modes {
+		runHists[i] = e.prof.Hist("fabric.run.seconds", "fabric", mo.name)
 	}
 
 	// One sweep point per (algorithm, mode); the electrical fluid solves
@@ -90,7 +99,9 @@ func CrossFabric(o Options, n, w int, dBytes float64) (*CrossFabricResult, error
 			eng.Opts.Observer = obs.NewFabricObserver(o.Trace, o.Metrics, mo.name+"/"+en.name)
 			eng.Opts.RWAStats = rwaStats
 		}
+		start := e.prof.Start()
 		res, err := eng.RunSchedule(en.s, dBytes)
+		e.prof.End(runHists[i%len(modes)], start)
 		if err != nil {
 			return fabric.Result{}, fmt.Errorf("cross-fabric %s on %s: %w", en.name, mo.name, err)
 		}

@@ -70,7 +70,7 @@ func Degradation(o Options, ns []int, w int, dBytes float64, dead []int, seed in
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("exp: degradation: no dead-wavelength count in %v is feasible below the budget w=%d", dead, w)
 	}
-	e := newEngine(o)
+	e := newEngine(o, "degradation")
 	if e.optFabErr != nil {
 		return nil, fmt.Errorf("exp: degradation: %w", e.optFabErr)
 	}

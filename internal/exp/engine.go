@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,7 +23,10 @@ import (
 // outlive a sweep and one figure's output cannot depend on what ran
 // before it.
 type engine struct {
-	opts     Options
+	opts Options
+	// name identifies the sweep ("fig4", "crossfabric", ...); it labels
+	// the per-point latency histogram and the pprof goroutine labels.
+	name     string
 	workers  int
 	profiles *collective.ProfileCache
 	// optFab is the optical backend shared by every sweep point (it is
@@ -28,18 +34,31 @@ type engine struct {
 	// first timing call so newEngine stays infallible.
 	optFab    fabric.Fabric
 	optFabErr error
+	// prof aggregates wall-clock spans into Options.Metrics (nil when
+	// metrics are disabled); the histogram handles below are cached at
+	// construction so the per-point Observe path takes no registry lock.
+	prof       *obs.Profiler
+	pointHist  *obs.Histogram
+	optRunHist *obs.Histogram
+	elRunHist  *obs.Histogram
 	// pubHits/pubMisses/pubBuilds are the cache values already published
 	// to Options.Metrics (see publishCacheMetrics).
 	pubHits, pubMisses, pubBuilds int64
 }
 
-func newEngine(o Options) *engine {
+func newEngine(o Options, name string) *engine {
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &engine{opts: o, workers: w, profiles: collective.NewProfileCache()}
+	e := &engine{opts: o, name: name, workers: w, profiles: collective.NewProfileCache()}
 	e.optFab, e.optFabErr = o.Optical.Fabric()
+	e.prof = obs.NewProfiler(o.Metrics)
+	e.pointHist = e.prof.Hist("exp.sweep.point.seconds", "sweep", name)
+	e.optRunHist = e.prof.Hist("fabric.run.seconds", "fabric", "optical")
+	e.elRunHist = e.prof.Hist("fabric.run.seconds", "fabric", "electrical")
+	// Worker busy time is wall clock too; flag it for determinism checks.
+	o.Metrics.MarkVolatile("exp.sweep.busy_seconds")
 	return e
 }
 
@@ -69,7 +88,9 @@ func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		w0 := time.Now()
 		v, err := fn(i)
-		busy.Add(time.Since(w0).Seconds())
+		sec := time.Since(w0).Seconds()
+		busy.Add(sec)
+		e.pointHist.Observe(sec)
 		points.Inc()
 		if tr != nil {
 			tr.Span(obs.Track{Process: "sweep", Name: fmt.Sprintf("worker %d", worker)},
@@ -77,12 +98,22 @@ func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		return v, err
 	}
+	// Sweep workers carry pprof labels so a CPU profile captured during a
+	// run (wrhtsim -promaddr + go tool pprof) attributes samples to the
+	// sweep and worker that burned them.
+	labeled := func(worker int, body func()) {
+		pprof.Do(context.Background(),
+			pprof.Labels("sweep", e.name, "worker", strconv.Itoa(worker)),
+			func(context.Context) { body() })
+	}
 	vals := make([]T, n)
 	errs := make([]error, n)
 	if workers := min(e.workers, n); workers <= 1 {
-		for i := 0; i < n; i++ {
-			vals[i], errs[i] = run(0, i)
-		}
+		labeled(0, func() {
+			for i := 0; i < n; i++ {
+				vals[i], errs[i] = run(0, i)
+			}
+		})
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
@@ -91,9 +122,11 @@ func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
 			w := w
 			go func() {
 				defer wg.Done()
-				for i := range idx {
-					vals[i], errs[i] = run(w, i)
-				}
+				labeled(w, func() {
+					for i := range idx {
+						vals[i], errs[i] = run(w, i)
+					}
+				})
 			}()
 		}
 		for i := 0; i < n; i++ {
@@ -157,7 +190,10 @@ func (e *engine) opticalBuckets(pr core.Profile, buckets []float64) (fabric.Resu
 	if e.optFabErr != nil {
 		return fabric.Result{}, e.optFabErr
 	}
-	return fabric.Engine{Fabric: e.optFab}.RunBuckets(pr, buckets)
+	start := e.prof.Start()
+	res, err := fabric.Engine{Fabric: e.optFab}.RunBuckets(pr, buckets)
+	e.prof.End(e.optRunHist, start)
+	return res, err
 }
 
 // electricalTime times one collective schedule for one model on the
@@ -167,7 +203,9 @@ func (e *engine) electricalTime(nw *electrical.Network, s *core.Schedule, m dnn.
 	eng := fabric.Engine{Fabric: nw.Fabric()}
 	var total float64
 	for _, d := range e.opts.payloads(m) {
+		start := e.prof.Start()
 		res, err := eng.RunSchedule(s, d)
+		e.prof.End(e.elRunHist, start)
 		if err != nil {
 			return 0, fmt.Errorf("electrical timing (%s, %s): %w", s.Algorithm, m.Name, err)
 		}

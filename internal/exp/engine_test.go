@@ -111,7 +111,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestProfileCacheBuildsEachConfigOnce(t *testing.T) {
 	// Fig 4 touches 4 distinct WRHT configs (m ∈ {17,33,65,129}) across
 	// 16 sweep points.
-	e := newEngine(Defaults())
+	e := newEngine(Defaults(), "test")
 	if _, err := e.fig4(); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestProfileCacheBuildsEachConfigOnce(t *testing.T) {
 	// Fig 5 touches 4 WRHT (canonical m per w ∈ {4,16,64,256}; the
 	// normalization base shares the w=256 entry), 1 Ring, 4 H-Ring and
 	// 1 BT config = 10 distinct profiles across 65 point evaluations.
-	e = newEngine(Defaults())
+	e = newEngine(Defaults(), "test")
 	if _, err := e.fig5(); err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestSweepPublishesCacheMetrics(t *testing.T) {
 // guarantees of the pool: results land in index order, and the
 // lowest-index error wins regardless of goroutine scheduling.
 func TestSweepDeterministicOrderAndError(t *testing.T) {
-	e := newEngine(Options{Workers: 8})
+	e := newEngine(Options{Workers: 8}, "test")
 	vals, err := sweep(e, 100, func(i int) (float64, error) { return float64(i), nil })
 	if err != nil {
 		t.Fatal(err)

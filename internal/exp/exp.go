@@ -116,7 +116,7 @@ func Table1() (*metrics.Table, error) {
 // Fig4 reproduces Figure 4: WRHT communication time on a 1024-node ring
 // with grouped-node counts m ∈ {17, 33, 65, 129}, per DNN workload,
 // normalized by WRHT₃ (m=129) within each workload.
-func Fig4(o Options) (*metrics.Figure, error) { return newEngine(o).fig4() }
+func Fig4(o Options) (*metrics.Figure, error) { return newEngine(o, "fig4").fig4() }
 
 func (e *engine) fig4() (*metrics.Figure, error) {
 	const n, w = 1024, 64
@@ -200,7 +200,7 @@ type Fig5Result struct {
 // Fig5 reproduces Figure 5: the four algorithms on a 1024-node optical
 // ring under w ∈ {4, 16, 64, 256} wavelengths (H-Ring m=5), one
 // subfigure per DNN, normalized by WRHT on ResNet50 at 256 wavelengths.
-func Fig5(o Options) (Fig5Result, error) { return newEngine(o).fig5() }
+func Fig5(o Options) (Fig5Result, error) { return newEngine(o, "fig5").fig5() }
 
 func (e *engine) fig5() (Fig5Result, error) {
 	const n = 1024
@@ -280,7 +280,7 @@ type Fig6Result struct {
 // Fig6 reproduces Figure 6: the four algorithms on optical rings of
 // N ∈ {1024, 2048, 3072, 4096} nodes at w=64 (H-Ring m=5), one subfigure
 // per DNN, normalized by WRHT on ResNet50 at N=1024.
-func Fig6(o Options) (Fig6Result, error) { return newEngine(o).fig6() }
+func Fig6(o Options) (Fig6Result, error) { return newEngine(o, "fig6").fig6() }
 
 func (e *engine) fig6() (Fig6Result, error) {
 	const w = 64
@@ -368,7 +368,7 @@ func Fig7(o Options) (Fig7Result, error) {
 
 // fig7At runs the Fig-7 comparison over an explicit node list (the test
 // suite uses a smaller sweep to keep the flow simulation fast).
-func fig7At(o Options, ns []int) (Fig7Result, error) { return newEngine(o).fig7(ns) }
+func fig7At(o Options, ns []int) (Fig7Result, error) { return newEngine(o, "fig7").fig7(ns) }
 
 func (e *engine) fig7(ns []int) (Fig7Result, error) {
 	const w = 64

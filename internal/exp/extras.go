@@ -19,7 +19,7 @@ import (
 // paper leaves open. Rows are timed on the sweep worker pool and
 // emitted in a fixed order.
 func Extras(o Options, model dnn.Model, n, w int) (*metrics.Table, error) {
-	e := newEngine(o)
+	e := newEngine(o, "extras")
 	t := &metrics.Table{
 		Title: fmt.Sprintf("Beyond-paper comparison: %s (%.0f MB), N=%d, w=%d",
 			model.Name, float64(model.GradBytes())/1e6, n, w),

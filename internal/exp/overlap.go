@@ -61,7 +61,7 @@ type OverlapSweepResult struct {
 // as a round-trip control). Options.Trace/Metrics receive per-pass
 // spans and counters through obs.IRObserver.
 func OverlapSweep(o Options, ns []int, w int, dBytes float64, passes []ir.Pass) (OverlapSweepResult, error) {
-	return newEngine(o).overlapSweep(ns, w, dBytes, passes)
+	return newEngine(o, "overlap").overlapSweep(ns, w, dBytes, passes)
 }
 
 func (e *engine) overlapSweep(ns []int, w int, dBytes float64, passes []ir.Pass) (OverlapSweepResult, error) {

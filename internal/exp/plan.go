@@ -148,7 +148,7 @@ func (pt PlanPoint) Check() error {
 // prediction against fabric.Engine at every point. Options.Metrics
 // receives the planner's decision counters through obs.PlanObserver.
 func PlanSweep(o Options, rs, ws []int, aMicros []float64, dBytes float64) (PlanSweepResult, error) {
-	return newEngine(o).planSweep(rs, ws, aMicros, dBytes)
+	return newEngine(o, "plan").planSweep(rs, ws, aMicros, dBytes)
 }
 
 func (e *engine) planSweep(rs, ws []int, aMicros []float64, dBytes float64) (PlanSweepResult, error) {
@@ -238,7 +238,7 @@ type RescuePoint struct {
 // WRHT schedules at (N, w) points in the fallback regime
 // (AllToAllRequirement(final r) > w), with and without the planner.
 func RescueSweep(o Options, ns, ws []int, dBytes float64) ([]RescuePoint, error) {
-	e := newEngine(o)
+	e := newEngine(o, "rescue")
 	if e.optFabErr != nil {
 		return nil, e.optFabErr
 	}

@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Labeled builds the canonical registry name for a labeled series:
+// `family{k="v",k2="v2"}` with the label pairs sorted by key and the
+// values escaped. kv alternates key, value; an odd count panics (a
+// wiring bug, not a runtime condition). Labeled names group under one
+// family in Expose, which appends the histogram "le" label after the
+// user labels.
+func Labeled(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Labeled(%q) with odd key/value count %d", family, len(kv)))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// splitSeries separates a registry name into its family and rendered
+// label part ("" when unlabeled).
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// promName sanitizes a registry name into a valid Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_' (the
+// registry's dotted names map dot to underscore), and a leading digit
+// is prefixed with '_'.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Series is one exposed time series of a family: its canonical label
+// string (empty when unlabeled) and either a scalar value or a
+// histogram snapshot.
+type Series struct {
+	// Labels is the rendered label body, `k="v",...`, empty for an
+	// unlabeled series.
+	Labels string
+	// Value holds the sample for counter and gauge series.
+	Value float64
+	// Hist holds the snapshot for histogram series (nil otherwise).
+	Hist *HistogramSnapshot
+}
+
+// Family is one metric family of a snapshot: the sanitized Prometheus
+// name, the raw registry family name, the metric type and the series
+// sorted by label string.
+type Family struct {
+	// Name is the Prometheus-sanitized family name; Raw the registry
+	// name it came from.
+	Name, Raw string
+	// Type is "counter", "gauge" or "histogram".
+	Type string
+	// Volatile reports that the family was marked wall-clock-dependent
+	// (see Registry.MarkVolatile).
+	Volatile bool
+	Series   []Series
+}
+
+// Families returns the snapshot as an immutable, sorted view: families
+// ordered by sanitized name (ties broken by raw name so distinct
+// registry names that sanitize identically stay deterministic), series
+// within a family ordered by label string. This is exactly what Expose
+// renders.
+func (s Snapshot) Families() []Family {
+	vol := make(map[string]bool, len(s.Volatile))
+	for _, f := range s.Volatile {
+		vol[f] = true
+	}
+	byRaw := map[string]*Family{}
+	add := func(name, typ string, val float64, h *HistogramSnapshot) {
+		fam, labels := splitSeries(name)
+		f, ok := byRaw[fam+"\x00"+typ]
+		if !ok {
+			f = &Family{Name: promName(fam), Raw: fam, Type: typ, Volatile: vol[fam]}
+			byRaw[fam+"\x00"+typ] = f
+		}
+		f.Series = append(f.Series, Series{Labels: labels, Value: val, Hist: h})
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", float64(v), nil)
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", v, nil)
+	}
+	for name, h := range s.Histograms {
+		h := h
+		add(name, "histogram", 0, &h)
+	}
+	out := make([]Family, 0, len(byRaw))
+	for _, f := range byRaw {
+		sort.Slice(f.Series, func(i, j int) bool { return f.Series[i].Labels < f.Series[j].Labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Raw < out[j].Raw
+	})
+	return out
+}
+
+// formatSample renders a sample value the Prometheus way: the shortest
+// float64 representation ("+Inf" never appears outside le labels).
+func formatSample(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Expose writes the snapshot in the Prometheus text exposition format:
+// one deterministic block per family — HELP, TYPE, then the sorted
+// series, with histogram families expanded into cumulative `_bucket`
+// series (non-empty bounds plus "+Inf") and `_sum`/`_count` samples.
+// Families marked via Registry.MarkVolatile carry a "# VOLATILE"
+// comment line (a plain comment to Prometheus parsers) so determinism
+// checks can exclude wall-clock families from byte comparison.
+func (s Snapshot) Expose(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families() {
+		fmt.Fprintf(bw, "# HELP %s wrht registry %s %s\n", f.Name, f.Type, f.Raw)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		if f.Volatile {
+			fmt.Fprintf(bw, "# VOLATILE %s\n", f.Name)
+		}
+		for _, se := range f.Series {
+			if f.Type != "histogram" {
+				if se.Labels == "" {
+					fmt.Fprintf(bw, "%s %s\n", f.Name, formatSample(se.Value))
+				} else {
+					fmt.Fprintf(bw, "%s{%s} %s\n", f.Name, se.Labels, formatSample(se.Value))
+				}
+				continue
+			}
+			prefix := ""
+			if se.Labels != "" {
+				prefix = se.Labels + ","
+			}
+			// The +Inf bucket and _count derive from the bucket words, not
+			// the separate Count field, so a scrape racing live Observe
+			// calls is still internally consistent (cumulative counts never
+			// decrease within the series).
+			var cum, total uint64
+			for _, b := range se.Hist.Buckets {
+				total += b.Count
+			}
+			for _, b := range se.Hist.Buckets {
+				if math.IsInf(b.UpperBound, 1) {
+					continue // folded into the +Inf bucket below
+				}
+				cum += b.Count
+				fmt.Fprintf(bw, "%s_bucket{%sle=\"%s\"} %d\n",
+					f.Name, prefix, formatSample(b.UpperBound), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", f.Name, prefix, total)
+			if se.Labels == "" {
+				fmt.Fprintf(bw, "%s_sum %s\n", f.Name, formatSample(se.Hist.Sum))
+				fmt.Fprintf(bw, "%s_count %d\n", f.Name, total)
+			} else {
+				fmt.Fprintf(bw, "%s_sum{%s} %s\n", f.Name, se.Labels, formatSample(se.Hist.Sum))
+				fmt.Fprintf(bw, "%s_count{%s} %d\n", f.Name, se.Labels, total)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Expose writes the registry's current state in the Prometheus text
+// exposition format (see Snapshot.Expose).
+func (r *Registry) Expose(w io.Writer) error { return r.Snapshot().Expose(w) }
+
+// ExposeAndReset writes the exposition and atomically resets every
+// metric, so consecutive scrapes see non-overlapping deltas (the
+// snapshot-and-reset scrape mode).
+func (r *Registry) ExposeAndReset(w io.Writer) error { return r.SnapshotAndReset().Expose(w) }
+
+// ExposeFile writes the Prometheus exposition to path ("-" for stdout).
+func (r *Registry) ExposeFile(path string) error {
+	if path == "-" {
+		return r.Expose(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.Expose(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidateExposition lints a Prometheus text exposition the way a
+// strict scraper would, plus the ordering guarantees Expose makes:
+//
+//   - every sample's family has a TYPE line before the first sample;
+//   - no family declares TYPE twice (duplicate families);
+//   - metric and label names match the Prometheus grammar, non-le
+//     labels are sorted and "le" comes last;
+//   - histogram `_bucket` series have strictly increasing le bounds
+//     with non-decreasing cumulative counts, end at le="+Inf", and
+//     agree with the family's `_count` sample.
+//
+// It returns the first violation found, or nil.
+func ValidateExposition(b []byte) error {
+	type histState struct {
+		lastLE   float64
+		lastCum  uint64
+		sawInf   bool
+		infCount uint64
+	}
+	types := map[string]string{}     // family -> TYPE
+	sampled := map[string]bool{}     // family -> saw a sample
+	hists := map[string]*histState{} // histogram family+labels -> bucket state
+
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$`)
+	lineNo := 0
+	for _, line := range strings.Split(string(b), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 4 && fields[1] == "TYPE" {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name := fields[2]
+				if !promNameRe.MatchString(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				if fields[1] == "TYPE" {
+					if _, dup := types[name]; dup {
+						return fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+					}
+					if sampled[name] {
+						return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+					}
+					types[name] = fields[3]
+				}
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := types[strings.TrimSuffix(name, suf)]; ok && t == "histogram" && strings.HasSuffix(name, suf) {
+				family = strings.TrimSuffix(name, suf)
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %q before any TYPE line for %q", lineNo, name, family)
+		}
+		sampled[family] = true
+		var le string
+		prevKey := ""
+		if labels != "" {
+			for _, kv := range splitLabels(labels) {
+				eq := strings.Index(kv, "=")
+				if eq < 0 {
+					return fmt.Errorf("line %d: malformed label %q", lineNo, kv)
+				}
+				k, v := kv[:eq], kv[eq+1:]
+				if !promLabelRe.MatchString(k) {
+					return fmt.Errorf("line %d: invalid label name %q", lineNo, k)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return fmt.Errorf("line %d: unquoted label value %q", lineNo, v)
+				}
+				if k == "le" {
+					le = v[1 : len(v)-1]
+					continue
+				}
+				if le != "" {
+					return fmt.Errorf("line %d: label %q after le", lineNo, k)
+				}
+				if k <= prevKey {
+					return fmt.Errorf("line %d: label %q not sorted after %q", lineNo, k, prevKey)
+				}
+				prevKey = k
+			}
+		}
+		if types[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			key := family + "{" + stripLE(labels) + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLE: math.Inf(-1)}
+				hists[key] = st
+			}
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer bucket count %q", lineNo, value)
+			}
+			if le == "+Inf" {
+				st.sawInf, st.infCount = true, cum
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le bound %q", lineNo, le)
+				}
+				if st.sawInf {
+					return fmt.Errorf("line %d: bucket le=%q after +Inf", lineNo, le)
+				}
+				if bound <= st.lastLE {
+					return fmt.Errorf("line %d: unsorted bucket bound %g after %g", lineNo, bound, st.lastLE)
+				}
+				st.lastLE = bound
+			}
+			if cum < st.lastCum {
+				return fmt.Errorf("line %d: non-cumulative bucket count %d after %d", lineNo, cum, st.lastCum)
+			}
+			st.lastCum = cum
+		}
+		if types[family] == "histogram" && strings.HasSuffix(name, "_count") {
+			key := family + "{" + labels + "}"
+			st := hists[key]
+			if st == nil || !st.sawInf {
+				return fmt.Errorf("line %d: %s_count without preceding +Inf bucket", lineNo, family)
+			}
+			cnt, err := strconv.ParseUint(value, 10, 64)
+			if err != nil || cnt != st.infCount {
+				return fmt.Errorf("line %d: %s_count %q disagrees with +Inf bucket %d", lineNo, family, value, st.infCount)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a rendered label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// stripLE drops the le pair from a rendered label body.
+func stripLE(labels string) string {
+	var keep []string
+	for _, kv := range splitLabels(labels) {
+		if !strings.HasPrefix(kv, "le=") {
+			keep = append(keep, kv)
+		}
+	}
+	return strings.Join(keep, ",")
+}

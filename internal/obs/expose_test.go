@@ -1,0 +1,179 @@
+package obs_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wrht/internal/obs"
+)
+
+// fixtureRegistry builds the deterministic registry the golden test
+// pins: counters, gauges, a labeled histogram family and a volatile
+// family.
+func fixtureRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("fabric.steps").Add(128)
+	r.Counter("fabric.circuits.reserved").Add(4096)
+	r.Counter("plan.chosen.one-shot").Add(3)
+	r.Gauge("exp.sweep.busy_seconds").Set(1.5)
+	r.Histogram(obs.Labeled("exp.sweep.point.seconds", "sweep", "fig4")).Observe(1e-3)
+	r.Histogram(obs.Labeled("exp.sweep.point.seconds", "sweep", "fig4")).Observe(2e-3)
+	r.Histogram(obs.Labeled("exp.sweep.point.seconds", "sweep", "crossfabric")).Observe(5e-4)
+	h := r.Histogram("rwa.probe.seconds")
+	h.Observe(2e-6)
+	h.Observe(40e-6)
+	h.Observe(40e-6)
+	r.MarkVolatile("exp.sweep.busy_seconds", "rwa.probe.seconds")
+	return r
+}
+
+func TestExposeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureRegistry().Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "expose.golden.prom")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Two expositions of the same registry are byte-identical.
+	var again bytes.Buffer
+	if err := fixtureRegistry().Expose(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("exposition not deterministic across renders")
+	}
+}
+
+func TestExposeValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureRegistry().Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("Expose output fails its own lint: %v\n%s", err, buf.Bytes())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{
+			"duplicate family",
+			"# TYPE a counter\na 1\n# TYPE a counter\na 2\n",
+			"duplicate family",
+		},
+		{
+			"sample before TYPE",
+			"a 1\n# TYPE a counter\n",
+			"before any TYPE",
+		},
+		{
+			"unsorted buckets",
+			"# TYPE h histogram\nh_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 2\n",
+			"unsorted bucket bound",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 0.3\nh_count 5\n",
+			"non-cumulative",
+		},
+		{
+			"count disagrees with +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 3\n",
+			"disagrees",
+		},
+		{
+			"unsorted labels",
+			"# TYPE a counter\na{z=\"1\",b=\"2\"} 1\n",
+			"not sorted",
+		},
+		{
+			"invalid metric name",
+			"# TYPE a.b counter\n",
+			"invalid metric name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := obs.ValidateExposition([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("lint accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("lint error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestExposeAndResetDeltas(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h").Observe(1e-3)
+
+	var first bytes.Buffer
+	if err := r.ExposeAndReset(&first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "c 5") || !strings.Contains(first.String(), "h_count 1") {
+		t.Fatalf("first delta scrape missing values:\n%s", first.String())
+	}
+
+	// Everything was reset: the next scrape reports zeros.
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("counter not reset: %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Fatalf("gauge not reset: %g", v)
+	}
+	if n := r.Histogram("h").Count(); n != 0 {
+		t.Fatalf("histogram not reset: %d", n)
+	}
+
+	// New activity lands wholly in the second delta.
+	r.Counter("c").Add(2)
+	var second bytes.Buffer
+	if err := r.ExposeAndReset(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "c 2") {
+		t.Fatalf("second delta scrape wrong:\n%s", second.String())
+	}
+}
+
+func TestSnapshotFamiliesSorted(t *testing.T) {
+	s := fixtureRegistry().Snapshot()
+	fams := s.Families()
+	for i := 1; i < len(fams); i++ {
+		if fams[i].Name < fams[i-1].Name {
+			t.Fatalf("families unsorted: %q after %q", fams[i].Name, fams[i-1].Name)
+		}
+	}
+	for _, f := range fams {
+		for i := 1; i < len(f.Series); i++ {
+			if f.Series[i].Labels < f.Series[i-1].Labels {
+				t.Fatalf("series of %q unsorted: %q after %q", f.Name, f.Series[i].Labels, f.Series[i-1].Labels)
+			}
+		}
+	}
+	// Mutating the view must not touch the registry (immutability).
+	if len(fams) > 0 && len(fams[0].Series) > 0 {
+		fams[0].Series[0].Value = -1
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout. The layout is fixed at compile time so every
+// histogram in every process exposes the identical bucket boundaries —
+// a scrape aggregator (cmd/wrhtd, Prometheus itself) can sum series
+// without bound reconciliation. Buckets are logarithmic: histSub
+// linearly-spaced sub-buckets per power of two between 2^histMinExp
+// and 2^histMaxExp seconds, so any observation lands in a bucket whose
+// bounds are within a factor of at most 1+1/histSub = 1.25 of each
+// other — quantile estimates carry at most ~25% relative error, which
+// is plenty for wall-clock latency percentiles. The range covers ~0.93 ns to ~1024 s; anything
+// below lands in the underflow bucket (le = 2^histMinExp) and anything
+// at or above in the overflow bucket (le = +Inf).
+const (
+	histMinExp  = -30 // lowest octave: 2^-30 s ≈ 0.93 ns
+	histMaxExp  = 10  // one past the highest octave: 2^10 s = 1024 s
+	histSubBits = 2
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// histBuckets counts the regular (finite-bound) buckets, underflow
+	// included; the overflow (+Inf) bucket is stored separately at index
+	// histBuckets.
+	histBuckets = (histMaxExp-histMinExp)*histSub + 1
+)
+
+// Histogram is a lock-free latency histogram with a fixed logarithmic
+// bucket layout (see the layout constants above). Like Counter and
+// Gauge, every method is safe on a nil receiver — a nil histogram
+// observes nothing and reports zeros — so producers can hold handles
+// from a nil Registry without branching, and Observe on a live
+// histogram performs no allocations and takes no locks (pinned by
+// TestHistogramObserveZeroAllocs and exercised under the race detector
+// by TestHistogramConcurrentObserveSnapshot).
+type Histogram struct {
+	// counts[i] is the number of observations in bucket i (plain
+	// per-bucket counts, not cumulative); counts[histBuckets] is the
+	// overflow bucket.
+	counts [histBuckets + 1]atomic.Uint64
+	// sumBits and maxBits hold float64 bit patterns maintained with CAS
+	// loops (the same idiom as Gauge).
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// histBucketOf maps an observation to its bucket index. Non-positive
+// and sub-range values land in the underflow bucket 0; values at or
+// beyond 2^histMaxExp land in the overflow bucket.
+func histBucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	octave := exp - 1          // v ∈ [2^octave, 2^octave+1)
+	if octave < histMinExp {
+		return 0
+	}
+	if octave >= histMaxExp {
+		return histBuckets
+	}
+	sub := int((frac - 0.5) * (2 * histSub)) // ∈ [0, histSub)
+	return 1 + (octave-histMinExp)*histSub + sub
+}
+
+// HistBucketBound returns the inclusive upper bound (Prometheus "le")
+// of bucket i; the overflow bucket's bound is +Inf. Exported so tests
+// and scrape consumers can reconstruct the fixed layout.
+func HistBucketBound(i int) float64 {
+	if i <= 0 {
+		return math.Ldexp(1, histMinExp)
+	}
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	octave := (i-1)/histSub + histMinExp
+	sub := (i - 1) % histSub
+	return math.Ldexp(1+float64(sub+1)/histSub, octave)
+}
+
+// Observe records one value. It is lock-free and allocation-free: one
+// bucket increment, one count increment and two CAS loops (sum, max).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[histBucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts:
+// the upper bound of the first bucket whose cumulative count reaches
+// q·Count, clamped to the exact observed maximum so the estimate never
+// exceeds a value that was actually recorded. Returns 0 on an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot copies the histogram's current state (see
+// HistogramSnapshot). Each bucket word is read atomically; observations
+// racing the copy land wholly in this snapshot or the next.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return h.snapshot(false)
+}
+
+func (h *Histogram) snapshot(reset bool) HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	load := func(a *atomic.Uint64) uint64 {
+		if reset {
+			return a.Swap(0)
+		}
+		return a.Load()
+	}
+	for i := range h.counts {
+		if c := load(&h.counts[i]); c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{
+				Index: i, UpperBound: HistBucketBound(i), Count: c,
+			})
+		}
+	}
+	s.Count = load(&h.count)
+	s.Sum = math.Float64frombits(load(&h.sumBits))
+	s.Max = math.Float64frombits(load(&h.maxBits))
+	return s
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot. Count is the
+// bucket's own count (Expose accumulates the Prometheus cumulative
+// form).
+type HistogramBucket struct {
+	// Index is the bucket's position in the fixed layout.
+	Index int `json:"index"`
+	// UpperBound is the bucket's inclusive upper bound in seconds
+	// (+Inf for the overflow bucket).
+	UpperBound float64 `json:"le"`
+	// Count is the number of observations in this bucket alone.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the
+// non-empty buckets in layout (= bound) order plus the running
+// aggregates. It is immutable by construction — it shares no memory
+// with the live histogram.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Max     float64           `json:"max"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets; see
+// Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return math.Min(b.UpperBound, s.Max)
+		}
+	}
+	return s.Max
+}

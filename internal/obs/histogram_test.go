@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram reports non-zero aggregates")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+	var r *Registry
+	r.Histogram("x").Observe(2)
+	r.MarkVolatile("x")
+}
+
+func TestHistogramBucketLayout(t *testing.T) {
+	// Bounds are strictly increasing and end at +Inf.
+	prev := 0.0
+	for i := 0; i <= histBuckets; i++ {
+		b := HistBucketBound(i)
+		if i > 0 && b <= prev {
+			t.Fatalf("bucket %d bound %g not above %g", i, b, prev)
+		}
+		prev = b
+	}
+	if !math.IsInf(HistBucketBound(histBuckets), 1) {
+		t.Fatal("overflow bucket bound not +Inf")
+	}
+	// Every positive value lands in a bucket whose bound brackets it
+	// within one sub-bucket ratio (linear sub-division: at most
+	// 1+1/histSub).
+	ratio := 1 + 1.0/histSub
+	for _, v := range []float64{1e-9, 25e-6, 1e-3, 0.5, 1, 3.7, 1000} {
+		i := histBucketOf(v)
+		ub := HistBucketBound(i)
+		if v > ub {
+			t.Fatalf("value %g above its bucket bound %g", v, ub)
+		}
+		if i > 0 && !math.IsInf(ub, 1) && v < ub/ratio/(1+1e-12) {
+			t.Fatalf("value %g far below its bucket bound %g", v, ub)
+		}
+	}
+	// Degenerate inputs land in the underflow bucket, not out of range.
+	for _, v := range []float64{0, -1, math.Inf(-1), math.NaN(), 1e-12} {
+		if i := histBucketOf(v); i != 0 {
+			t.Fatalf("histBucketOf(%g) = %d, want underflow bucket", v, i)
+		}
+	}
+	if i := histBucketOf(math.Inf(1)); i != histBuckets {
+		t.Fatalf("histBucketOf(+Inf) = %d, want overflow bucket", i)
+	}
+}
+
+func TestHistogramAggregatesAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	vals := []float64{1e-6, 2e-6, 5e-6, 10e-6, 20e-6, 50e-6, 100e-6, 200e-6, 500e-6, 1e-3}
+	sum := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if math.Abs(h.Sum()-sum) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), sum)
+	}
+	if h.Max() != 1e-3 {
+		t.Fatalf("max = %g, want 1e-3", h.Max())
+	}
+	// Quantile estimates carry at most one sub-bucket ratio of relative
+	// error above the true value (the bucket upper bound overestimates).
+	ratio := 1 + 1.0/histSub
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 20e-6}, {0.9, 500e-6}, {0.99, 1e-3}, {1, 1e-3},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/(ratio*1.001) || got > tc.want*ratio*1.001 {
+			t.Errorf("q%.2f = %g, want within one bucket of %g", tc.q, got, tc.want)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q1 = %g, want the exact max %g", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(200, func() { h.Observe(42e-6) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f per run, want 0", n)
+	}
+	// The nil path must be allocation-free too.
+	var nh *Histogram
+	if n := testing.AllocsPerRun(200, func() { nh.Observe(42e-6) }); n != 0 {
+		t.Fatalf("nil Observe allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers one histogram with
+// concurrent observers while a scraper snapshot-and-resets it, and
+// checks conservation: every observation ends up in exactly one
+// snapshot (the bucket words are swapped atomically). Run under -race
+// in CI, this is the lock-free-Observe gate.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := &Histogram{}
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g+1) * 1e-6)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var scraped uint64
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.snapshot(true)
+			for _, b := range s.Buckets {
+				scraped += b.Count
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	final := h.snapshot(true)
+	for _, b := range final.Buckets {
+		scraped += b.Count
+	}
+	if want := uint64(goroutines * perG); scraped != want {
+		t.Fatalf("snapshots account for %d observations, want %d", scraped, want)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-6
+		for pb.Next() {
+			h.Observe(v)
+			v += 1e-6
+		}
+	})
+}

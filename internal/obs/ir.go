@@ -41,6 +41,11 @@ func (o *IRObserver) PassApplied(e ir.PassEvent) {
 		}
 		m.Counter(prefix + ".boundaries_gained").Add(int64(e.DisjointAfter - e.DisjointBefore))
 		m.Counter(prefix + ".steps_added").Add(int64(e.StepsAfter - e.StepsBefore))
+		// Pass durations are wall clock (the passes run at build time),
+		// hence volatile. Passes are rare, so the registry lock per event
+		// is fine.
+		m.MarkVolatile("ir.pass.seconds")
+		m.Histogram(Labeled("ir.pass.seconds", "pass", e.Pass)).Observe(e.Seconds)
 	}
 	if t := o.Tracer; t != nil && t.Clock != nil {
 		end := t.Clock()

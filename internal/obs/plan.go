@@ -34,6 +34,11 @@ func (o *PlanObserver) Decided(d plan.Decision) {
 		m.Counter("plan.decisions").Inc()
 		m.Counter("plan.candidates").Add(int64(len(d.Candidates)))
 		m.Counter("plan.chosen." + d.Best().Plan.Family).Inc()
+		// Decision latency is wall clock (planning happens at build
+		// time), hence volatile; decisions are rare, so the registry lock
+		// per event is fine.
+		m.MarkVolatile("plan.decision.seconds")
+		m.Histogram(Labeled("plan.decision.seconds", "family", d.Best().Plan.Family)).Observe(d.Seconds)
 	}
 	if t := o.Tracer; t != nil && t.Clock != nil {
 		t.Span(planTrack, d.Best().Plan.String(), t.Clock(), 0, Args{

@@ -1,0 +1,81 @@
+package obs
+
+import "time"
+
+// Profiler aggregates wall-clock spans into per-label histograms in a
+// Registry, replacing raw span streams with distributions: instead of
+// one trace event per sweep point or IR pass, producers record the
+// duration into a histogram family and the exposition reports
+// p50/p99/max. Every histogram a profiler creates is automatically
+// marked volatile (Registry.MarkVolatile) — wall-clock latencies are
+// never byte-stable — so determinism checks over the exposition skip
+// them by construction.
+//
+// Like every hook in this package the profiler is zero-cost when
+// disabled: NewProfiler on a nil registry returns nil, and every method
+// is safe on a nil receiver (Start returns the zero time, Hist returns
+// a nil histogram whose Observe no-ops). Handle lookup (Hist) takes the
+// registry lock; hot paths cache the handle so the Observe path stays
+// lock-free.
+type Profiler struct {
+	// Metrics is the registry the histograms live in.
+	Metrics *Registry
+	// Now, when non-nil, replaces time.Now — the injectable clock for
+	// deterministic tests, the same pattern as Tracer.Clock.
+	Now func() time.Time
+}
+
+// NewProfiler returns a profiler recording into reg, or nil when reg is
+// nil so the disabled path stays one pointer comparison.
+func NewProfiler(reg *Registry) *Profiler {
+	if reg == nil {
+		return nil
+	}
+	return &Profiler{Metrics: reg}
+}
+
+// Hist returns the histogram for family with the given label pairs
+// (see Labeled), creating it on first use and marking the family
+// volatile. Callers on hot paths cache the handle.
+func (p *Profiler) Hist(family string, kv ...string) *Histogram {
+	if p == nil {
+		return nil
+	}
+	p.Metrics.MarkVolatile(family)
+	return p.Metrics.Histogram(Labeled(family, kv...))
+}
+
+// Start returns the span's start time (the zero time on a nil
+// profiler).
+func (p *Profiler) Start() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// End records the span begun at start into h. Both the nil-profiler and
+// nil-histogram paths are single pointer comparisons.
+func (p *Profiler) End(h *Histogram, start time.Time) {
+	if p == nil || h == nil {
+		return
+	}
+	if p.Now != nil {
+		h.Observe(p.Now().Sub(start).Seconds())
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Span records one complete span: the duration from start to now into
+// the (family, labels) histogram. Convenience for rare events (pass
+// applications, plan decisions) where caching the handle buys nothing.
+func (p *Profiler) Span(start time.Time, family string, kv ...string) {
+	if p == nil {
+		return
+	}
+	p.End(p.Hist(family, kv...), start)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilerNilSafe(t *testing.T) {
+	if p := NewProfiler(nil); p != nil {
+		t.Fatal("NewProfiler(nil) should return nil")
+	}
+	var p *Profiler
+	h := p.Hist("f", "k", "v")
+	if h != nil {
+		t.Fatal("nil profiler Hist should return nil")
+	}
+	start := p.Start()
+	if !start.IsZero() {
+		t.Fatal("nil profiler Start should return the zero time")
+	}
+	p.End(h, start)
+	p.Span(start, "f")
+}
+
+// TestProfilerDeterministicClock drives the profiler with an injected
+// clock and checks the exact histogram contents.
+func TestProfilerDeterministicClock(t *testing.T) {
+	reg := NewRegistry()
+	p := NewProfiler(reg)
+	now := time.Unix(0, 0)
+	p.Now = func() time.Time { return now }
+
+	h := p.Hist("span.seconds", "kind", "a")
+	start := p.Start()
+	now = now.Add(2 * time.Millisecond)
+	p.End(h, start)
+
+	start = p.Start()
+	now = now.Add(8 * time.Millisecond)
+	p.Span(start, "span.seconds", "kind", "a")
+
+	got := reg.Histogram(Labeled("span.seconds", "kind", "a"))
+	if got.Count() != 2 {
+		t.Fatalf("count = %d, want 2", got.Count())
+	}
+	if sum := got.Sum(); sum < 0.00999 || sum > 0.01001 {
+		t.Fatalf("sum = %g, want ~0.010", sum)
+	}
+	if max := got.Max(); max < 0.00799 || max > 0.00801 {
+		t.Fatalf("max = %g, want ~0.008", max)
+	}
+}
+
+// TestProfilerMarksVolatile checks that every family a profiler creates
+// is excluded from determinism comparisons by construction.
+func TestProfilerMarksVolatile(t *testing.T) {
+	reg := NewRegistry()
+	p := NewProfiler(reg)
+	p.Hist("wall.seconds", "stage", "x")
+	p.Span(p.Start(), "other.seconds")
+	s := reg.Snapshot()
+	want := map[string]bool{"wall.seconds": false, "other.seconds": false}
+	for _, f := range s.Volatile {
+		if _, ok := want[f]; ok {
+			want[f] = true
+		}
+	}
+	for f, seen := range want {
+		if !seen {
+			t.Errorf("family %q not marked volatile", f)
+		}
+	}
+}

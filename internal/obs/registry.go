@@ -90,21 +90,34 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Registry is a namespace of counters and gauges. Metric handles are
-// created on first use and live for the registry's lifetime; lookups on
-// a nil registry return nil handles whose methods no-op, so one nil
-// check at wiring time covers an entire instrumented subsystem.
+// Registry is a namespace of counters, gauges and histograms. Metric
+// handles are created on first use and live for the registry's
+// lifetime; lookups on a nil registry return nil handles whose methods
+// no-op, so one nil check at wiring time covers an entire instrumented
+// subsystem. Handle lookup takes the registry lock; the handles
+// themselves are lock-free, so hot paths cache the handle and pay no
+// lock on Observe/Add.
+//
+// Metric names may carry Prometheus-style labels via Labeled
+// ("family{k=\"v\"}"); Expose groups such series under one family.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	// volatile records family names whose values depend on wall-clock
+	// measurement (see MarkVolatile); Expose flags them so determinism
+	// checks can exclude them.
+	volatile map[string]bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		volatile:   make(map[string]bool),
 	}
 }
 
@@ -138,15 +151,61 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it empty on first
+// use. Use Labeled to build names carrying labels.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// MarkVolatile flags metric families whose values depend on wall-clock
+// measurement rather than on the simulated run (worker busy time, span
+// latencies). Expose emits a "# VOLATILE" comment for them, which the
+// byte-identity determinism checks use as an exclusion list. Names are
+// family names — the part of a Labeled name before the brace.
+func (r *Registry) MarkVolatile(families ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range families {
+		r.volatile[f] = true
+	}
+}
+
 // Snapshot is a point-in-time copy of every metric, JSON-serializable
-// with deterministic (sorted) key order.
+// with deterministic (sorted) key order. Families lists it in the
+// sorted typed form Expose renders.
 type Snapshot struct {
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Volatile lists the family names marked wall-clock-dependent via
+	// MarkVolatile, sorted.
+	Volatile []string `json:"volatile,omitempty"`
 }
 
 // Snapshot captures the current value of every metric.
-func (r *Registry) Snapshot() Snapshot {
+func (r *Registry) Snapshot() Snapshot { return r.snapshot(false) }
+
+// SnapshotAndReset captures every metric and atomically resets it to
+// zero, so consecutive calls observe non-overlapping deltas — the
+// snapshot-and-reset idiom for cheap delta scraping (each counter word
+// is swapped atomically; an observation racing the scrape lands wholly
+// in one delta or the next).
+func (r *Registry) SnapshotAndReset() Snapshot { return r.snapshot(true) }
+
+func (r *Registry) snapshot(reset bool) Snapshot {
 	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}}
 	if r == nil {
 		return s
@@ -154,23 +213,52 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+		if reset {
+			s.Counters[name] = c.v.Swap(0)
+		} else {
+			s.Counters[name] = c.Value()
+		}
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+		if reset {
+			s.Gauges[name] = math.Float64frombits(g.bits.Swap(0))
+		} else {
+			s.Gauges[name] = g.Value()
+		}
 	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot(reset)
+		}
+	}
+	for f := range r.volatile {
+		s.Volatile = append(s.Volatile, f)
+	}
+	sort.Strings(s.Volatile)
 	return s
 }
 
-// WriteText writes the snapshot as sorted "name value" lines.
+// WriteText writes the snapshot as sorted "name value" lines — the
+// legacy dump format kept behind the CLIs' -metrics-format=legacy
+// escape hatch (Expose is the canonical serialization). Histograms are
+// summarized as .count/.sum/.p50/.p99/.max lines.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	lines := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+5*len(s.Histograms))
 	for name, v := range s.Counters {
 		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
 	for name, v := range s.Gauges {
 		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, h.Count),
+			fmt.Sprintf("%s.sum %g", name, h.Sum),
+			fmt.Sprintf("%s.p50 %g", name, h.Quantile(0.5)),
+			fmt.Sprintf("%s.p99 %g", name, h.Quantile(0.99)),
+			fmt.Sprintf("%s.max %g", name, h.Max))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"wrht/internal/core"
 	"wrht/internal/fabric"
@@ -57,6 +58,10 @@ type Decision struct {
 	// indexes the strict argmin of Predicted (first wins ties).
 	Candidates []Candidate
 	Chosen     int
+	// Seconds is the wall-clock time Plan spent enumerating and pricing
+	// this decision — profiling data only, never part of the simulated
+	// outcome.
+	Seconds float64
 	// Schedule is the chosen plan's steps, ready to substitute for the
 	// all-to-all phase span.
 	Schedule []core.Step
@@ -118,6 +123,7 @@ func (pl *Planner) Plan(ring topo.Ring, reps []int, dBytes float64) (Decision, e
 	if pl.Fabric == nil {
 		return Decision{}, fmt.Errorf("plan: planner has no fabric")
 	}
+	t0 := time.Now()
 	r := len(reps)
 	elems, err := core.ElemsOf(dBytes)
 	if err != nil {
@@ -158,6 +164,7 @@ func (pl *Planner) Plan(ring topo.Ring, reps []int, dBytes float64) (Decision, e
 		R: r, W: pl.Budget, DBytes: dBytes,
 		Fabric: pl.Fabric.Name(), Overlap: pl.Overlap,
 		Candidates: pl.cands, Chosen: best, Schedule: steps,
+		Seconds: time.Since(t0).Seconds(),
 	}
 	if pl.Observer != nil {
 		pl.Observer.Decided(d)

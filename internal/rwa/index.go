@@ -4,9 +4,30 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"time"
 
 	"wrht/internal/topo"
 )
+
+// probeStart returns the wall-clock start time for a probe, or the zero
+// time when no latency sink is attached — the timed path costs two
+// pointer comparisons and one clock read, the untimed path only the
+// comparisons (time.Now allocates nothing, preserving the zero-alloc
+// probe pins).
+func probeStart(st *Stats) time.Time {
+	if st != nil && st.Latency != nil {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// probeEnd records the probe's duration into the stats' latency sink,
+// if any.
+func probeEnd(st *Stats, t0 time.Time) {
+	if st != nil && st.Latency != nil {
+		st.Latency.Observe(time.Since(t0).Seconds())
+	}
+}
 
 // Index is a per-direction segment×wavelength occupancy table for one
 // ring. For each direction it keeps one uint64 row per 64-wavelength
@@ -250,6 +271,7 @@ func (ix *Index) Occupied(dir topo.Direction, a topo.Arc, w int) bool {
 // FirstFree returns the lowest wavelength free on every segment of arc a
 // in direction dir.
 func (ix *Index) FirstFree(dir topo.Direction, a topo.Arc) int {
+	t0 := probeStart(ix.Stats)
 	lo1, hi1, lo2, hi2 := ix.arcRanges(a)
 	w := ix.words << 6
 	scanned, saturated := 0, 0
@@ -267,6 +289,7 @@ func (ix *Index) FirstFree(dir topo.Direction, a topo.Arc) int {
 		st.WordsScanned.Add(int64(scanned))
 		st.SaturatedWords.Add(int64(saturated))
 	}
+	probeEnd(ix.Stats, t0)
 	return w
 }
 
@@ -287,6 +310,7 @@ func (ix *Index) FirstFreeAvoiding(dir topo.Direction, a topo.Arc, avoid *Index,
 	if avoid.n != ix.n {
 		panic(fmt.Sprintf("rwa: avoid index ring size %d != %d", avoid.n, ix.n))
 	}
+	t0 := probeStart(ix.Stats)
 	lo1, hi1, lo2, hi2 := ix.arcRanges(a)
 	words := max(ix.words, avoid.words)
 	w := words << 6
@@ -309,10 +333,12 @@ func (ix *Index) FirstFreeAvoiding(dir topo.Direction, a topo.Arc, avoid *Index,
 		st.BiasedFitCalls.Add(1)
 		st.WordsScanned.Add(int64(scanned))
 	}
+	probeEnd(ix.Stats, t0)
 	if limit > 0 && w >= limit {
 		if st := ix.Stats; st != nil {
 			st.BiasedFallbacks.Add(1)
 		}
+		// The fallback FirstFree times itself.
 		return ix.FirstFree(dir, a)
 	}
 	return w
@@ -326,6 +352,7 @@ func (ix *Index) RandomFree(dir topo.Direction, a topo.Arc, rng *rand.Rand) int 
 	if rng == nil {
 		panic("rwa: RandomFit requires a rand source")
 	}
+	t0 := probeStart(ix.Stats)
 	lo1, hi1, lo2, hi2 := ix.arcRanges(a)
 	u := ix.scratch[:ix.words]
 	limit := 1 // max occupied + 2; 1 when the arc is entirely free
@@ -344,6 +371,9 @@ func (ix *Index) RandomFree(dir topo.Direction, a topo.Arc, rng *rand.Rand) int 
 		st.WordsScanned.Add(int64(ix.words))
 		st.SaturatedWords.Add(int64(saturated))
 	}
+	// Timed up to here: the union scan dominates; the constant-time
+	// selection below draws from precomputed words.
+	probeEnd(ix.Stats, t0)
 	// wordAt treats wavelengths at or beyond the limit as occupied so
 	// they never count as candidates; words past the in-use range are
 	// entirely free.
@@ -454,6 +484,7 @@ func (ix *Index) Validate(reqs []Request, arcs []topo.Arc, asn Assignment, wavel
 // even when conflicts are common (the fabric overlap probe calls it once
 // per step boundary and conflicts simply mean "don't overlap here").
 func (ix *Index) ConflictFree(reqs []Request, arcs []topo.Arc, asn Assignment) bool {
+	t0 := probeStart(ix.Stats)
 	ix.Reset()
 	ok := true
 	for i, q := range reqs {
@@ -469,5 +500,6 @@ func (ix *Index) ConflictFree(reqs []Request, arcs []topo.Arc, asn Assignment) b
 			st.ConflictsFound.Add(1)
 		}
 	}
+	probeEnd(ix.Stats, t0)
 	return ok
 }

@@ -33,6 +33,14 @@ type Stats struct {
 	// ConflictsFound counts ConflictFree probes that detected a clash
 	// (the boundary falls back to sequential setup-then-transmit).
 	ConflictsFound atomic.Int64
+
+	// Latency, when non-nil, receives every probe's wall-clock duration
+	// in seconds (FirstFree, FirstFreeAvoiding, RandomFree,
+	// ConflictFree). The sink must be safe for concurrent use —
+	// obs.Histogram.Observe is the intended implementation. Set it
+	// before the first probe; it is read without synchronization on the
+	// hot path (a nil Latency adds one pointer comparison per probe).
+	Latency interface{ Observe(float64) }
 }
 
 // Publish copies every counter into the given sink under the standard
