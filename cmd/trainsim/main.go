@@ -14,7 +14,10 @@
 // process per workload, a few sample workers plus the all-reduce
 // track); -metrics dumps per-workload epoch gauges on exit, by default
 // in the Prometheus text exposition format (-metrics-format=legacy for
-// the old name/value dump).
+// the old name/value dump); -prom writes the Prometheus exposition to
+// a file regardless of -metrics. The observability flags are shared
+// with wrhtsim via cmd/internal/cliflags, so names and semantics match
+// across the CLIs.
 package main
 
 import (
@@ -22,11 +25,11 @@ import (
 	"fmt"
 	"log"
 
+	"wrht/cmd/internal/cliflags"
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/fabric"
 	"wrht/internal/metrics"
-	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/train"
 	"wrht/internal/workload"
@@ -36,29 +39,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trainsim: ")
 	var (
-		n             = flag.Int("n", 1024, "data-parallel workers")
-		waves         = flag.Int("wavelengths", 64, "optical wavelengths")
-		dataset       = flag.Int("dataset", 1281167, "dataset size (ImageNet-1k train split)")
-		algo          = flag.String("algo", "wrht", "all-reduce algorithm: wrht, ring, bt, hring, dbtree, wdmhring")
-		tracePath     = flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
-		metricsPath   = flag.String("metrics", "", "write per-workload gauges to this file on exit (- for stdout; format per -metrics-format)")
-		metricsFormat = flag.String("metrics-format", "prom", "-metrics serialization: prom (Prometheus text exposition) or legacy (sorted name/value lines, .json for a JSON snapshot)")
+		n       = flag.Int("n", 1024, "data-parallel workers")
+		waves   = flag.Int("wavelengths", 64, "optical wavelengths")
+		dataset = flag.Int("dataset", 1281167, "dataset size (ImageNet-1k train split)")
+		algo    = flag.String("algo", "wrht", "all-reduce algorithm: wrht, ring, bt, hring, dbtree, wdmhring")
 	)
+	shared := cliflags.Register(flag.CommandLine, cliflags.Trace|cliflags.Metrics|cliflags.Prom)
 	flag.Parse()
-	switch *metricsFormat {
-	case "prom", "legacy":
-	default:
-		log.Fatalf("unknown metrics format %q (want prom or legacy)", *metricsFormat)
+	if err := shared.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
-	var tr *obs.Tracer
-	if *tracePath != "" {
-		tr = obs.NewTracer()
-	}
-	var reg *obs.Registry
-	if *metricsPath != "" {
-		reg = obs.NewRegistry()
-	}
+	tr := shared.NewTracer()
+	reg := shared.NewRegistry()
 
 	p := optical.DefaultParams()
 	p.Wavelengths = *waves
@@ -116,21 +109,10 @@ func main() {
 		)
 	}
 	fmt.Println(t)
-	if tr != nil {
-		if err := tr.WriteFile(*tracePath); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	if err := shared.WriteTrace(tr); err != nil {
+		log.Fatal(err)
 	}
-	if reg != nil {
-		var err error
-		if *metricsFormat == "legacy" {
-			err = reg.WriteFile(*metricsPath)
-		} else {
-			err = reg.ExposeFile(*metricsPath)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
+	if err := shared.WriteMetrics(reg); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,42 @@
+// Command wrhtd serves the wrht schedule builder and simulators over
+// a versioned HTTP/JSON API: POST /v1/build, /v1/simulate, /v1/sweep
+// and /v1/plan (schemas in internal/api — the same types `wrhtsim
+// -json` emits), plus GET /metrics and /debug/pprof. Duplicate
+// requests coalesce onto one execution and all sweeps share one
+// bounded worker pool; SIGINT/SIGTERM drains in-flight requests
+// before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"wrht/internal/daemon"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shared sweep worker pool size (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight requests")
+	flag.Parse()
+
+	s := daemon.New(daemon.Config{Workers: *workers})
+	mux := daemon.DebugMux(s.Registry()) // /metrics + /debug/pprof
+	mux.Handle("/v1/", s.Handler())
+
+	g, err := daemon.StartGraceful(*addr, mux, *drain)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wrhtd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrhtd %s serving /v1/{build,simulate,sweep,plan} and /metrics\n", g.Addr())
+	err = g.Wait() // returns after signal-driven drain
+	s.Close()
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "wrhtd: %v\n", err)
+		os.Exit(1)
+	}
+}

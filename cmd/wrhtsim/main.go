@@ -16,6 +16,13 @@
 // the engine's retry-with-reschedule path. Without -n it covers the
 // paper trio N ∈ {64, 1024, 4096}.
 //
+// For the crossfabric, overlap, faults, plan and build subcommands,
+// -json writes the structured result in the versioned internal/api
+// schema — byte-identical to the body the wrhtd daemon serves for the
+// equivalent /v1/sweep, /v1/plan or /v1/build request (the parity test
+// in this package pins that); for the figure subcommands it writes the
+// raw figure series.
+//
 // The overlap subcommand compares the engine's opportunistic overlap
 // mode against schedules rewritten by the internal/ir pass pipeline
 // (DESIGN.md §2.5), reporting hidden-reconfig counts, hidden setup
@@ -72,30 +79,27 @@
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"wrht"
+	"wrht/cmd/internal/cliflags"
+	"wrht/internal/api"
 	"wrht/internal/core"
+	"wrht/internal/daemon"
 	"wrht/internal/dnn"
 	"wrht/internal/exp"
-	"wrht/internal/fabric"
-	"wrht/internal/ir"
 	"wrht/internal/metrics"
 	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/parallel"
-	"wrht/internal/rwa"
 	"wrht/internal/trace"
 	"wrht/internal/workload"
 )
@@ -107,36 +111,24 @@ func fatal(err error) int {
 	return 1
 }
 
-// overlapPasses resolves the -passes flag: "all" selects the default
-// pipeline (nil, so exp.OverlapSweep uses exp.OverlapPasses), "none"
-// the identity pipeline (an empty non-nil slice — a round-trip
-// control), anything else a comma-separated pass subset in the given
-// order.
-func overlapPasses(spec string, p optical.Params, dBytes float64) ([]ir.Pass, error) {
-	switch spec {
-	case "", "all":
-		return nil, nil
-	case "none":
-		return []ir.Pass{}, nil
+// apiFatal reports a typed API error the way run has always reported
+// plain ones: message only — the code is an HTTP-surface concern.
+func apiFatal(aerr *api.Error) int {
+	return fatal(errors.New(aerr.Message))
+}
+
+// writeJSON encodes v (an internal/api response — the same bytes wrhtd
+// serves for the equivalent request) to path.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	var out []ir.Pass
-	for _, name := range strings.Split(spec, ",") {
-		switch strings.TrimSpace(name) {
-		case "reorder":
-			out = append(out, ir.Reorder{})
-		case "recolor":
-			out = append(out, ir.Recolor{})
-		case "split":
-			out = append(out, &ir.Split{
-				SetupSeconds:   p.ReconfigDelay,
-				BytesPerSecond: p.BandwidthBps / 8,
-				PayloadBytes:   dBytes,
-			})
-		default:
-			return nil, fmt.Errorf("unknown IR pass %q (want reorder, recolor, split, all or none)", name)
-		}
+	if err := api.Encode(f, v); err != nil {
+		f.Close()
+		return err
 	}
-	return out, nil
+	return f.Close()
 }
 
 // intList and floatList parse the comma-separated -r/-a grid flags.
@@ -166,8 +158,8 @@ func floatList(s string) ([]float64, error) {
 
 func main() {
 	gran := flag.String("granularity", "fused", "all-reduce invocation granularity: fused or bucketed")
-	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-	jsonOut := flag.String("json", "", "write raw figure series to this JSON file")
+	shared := cliflags.Register(flag.CommandLine,
+		cliflags.Workers|cliflags.JSON|cliflags.Trace|cliflags.Metrics|cliflags.Prom|cliflags.PromServe)
 	schedN := flag.Int("n", 64, "schedule/crossfabric/faults subcommands: ring size")
 	schedW := flag.Int("w", 8, "schedule/crossfabric/faults subcommands: wavelengths")
 	schedM := flag.Int("m", 0, "schedule subcommand: grouped nodes (0 = optimal)")
@@ -180,11 +172,6 @@ func main() {
 	planA := flag.String("a", "25", "plan subcommand: comma-separated reconfiguration delays in µs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	tracePath := flag.String("trace", "", "write a Perfetto trace (Chrome Trace Event JSON) to this file")
-	metricsPath := flag.String("metrics", "", "write the metric registry to this file on exit (- for stdout; format per -metrics-format)")
-	metricsFormat := flag.String("metrics-format", "prom", "-metrics serialization: prom (Prometheus text exposition) or legacy (sorted name/value lines, .json for a JSON snapshot)")
-	promPath := flag.String("prom", "", "write the Prometheus text exposition to this file on exit (- for stdout)")
-	promAddr := flag.String("promaddr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address for the run's duration (e.g. :9090)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wrhtsim [-granularity fused|bucketed] <table1|fig4|fig5|fig6|fig7|constraints|crossover|crossfabric|faults|hybrid|extras|stragglers|overlap|plan|schedule|build|all>\n")
 		flag.PrintDefaults()
@@ -225,8 +212,8 @@ func main() {
 		cmd:           cmdArg,
 		nSet:          nSet,
 		granularity:   *gran,
-		workers:       *workers,
-		jsonOut:       *jsonOut,
+		workers:       shared.Workers,
+		jsonOut:       shared.JSONOut,
 		n:             *schedN,
 		w:             *schedW,
 		m:             *schedM,
@@ -237,11 +224,11 @@ func main() {
 		check:         *check,
 		planR:         *planR,
 		planA:         *planA,
-		tracePath:     *tracePath,
-		metricsPath:   *metricsPath,
-		metricsFormat: *metricsFormat,
-		promPath:      *promPath,
-		promAddr:      *promAddr,
+		tracePath:     shared.TracePath,
+		metricsPath:   shared.MetricsPath,
+		metricsFormat: shared.MetricsFormat,
+		promPath:      shared.PromPath,
+		promAddr:      shared.PromAddr,
 	})
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -320,42 +307,32 @@ func run(cfg runConfig) int {
 			o.Trace.Clock = func() float64 { return time.Since(start).Seconds() }
 		}
 	}
-	switch cfg.metricsFormat {
-	case "", "prom", "legacy":
-	default:
-		fmt.Fprintf(os.Stderr, "wrhtsim: unknown metrics format %q (want prom or legacy)\n", cfg.metricsFormat)
+	sink := cliflags.Flags{
+		Workers:       cfg.workers,
+		JSONOut:       cfg.jsonOut,
+		TracePath:     cfg.tracePath,
+		MetricsPath:   cfg.metricsPath,
+		MetricsFormat: cfg.metricsFormat,
+		PromPath:      cfg.promPath,
+		PromAddr:      cfg.promAddr,
+	}
+	if err := sink.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "wrhtsim: %v\n", err)
 		return 2
 	}
-	if cfg.metricsPath != "" || cfg.promPath != "" || cfg.promAddr != "" {
-		o.Metrics = obs.NewRegistry()
-	}
+	o.Metrics = sink.NewRegistry()
 	if cfg.promAddr != "" {
 		// Serve /metrics (Prometheus text; ?reset=1 for snapshot-and-reset
-		// delta scrapes) plus net/http/pprof for the run's duration, on a
-		// private mux so nothing leaks onto http.DefaultServeMux.
-		mux := http.NewServeMux()
-		reg := o.Metrics
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if r.URL.Query().Get("reset") == "1" {
-				reg.ExposeAndReset(w)
-				return
-			}
-			reg.Expose(w)
-		})
-		mux.HandleFunc("/debug/pprof/", httppprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-		ln, err := net.Listen("tcp", cfg.promAddr)
+		// delta scrapes) plus net/http/pprof for the run's duration, with
+		// the same signal-driven drain wrhtd uses: SIGINT/SIGTERM (or the
+		// deferred Stop) finishes in-flight scrapes before the listener
+		// dies, instead of the old unconditional Close.
+		g, err := daemon.StartGraceful(cfg.promAddr, daemon.DebugMux(o.Metrics), 5*time.Second)
 		if err != nil {
 			return fatal(fmt.Errorf("-promaddr: %w", err))
 		}
-		srv := &http.Server{Handler: mux}
-		go srv.Serve(ln)
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "wrhtsim: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+		defer g.Stop()
+		fmt.Fprintf(os.Stderr, "wrhtsim: serving /metrics and /debug/pprof on http://%s\n", g.Addr())
 	}
 
 	cmd := cfg.cmd
@@ -398,42 +375,24 @@ func run(cfg runConfig) int {
 			fmt.Println(rep)
 			return 0
 		}
-		if cfg.stream {
-			src, err := core.StreamWRHT(wcfg)
-			if err != nil {
+		resp, aerr := wrht.ServeBuild(api.BuildRequest{
+			Kind: "wrht", N: cfg.n, Wavelengths: cfg.w, GroupSize: cfg.m, Stream: cfg.stream,
+		})
+		if aerr != nil {
+			return apiFatal(aerr)
+		}
+		mode := "materialized"
+		if resp.Streamed {
+			mode = "streamed"
+		}
+		fmt.Printf("%s %s N=%d w=%d: %d steps, %d transfers, validated\n",
+			mode, resp.Algorithm, resp.N, cfg.w, resp.Steps, resp.Transfers)
+		if cfg.jsonOut != "" {
+			if err := writeJSON(cfg.jsonOut, resp); err != nil {
 				return fatal(err)
 			}
-			ring := src.Ring()
-			v := core.NewStepValidator(ring, rwa.NewIndex(ring), cfg.w)
-			steps, transfers := 0, 0
-			for {
-				st, ok := src.Next()
-				if !ok {
-					break
-				}
-				if err := v.Step(st); err != nil {
-					return fatal(err)
-				}
-				steps++
-				transfers += len(st.Transfers)
-			}
-			fmt.Printf("streamed %s N=%d w=%d: %d steps, %d transfers, validated\n",
-				src.Algorithm(), ring.N, cfg.w, steps, transfers)
-			return 0
+			fmt.Printf("build result written to %s\n", cfg.jsonOut)
 		}
-		s, err := core.BuildWRHT(wcfg)
-		if err != nil {
-			return fatal(err)
-		}
-		if err := s.Validate(cfg.w); err != nil {
-			return fatal(err)
-		}
-		transfers := 0
-		for _, st := range s.Steps {
-			transfers += len(st.Transfers)
-		}
-		fmt.Printf("materialized %s N=%d w=%d: %d steps, %d transfers, validated\n",
-			s.Algorithm, s.Ring.N, cfg.w, s.NumSteps(), transfers)
 		return 0
 	}
 	if cmd == "table1" || cmd == "all" {
@@ -547,61 +506,76 @@ func run(cfg runConfig) int {
 	if cmd == "crossfabric" || cmd == "all" {
 		// One engine, two backends: the -n/-w ring and the same-size
 		// fat-tree time identical explicit schedules; -d sets the payload.
-		r, err := exp.CrossFabric(o, cfg.n, cfg.w, cfg.payloadMB*1e6)
-		if err != nil {
-			return fatal(err)
+		resp, tables, aerr := api.RunSweep(o, api.SweepRequest{
+			Sweep: "crossfabric", N: cfg.n, Wavelengths: cfg.w, PayloadMB: cfg.payloadMB,
+		})
+		if aerr != nil {
+			return apiFatal(aerr)
 		}
-		fmt.Println(r.Table)
-		names := make([]string, 0, len(r.Runs))
-		for name := range r.Runs {
-			names = append(names, name)
+		for _, t := range tables {
+			fmt.Println(t)
 		}
-		sort.Strings(names)
-		for _, name := range names {
-			rec.Record(fabric.BreakdownRun("crossfabric/"+name, r.Runs[name]))
+		if cmd == "crossfabric" && cfg.jsonOut != "" {
+			if err := writeJSON(cfg.jsonOut, resp); err != nil {
+				return fatal(err)
+			}
+			fmt.Printf("crossfabric result written to %s\n", cfg.jsonOut)
+			cfg.jsonOut = "" // consumed; skip the figure recorder below
 		}
 		ran = true
 	}
 	if cmd == "faults" || cmd == "all" {
 		// Degraded-mode sweep: completion time versus dead wavelengths,
 		// rebuilt-upfront and injected-mid-run (see internal/exp.Degradation).
-		ns := []int{64, 1024, 4096}
+		var ns []int // nil selects the paper trio {64, 1024, 4096}
 		if cfg.nSet {
 			ns = []int{cfg.n}
 		}
-		r, err := exp.Degradation(o, ns, cfg.w, cfg.payloadMB*1e6, nil, 1)
-		if err != nil {
-			return fatal(err)
+		resp, tables, aerr := api.RunSweep(o, api.SweepRequest{
+			Sweep: "faults", Ns: ns, Wavelengths: cfg.w, PayloadMB: cfg.payloadMB,
+		})
+		if aerr != nil {
+			return apiFatal(aerr)
 		}
-		fmt.Println(r.Table)
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		if cmd == "faults" && cfg.jsonOut != "" {
+			if err := writeJSON(cfg.jsonOut, resp); err != nil {
+				return fatal(err)
+			}
+			fmt.Printf("faults result written to %s\n", cfg.jsonOut)
+			cfg.jsonOut = ""
+		}
 		ran = true
 	}
 	if cmd == "overlap" || cmd == "all" {
 		// IR pass pipeline vs the opportunistic overlap baseline: how
 		// many reconfigurations each hides (see DESIGN.md §2.5). The
 		// golden pair N ∈ {1024, 4096} unless -n narrows it.
-		ns := []int{1024, 4096}
+		var ns []int // nil selects the golden pair {1024, 4096}
 		if cfg.nSet {
 			ns = []int{cfg.n}
 		}
-		d := cfg.payloadMB * 1e6
-		passes, err := overlapPasses(cfg.passes, o.Optical, d)
-		if err != nil {
-			return fatal(err)
+		resp, tables, aerr := api.RunSweep(o, api.SweepRequest{
+			Sweep: "overlap", Ns: ns, Wavelengths: cfg.w, PayloadMB: cfg.payloadMB,
+			Passes: cfg.passes, Check: cfg.check,
+		})
+		for _, t := range tables {
+			fmt.Println(t)
 		}
-		r, err := exp.OverlapSweep(o, ns, cfg.w, d, passes)
-		if err != nil {
-			return fatal(err)
+		if aerr != nil {
+			return apiFatal(aerr)
 		}
-		fmt.Println(r.Table)
 		if cfg.check {
-			for _, pt := range r.Points {
-				if pt.PassHidden <= pt.BaselineHidden {
-					return fatal(fmt.Errorf("overlap check: N=%d w=%d: pass hidden-reconfig count %d not strictly above baseline %d",
-						pt.N, pt.W, pt.PassHidden, pt.BaselineHidden))
-				}
+			fmt.Printf("overlap check passed: hidden reconfigs strictly above baseline at all %d points\n\n", len(resp.Overlap))
+		}
+		if cmd == "overlap" && cfg.jsonOut != "" {
+			if err := writeJSON(cfg.jsonOut, resp); err != nil {
+				return fatal(err)
 			}
-			fmt.Printf("overlap check passed: hidden reconfigs strictly above baseline at all %d points\n\n", len(r.Points))
+			fmt.Printf("overlap result written to %s\n", cfg.jsonOut)
+			cfg.jsonOut = ""
 		}
 		ran = true
 	}
@@ -619,55 +593,20 @@ func run(cfg runConfig) int {
 		if err != nil {
 			return fatal(fmt.Errorf("plan: -a: %w", err))
 		}
-		r, err := exp.PlanSweep(o, rs, []int{cfg.w}, as, cfg.payloadMB*1e6)
-		if err != nil {
-			return fatal(err)
+		resp, tables, aerr := api.RunPlan(o, api.PlanRequest{
+			Rs: rs, Wavelengths: cfg.w, AMicros: as, PayloadMB: cfg.payloadMB, Check: cfg.check,
+		})
+		for _, t := range tables {
+			fmt.Println(t)
 		}
-		fmt.Println(r.Table)
-		rescue, err := exp.RescueSweep(o, []int{256, 1024}, []int{8, 16}, cfg.payloadMB*1e6)
-		if err != nil {
-			return fatal(err)
+		if aerr != nil {
+			return apiFatal(aerr)
 		}
-		rt := &metrics.Table{
-			Title:   "Planner rescue of fallback configurations (full WRHT, optical, overlap on)",
-			Headers: []string{"N", "w", "final r", "req", "steps", "fallback (ms)", "planned (ms)", "speedup"},
-		}
-		for _, pt := range rescue {
-			rt.AddRow(fmt.Sprint(pt.N), fmt.Sprint(pt.W), fmt.Sprint(pt.FinalR), fmt.Sprint(pt.Requirement),
-				fmt.Sprintf("%d -> %d", pt.FallbackSteps, pt.PlannedSteps),
-				fmt.Sprintf("%.3f", pt.FallbackTime*1e3), fmt.Sprintf("%.3f", pt.PlannedTime*1e3),
-				fmt.Sprintf("%.2fx", pt.Speedup))
-		}
-		fmt.Println(rt)
 		if cfg.check {
-			for _, pt := range r.Points {
-				if err := pt.Check(); err != nil {
-					return fatal(fmt.Errorf("plan check (%s, r=%d, w=%d, a=%gus): %w", pt.Fabric, pt.R, pt.W, pt.AMicro, err))
-				}
-			}
-			for _, pt := range rescue {
-				if pt.Speedup <= 1 {
-					return fatal(fmt.Errorf("plan check: rescue (N=%d, w=%d) speedup %.3f not above 1", pt.N, pt.W, pt.Speedup))
-				}
-			}
-			fmt.Printf("plan check passed: predicted argmin == simulated argmin at all %d points, rescue speedups above 1\n\n", len(r.Points))
+			fmt.Printf("plan check passed: predicted argmin == simulated argmin at all %d points, rescue speedups above 1\n\n", len(resp.Points))
 		}
 		if cfg.jsonOut != "" {
-			out := struct {
-				Points []exp.PlanPoint   `json:"points"`
-				Rescue []exp.RescuePoint `json:"rescue"`
-			}{r.Points, rescue}
-			f, err := os.Create(cfg.jsonOut)
-			if err != nil {
-				return fatal(err)
-			}
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(out); err != nil {
-				f.Close()
-				return fatal(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := writeJSON(cfg.jsonOut, resp); err != nil {
 				return fatal(err)
 			}
 			fmt.Printf("raw plan points written to %s\n", cfg.jsonOut)
@@ -700,41 +639,16 @@ func run(cfg runConfig) int {
 		}
 		fmt.Printf("raw series written to %s\n", cfg.jsonOut)
 	}
-	if o.Trace != nil {
-		if err := o.Trace.WriteFile(cfg.tracePath); err != nil {
-			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.tracePath, err)
-			return 1
-		}
-		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", cfg.tracePath)
+	if err := sink.WriteTrace(o.Trace); err != nil {
+		return fatal(err)
 	}
 	if o.Metrics != nil {
 		if t := latencySummary(o.Metrics); t != nil {
 			fmt.Println(t)
 		}
 	}
-	if cfg.metricsPath != "" {
-		var err error
-		if cfg.metricsFormat == "legacy" {
-			err = o.Metrics.WriteFile(cfg.metricsPath)
-		} else {
-			err = o.Metrics.ExposeFile(cfg.metricsPath)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.metricsPath, err)
-			return 1
-		}
-		if cfg.metricsPath != "-" {
-			fmt.Printf("metrics written to %s\n", cfg.metricsPath)
-		}
-	}
-	if cfg.promPath != "" {
-		if err := o.Metrics.ExposeFile(cfg.promPath); err != nil {
-			fmt.Fprintf(os.Stderr, "wrhtsim: writing %s: %v\n", cfg.promPath, err)
-			return 1
-		}
-		if cfg.promPath != "-" {
-			fmt.Printf("prometheus exposition written to %s\n", cfg.promPath)
-		}
+	if err := sink.WriteMetrics(o.Metrics); err != nil {
+		return fatal(err)
 	}
 	return 0
 }

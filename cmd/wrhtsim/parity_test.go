@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wrht/internal/daemon"
+)
+
+// TestDaemonCLIParity is the API-redesign acceptance gate: for every
+// golden config, the bytes `wrhtsim <cmd> -json` writes must equal the
+// body wrhtd serves for the equivalent request. Both surfaces run the
+// same executors and serialize through api.Encode, and the schema
+// carries no wall-clock fields, so the comparison is exact — not
+// "modulo volatile fields".
+func TestDaemonCLIParity(t *testing.T) {
+	s := daemon.New(daemon.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	cases := []struct {
+		name string
+		cfg  runConfig
+		path string
+		body string
+	}{
+		{
+			name: "build",
+			cfg:  runConfig{cmd: "build", granularity: "fused", n: 64, w: 8},
+			path: "/v1/build",
+			body: `{"kind":"wrht","n":64,"wavelengths":8}`,
+		},
+		{
+			name: "build streamed",
+			cfg:  runConfig{cmd: "build", granularity: "fused", n: 256, w: 16, stream: true},
+			path: "/v1/build",
+			body: `{"kind":"wrht","n":256,"wavelengths":16,"stream":true}`,
+		},
+		{
+			name: "crossfabric",
+			cfg:  runConfig{cmd: "crossfabric", granularity: "fused", workers: 1, n: 64, w: 8, payloadMB: 10},
+			path: "/v1/sweep",
+			body: `{"sweep":"crossfabric","n":64,"wavelengths":8,"payload_mb":10}`,
+		},
+		{
+			name: "overlap",
+			cfg:  runConfig{cmd: "overlap", granularity: "fused", workers: 1, nSet: true, n: 1024, w: 64, payloadMB: 100},
+			path: "/v1/sweep",
+			body: `{"sweep":"overlap","ns":[1024],"wavelengths":64,"payload_mb":100}`,
+		},
+		{
+			name: "faults",
+			cfg:  runConfig{cmd: "faults", granularity: "fused", workers: 1, nSet: true, n: 64, w: 8, payloadMB: 10},
+			path: "/v1/sweep",
+			body: `{"sweep":"faults","ns":[64],"wavelengths":8,"payload_mb":10}`,
+		},
+		{
+			name: "plan",
+			cfg:  runConfig{cmd: "plan", granularity: "fused", workers: 1, w: 8, payloadMB: 25, planR: "8", planA: "25"},
+			path: "/v1/plan",
+			body: `{"rs":[8],"wavelengths":8,"a_micros":[25],"payload_mb":25}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jsonPath := filepath.Join(t.TempDir(), "out.json")
+			tc.cfg.jsonOut = jsonPath
+			old := os.Stdout
+			null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.Stdout = null
+			code := run(tc.cfg)
+			os.Stdout = old
+			null.Close()
+			if code != 0 {
+				t.Fatalf("run exited %d", code)
+			}
+			cli, err := os.ReadFile(jsonPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("daemon status %d: %s", resp.StatusCode, served)
+			}
+			if !bytes.Equal(cli, served) {
+				t.Errorf("CLI and daemon bytes differ:\n--- wrhtsim -json ---\n%s\n--- wrhtd %s ---\n%s", cli, tc.path, served)
+			}
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"wrht/internal/api"
 )
 
 // TestPlanSubcommand drives the plan gate the way CI does: the -check
@@ -38,18 +40,12 @@ func TestPlanSubcommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out struct {
-		Points []struct {
-			Fabric string `json:"Fabric"`
-			R      int    `json:"R"`
-		} `json:"points"`
-		Rescue []struct {
-			N       int     `json:"N"`
-			Speedup float64 `json:"Speedup"`
-		} `json:"rescue"`
-	}
+	var out api.PlanResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
+	}
+	if out.Version != api.Version {
+		t.Errorf("version = %q, want %q", out.Version, api.Version)
 	}
 	if len(out.Points) != 3+3 { // 3 optical + 3 electrical rows
 		t.Errorf("dumped %d points, want 6", len(out.Points))

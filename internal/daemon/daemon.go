@@ -1,0 +1,184 @@
+// Package daemon implements wrhtd's HTTP server: the versioned JSON
+// API (internal/api) served over /v1/build, /v1/simulate, /v1/sweep
+// and /v1/plan, plus the Prometheus /metrics endpoint.
+//
+// Three disciplines keep a burst of clients from melting the process:
+// requests with equal canonical keys coalesce onto one execution
+// (flight.go — responses are pure functions of the request, so
+// sharing is sound); all sweeps share one bounded worker pool
+// (exp.Pool) instead of spawning per-request pools; and every
+// execution runs under a context that dies when its last waiter hangs
+// up or the daemon drains, threaded into the exp sweep loops.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"wrht"
+	"wrht/internal/api"
+	"wrht/internal/exp"
+	"wrht/internal/obs"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Workers bounds the shared sweep worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Registry receives the per-endpoint request/error/coalescing
+	// counters and latency histograms, and backs /metrics. Nil gets a
+	// fresh registry (reachable via Registry()).
+	Registry *obs.Registry
+}
+
+// Server is the daemon's HTTP surface plus the shared execution
+// state behind it.
+type Server struct {
+	reg    *obs.Registry
+	pool   *exp.Pool
+	flight flight
+	mux    *http.ServeMux
+	// base scopes all request execution: canceling it (Close) aborts
+	// in-flight sweeps at their next point boundary.
+	base context.Context
+	stop context.CancelFunc
+}
+
+// New assembles a server. Callers serve Handler() (wrhtd wraps it in
+// StartGraceful) and must Close() after the HTTP server has drained.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		reg:  reg,
+		pool: exp.NewPool(cfg.Workers),
+		mux:  http.NewServeMux(),
+		base: base,
+		stop: stop,
+	}
+	// Request latency is wall clock; flag it so determinism checks and
+	// the byte-parity tests can strip it.
+	reg.MarkVolatile("api.request.seconds")
+	s.mux.Handle("/metrics", reg.MetricsHandler())
+	s.mux.Handle("/v1/build", endpoint(s, "build", execBuild))
+	s.mux.Handle("/v1/simulate", endpoint(s, "simulate", execSimulate))
+	s.mux.Handle("/v1/sweep", endpoint(s, "sweep", execSweep))
+	s.mux.Handle("/v1/plan", endpoint(s, "plan", execPlan))
+	return s
+}
+
+// Handler returns the daemon's routing mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metric registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close cancels all in-flight executions and stops the shared pool.
+// Call it after the HTTP server has drained.
+func (s *Server) Close() {
+	s.stop()
+	s.pool.Close()
+}
+
+// options builds the exp configuration for one execution: metrics
+// into the daemon registry, compute on the shared pool, lifetime
+// bounded by ctx.
+func (s *Server) options(ctx context.Context) exp.Options {
+	o := exp.Defaults()
+	o.Metrics = s.reg
+	o.Pool = s.pool
+	o.Ctx = ctx
+	return o
+}
+
+func execBuild(s *Server, ctx context.Context, req api.BuildRequest) (any, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.AsError(err)
+	}
+	return wrht.ServeBuild(req)
+}
+
+func execSimulate(s *Server, ctx context.Context, req api.SimulateRequest) (any, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, api.AsError(err)
+	}
+	return wrht.ServeSimulate(req)
+}
+
+func execSweep(s *Server, ctx context.Context, req api.SweepRequest) (any, *api.Error) {
+	resp, _, aerr := api.RunSweep(s.options(ctx), req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return resp, nil
+}
+
+func execPlan(s *Server, ctx context.Context, req api.PlanRequest) (any, *api.Error) {
+	resp, _, aerr := api.RunPlan(s.options(ctx), req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return resp, nil
+}
+
+// keyer is what a request type must provide to be coalescable.
+type keyer interface{ Key() string }
+
+// endpoint wires one request type to its executor: decode (strictly —
+// unknown fields are a bad_request, catching schema drift early),
+// coalesce on the canonical key, execute under the daemon-scoped
+// context, encode. Per-endpoint counters and a latency histogram feed
+// the obs registry.
+func endpoint[Req keyer](s *Server, name string, exec func(*Server, context.Context, Req) (any, *api.Error)) http.Handler {
+	requests := s.reg.Counter(obs.Labeled("api.requests", "endpoint", name))
+	failures := s.reg.Counter(obs.Labeled("api.errors", "endpoint", name))
+	hits := s.reg.Counter(obs.Labeled("api.coalesce.hits", "endpoint", name))
+	hist := s.reg.Histogram(obs.Labeled("api.request.seconds", "endpoint", name))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		if r.Method != http.MethodPost {
+			failures.Inc()
+			writeError(w, api.Errorf(api.CodeMethodNotAllowed, "%s takes POST", r.URL.Path))
+			return
+		}
+		var req Req
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			failures.Inc()
+			writeError(w, api.Errorf(api.CodeBadRequest, "decoding request: %v", err))
+			return
+		}
+		v, err, shared := s.flight.Do(r.Context(), s.base, name+"\x00"+req.Key(), func(ctx context.Context) (any, error) {
+			resp, aerr := exec(s, ctx, req)
+			if aerr != nil {
+				return nil, aerr
+			}
+			return resp, nil
+		})
+		if shared {
+			hits.Inc()
+		}
+		hist.Observe(time.Since(start).Seconds())
+		if err != nil {
+			failures.Inc()
+			writeError(w, api.AsError(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		api.Encode(w, v)
+	})
+}
+
+// writeError serves the typed error envelope under its HTTP status.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.HTTPStatus())
+	api.Encode(w, api.ErrorEnvelope{Error: e})
+}

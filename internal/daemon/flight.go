@@ -1,0 +1,88 @@
+package daemon
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is a refcounted singleflight: concurrent calls with equal
+// keys share one execution of fn. Unlike the classic singleflight,
+// the work runs under its own context derived from the daemon's base
+// context, not the leader's request context — so the leader hanging
+// up does not kill the call for the waiters. Each joiner holds a
+// reference; when the last one abandons the call (request contexts
+// all canceled), the work context is canceled and the key is dropped,
+// so a sweep nobody is waiting for stops burning pool workers.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+	val    any
+	err    error
+}
+
+// Do returns the result of fn for key, coalescing concurrent callers.
+// base scopes the work's lifetime (the daemon's run context); ctx is
+// this caller's request context. shared reports whether the caller
+// joined an execution another request started — the coalescing-hit
+// signal the obs counters expose.
+func (f *flight) Do(ctx, base context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = map[string]*call{}
+	}
+	c, ok := f.calls[key]
+	if !ok {
+		workCtx, cancel := context.WithCancel(base)
+		c = &call{done: make(chan struct{}), cancel: cancel, refs: 0}
+		f.calls[key] = c
+		go func() {
+			v, err := fn(workCtx)
+			f.mu.Lock()
+			c.val, c.err = v, err
+			// The call stays joinable until it completes, then leaves the
+			// map: results are not cached beyond the in-flight window.
+			delete(f.calls, key)
+			f.mu.Unlock()
+			cancel()
+			close(c.done)
+		}()
+	}
+	c.refs++
+	f.mu.Unlock()
+
+	select {
+	case <-c.done:
+		f.release(key, c)
+		return c.val, c.err, ok
+	case <-ctx.Done():
+		f.release(key, c)
+		return nil, ctx.Err(), ok
+	}
+}
+
+// release drops one caller's reference; the last reference out while
+// the call is still running cancels the work and removes the key so a
+// fresh request starts a fresh execution.
+func (f *flight) release(key string, c *call) {
+	f.mu.Lock()
+	c.refs--
+	abandoned := c.refs == 0
+	select {
+	case <-c.done:
+		abandoned = false // completed normally; goroutine already cleaned up
+	default:
+	}
+	if abandoned {
+		if f.calls[key] == c {
+			delete(f.calls, key)
+		}
+		c.cancel()
+	}
+	f.mu.Unlock()
+}

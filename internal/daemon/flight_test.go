@@ -1,0 +1,185 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Concurrent callers with one key must share a single execution, and
+// every joiner (not the leader) must report shared=true.
+func TestFlightCoalesces(t *testing.T) {
+	var f flight
+	var execs atomic.Int64
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		execs.Add(1)
+		<-release
+		return "result", nil
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			v, err, shared := f.Do(context.Background(), context.Background(), "k", fn)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if v != "result" {
+				t.Errorf("Do value = %v, want result", v)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let everyone pile onto the call before it completes.
+	for execs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != callers-1 {
+		t.Fatalf("shared reported by %d callers, want %d (all but the leader)", got, callers-1)
+	}
+}
+
+// Distinct keys must not coalesce.
+func TestFlightDistinctKeys(t *testing.T) {
+	var f flight
+	var execs atomic.Int64
+	fn := func(ctx context.Context) (any, error) { execs.Add(1); return nil, nil }
+	if _, _, shared := f.Do(context.Background(), context.Background(), "a", fn); shared {
+		t.Fatal("first call reported shared")
+	}
+	if _, _, shared := f.Do(context.Background(), context.Background(), "b", fn); shared {
+		t.Fatal("distinct key reported shared")
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("fn executed %d times, want 2", got)
+	}
+}
+
+// A completed call must leave the map: a later request with the same
+// key starts a fresh execution (results are not cached).
+func TestFlightNoCachingAfterCompletion(t *testing.T) {
+	var f flight
+	var execs atomic.Int64
+	fn := func(ctx context.Context) (any, error) { return execs.Add(1), nil }
+	v1, _, _ := f.Do(context.Background(), context.Background(), "k", fn)
+	v2, _, _ := f.Do(context.Background(), context.Background(), "k", fn)
+	if v1 == v2 {
+		t.Fatalf("second call returned cached result %v", v1)
+	}
+}
+
+// The leader's request context hanging up must not kill the call for
+// a waiter that is still interested.
+func TestFlightLeaderCancelDoesNotKillWaiters(t *testing.T) {
+	var f flight
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, err, _ := f.Do(leaderCtx, context.Background(), "k", fn)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v, want canceled", err)
+		}
+	}()
+	<-started
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, err, shared := f.Do(context.Background(), context.Background(), "k", fn)
+		if err != nil || v != "ok" {
+			t.Errorf("waiter got (%v, %v), want (ok, nil)", v, err)
+		}
+		if !shared {
+			t.Error("waiter did not report shared")
+		}
+	}()
+	// Give the waiter time to join, then abandon the leader.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	<-leaderDone
+	close(release)
+	<-waiterDone
+}
+
+// When the last waiter abandons a running call, its work context must
+// be canceled so the execution stops burning pool workers.
+func TestFlightAbandonCancelsWork(t *testing.T) {
+	var f flight
+	started := make(chan struct{})
+	workCanceled := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		close(workCanceled)
+		return nil, ctx.Err()
+	}
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err, _ := f.Do(reqCtx, context.Background(), "k", fn)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want canceled", err)
+		}
+	}()
+	<-started
+	cancelReq()
+	<-done
+	select {
+	case <-workCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("work context was not canceled after the last waiter left")
+	}
+	// The abandoned key must be gone so a fresh request re-executes.
+	v, err, _ := f.Do(context.Background(), context.Background(), "k",
+		func(ctx context.Context) (any, error) { return "fresh", nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("post-abandon call got (%v, %v), want (fresh, nil)", v, err)
+	}
+}
+
+// Daemon shutdown (base context cancellation) must abort running calls.
+func TestFlightBaseCancelAbortsWork(t *testing.T) {
+	var f flight
+	base, cancelBase := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	go func() {
+		<-started
+		cancelBase()
+	}()
+	_, err, _ := f.Do(context.Background(), base, "k", fn)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}

@@ -1,0 +1,100 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"wrht/internal/obs"
+)
+
+// Graceful runs an http.Server with signal-driven shutdown: SIGINT or
+// SIGTERM (or an explicit Stop) triggers http.Server.Shutdown with a
+// bounded drain, so in-flight requests finish and new connections are
+// refused. It is the one serving path wrhtd and wrhtsim -promaddr
+// share — the fix for the old -promaddr server that was torn down
+// with a bare Close and no drain.
+type Graceful struct {
+	srv        *http.Server
+	ln         net.Listener
+	stopSignal context.CancelFunc
+	finished   chan error
+	waitOnce   sync.Once
+	waitErr    error
+}
+
+// StartGraceful listens on addr and serves h until a termination
+// signal or Stop, then drains for at most the given timeout. It
+// returns once the listener is bound, so Addr is immediately valid.
+func StartGraceful(addr string, h http.Handler, drain time.Duration) (*Graceful, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	g := &Graceful{
+		srv:        &http.Server{Handler: h},
+		ln:         ln,
+		stopSignal: stop,
+		finished:   make(chan error, 1),
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- g.srv.Serve(ln) }()
+	go func() {
+		<-sigCtx.Done() // signal delivered, or Stop called
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := g.srv.Shutdown(sctx)
+		if err != nil {
+			// Drain timeout: cut the stragglers off rather than hang.
+			g.srv.Close()
+		}
+		if se := <-serveErr; se != nil && !errors.Is(se, http.ErrServerClosed) && err == nil {
+			err = se
+		}
+		g.finished <- err
+	}()
+	return g, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (g *Graceful) Addr() net.Addr { return g.ln.Addr() }
+
+// Stop initiates shutdown as a signal would and waits for the drain.
+func (g *Graceful) Stop() error {
+	g.stopSignal()
+	return g.Wait()
+}
+
+// Wait blocks until shutdown (signal- or Stop-driven) completes and
+// returns the terminal serve/drain error, if any.
+func (g *Graceful) Wait() error {
+	g.waitOnce.Do(func() { g.waitErr = <-g.finished })
+	return g.waitErr
+}
+
+// DebugMux returns the shared diagnostics mux: /metrics backed by the
+// registry (nil-safe: an empty exposition) plus net/http/pprof under
+// /debug/pprof, on a private mux so nothing leaks onto
+// http.DefaultServeMux.
+func DebugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}

@@ -1,0 +1,103 @@
+package daemon
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLoadSmoke fires >=10k concurrent mixed requests (build,
+// simulate, plan — duplicate-heavy so coalescing has something to
+// chew on) against an in-process daemon. Run under -race in CI, it is
+// the data-race and leak gate for the flight/pool/endpoint plumbing.
+// Asserts zero failed requests and observed coalescing; logs p99
+// latency from the daemon's own histograms.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	s := New(Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	// Five templates, round-robined: heavy duplication by design.
+	reqs := []struct{ path, body string }{
+		{"/v1/build", `{"kind":"wrht","n":64,"wavelengths":8}`},
+		{"/v1/build", `{"kind":"ring","n":128}`},
+		{"/v1/simulate", `{"backend":"optical","payload_bytes":1048576,"build":{"kind":"ring","n":32}}`},
+		{"/v1/simulate", `{"backend":"optical","payload_bytes":1048576,"overlap":true,"build":{"kind":"wrht","n":64,"wavelengths":8}}`},
+		{"/v1/plan", `{"rs":[4],"wavelengths":8,"a_micros":[25],"payload_mb":1,"no_rescue":true}`},
+	}
+
+	const total = 10_000
+	const clients = 64
+	var next, failures atomic.Int64
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: clients}
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= total {
+					return
+				}
+				r := reqs[i%int64(len(reqs))]
+				resp, err := client.Post(ts.URL+r.path, "application/json", strings.NewReader(r.body))
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("request %d (%s): %v", i, r.path, err)
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("request %d (%s): reading body: %v", i, r.path, err)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("request %d (%s): status %d, body %s", i, r.path, resp.StatusCode, body)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d requests failed", n, total)
+	}
+
+	snap := s.Registry().Snapshot()
+	var requests, hits int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "api.requests") {
+			requests += v
+		}
+		if strings.HasPrefix(name, "api.coalesce.hits") {
+			hits += v
+		}
+	}
+	if requests != total {
+		t.Errorf("daemon counted %d requests, want %d", requests, total)
+	}
+	if hits == 0 {
+		t.Error("no coalescing hits across a duplicate-heavy 10k-request run")
+	}
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "api.request.seconds") {
+			t.Logf("%s: count=%d p99=%.4fs max=%.4fs", name, h.Count, h.Quantile(0.99), h.Max)
+		}
+	}
+	t.Logf("coalescing: %d of %d requests joined an in-flight execution", hits, total)
+}

@@ -77,11 +77,22 @@ func newEngine(o Options, name string) *engine {
 func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	points := e.opts.Metrics.Counter("exp.sweep.points")
 	busy := e.opts.Metrics.Gauge("exp.sweep.busy_seconds")
+	ctx := e.opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tr := e.opts.Trace
 	if tr != nil && tr.Clock == nil {
 		tr = nil // sweep spans are wall-clock-only; without a clock, skip
 	}
 	run := func(worker, i int) (T, error) {
+		// Cancellation is checked at point boundaries: a canceled sweep
+		// stops starting new points (in-flight ones finish) and returns
+		// the context's error at the lowest unstarted index.
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
 		var start float64
 		if tr != nil {
 			start = tr.Clock()
@@ -108,13 +119,32 @@ func sweep[T any](e *engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	vals := make([]T, n)
 	errs := make([]error, n)
-	if workers := min(e.workers, n); workers <= 1 {
+	workers := min(e.workers, n)
+	switch {
+	case workers <= 1:
 		labeled(0, func() {
 			for i := 0; i < n; i++ {
 				vals[i], errs[i] = run(0, i)
 			}
 		})
-	} else {
+	case e.opts.Pool != nil:
+		// Shared-pool path: points fan out onto the process-wide pool
+		// (one compute bound across all concurrent sweeps) instead of
+		// per-sweep goroutines. Identical output either way.
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			if err := e.opts.Pool.Submit(ctx, func(w int) {
+				defer wg.Done()
+				labeled(w, func() { vals[i], errs[i] = run(w, i) })
+			}); err != nil {
+				errs[i] = err
+				wg.Done()
+			}
+		}
+		wg.Wait()
+	default:
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		wg.Add(workers)

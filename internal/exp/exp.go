@@ -14,6 +14,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"wrht/internal/collective"
@@ -75,6 +76,18 @@ type Options struct {
 	// worker busy seconds), profile-cache hit/miss deltas and RWA probe
 	// statistics.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, cancels an in-flight sweep between points: a
+	// dropped daemon client or a draining server stops burning workers
+	// at the next point boundary, and the sweep returns the context's
+	// error (wrapped, so errors.Is still matches context.Canceled).
+	Ctx context.Context
+	// Pool, when non-nil, runs sweep points on this shared bounded
+	// worker pool instead of spawning a per-sweep pool, so concurrent
+	// sweeps in one process (wrhtd) share a single compute bound.
+	// Workers still caps fan-out per sweep; runs forced sequential
+	// (Workers=1, e.g. byte-stable trace runs) bypass the pool. Output
+	// is byte-identical with or without it.
+	Pool *Pool
 }
 
 // Defaults returns the Table-2 configuration with fused granularity.

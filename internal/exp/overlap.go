@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"wrht/internal/core"
 	"wrht/internal/fabric"
@@ -27,6 +28,38 @@ func OverlapPasses(p optical.Params, dBytes float64) []ir.Pass {
 			PayloadBytes:   dBytes,
 		},
 	}
+}
+
+// ParsePasses resolves a pass-selection spec (the -passes flag and the
+// sweep request's "passes" field): "all" (or empty) selects the default
+// pipeline (nil, so OverlapSweep uses OverlapPasses), "none" the
+// identity pipeline (an empty non-nil slice — a round-trip control),
+// anything else a comma-separated pass subset in the given order.
+func ParsePasses(spec string, p optical.Params, dBytes float64) ([]ir.Pass, error) {
+	switch spec {
+	case "", "all":
+		return nil, nil
+	case "none":
+		return []ir.Pass{}, nil
+	}
+	var out []ir.Pass
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "reorder":
+			out = append(out, ir.Reorder{})
+		case "recolor":
+			out = append(out, ir.Recolor{})
+		case "split":
+			out = append(out, &ir.Split{
+				SetupSeconds:   p.ReconfigDelay,
+				BytesPerSecond: p.BandwidthBps / 8,
+				PayloadBytes:   dBytes,
+			})
+		default:
+			return nil, fmt.Errorf("unknown IR pass %q (want reorder, recolor, split, all or none)", name)
+		}
+	}
+	return out, nil
 }
 
 // OverlapPoint is one row of the overlap sweep: the opportunistic

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("exp: worker pool closed")
+
+// Pool is a bounded worker pool shared across sweeps. A sweep run
+// with Options.Pool set fans its points out onto these workers
+// instead of spawning a per-sweep pool, so a process serving many
+// concurrent sweeps (wrhtd) has one global compute bound rather than
+// one per request. Output is byte-identical either way: sweep results
+// are assembled in index order regardless of which worker ran them.
+type Pool struct {
+	tasks   chan func(worker int)
+	done    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+	workers int
+}
+
+// NewPool starts a pool of the given size (≤ 0 selects GOMAXPROCS,
+// matching Options.Workers semantics).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		tasks:   make(chan func(worker int)),
+		done:    make(chan struct{}),
+		workers: workers,
+	}
+	for w := 0; w < workers; w++ {
+		w := w
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.done:
+					return
+				case fn := <-p.tasks:
+					fn(w)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit hands fn to an idle worker, blocking until one accepts it,
+// ctx is canceled, or the pool closes. fn runs asynchronously — the
+// caller tracks completion (sweep uses its own WaitGroup). A nil ctx
+// blocks indefinitely for a worker.
+func (p *Pool) Submit(ctx context.Context, fn func(worker int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.done:
+		return ErrPoolClosed
+	}
+}
+
+// Close stops the workers and waits for in-progress tasks to finish.
+// Callers must quiesce submissions first (the daemon drains its HTTP
+// server before closing the pool); a Submit racing Close returns
+// ErrPoolClosed.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+}

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(context.Background(), func(worker int) {
+			defer wg.Done()
+			if worker < 0 || worker >= 4 {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			ran.Add(1)
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	err := p.Submit(context.Background(), func(int) { t.Error("task ran on closed pool") })
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolSubmitCanceledContext(t *testing.T) {
+	// A full pool plus a canceled submit context must not block.
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	defer close(block)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(context.Background(), func(int) { defer wg.Done(); <-block }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.Submit(ctx, func(int) { t.Error("task ran despite canceled context") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with canceled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// Routing a sweep through a shared pool must not change its output:
+// results are assembled in index order regardless of execution order.
+func TestSweepPoolParity(t *testing.T) {
+	base := Defaults()
+	base.Workers = 4
+	seq := base
+	seq.Workers = 1
+	pooled := base
+	pooled.Pool = NewPool(4)
+	defer pooled.Pool.Close()
+
+	for name, run := range map[string]func(Options) (any, error){
+		"overlap": func(o Options) (any, error) {
+			r, err := OverlapSweep(o, []int{64, 128}, 16, 1e7, nil)
+			return r.Points, err
+		},
+		"degradation": func(o Options) (any, error) {
+			r, err := Degradation(o, []int{64, 128}, 8, 1e7, []int{0, 1}, 1)
+			return r.Points, err
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			want, err := run(seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			gotLocal, err := run(base)
+			if err != nil {
+				t.Fatalf("local pool: %v", err)
+			}
+			gotShared, err := run(pooled)
+			if err != nil {
+				t.Fatalf("shared pool: %v", err)
+			}
+			if !reflect.DeepEqual(want, gotLocal) {
+				t.Errorf("local-pool run diverged from sequential:\n%+v\nvs\n%+v", gotLocal, want)
+			}
+			if !reflect.DeepEqual(want, gotShared) {
+				t.Errorf("shared-pool run diverged from sequential:\n%+v\nvs\n%+v", gotShared, want)
+			}
+		})
+	}
+}
+
+// A canceled Options.Ctx must abort the sweep with a context error
+// instead of computing every remaining point.
+func TestSweepCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Defaults()
+	o.Workers = 2
+	o.Ctx = ctx
+	if _, err := OverlapSweep(o, []int{64, 128}, 16, 1e7, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("OverlapSweep under canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := Degradation(o, []int{64}, 8, 1e7, []int{0}, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("Degradation under canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := CrossFabric(o, 64, 8, 1e7); !errors.Is(err, context.Canceled) {
+		t.Errorf("CrossFabric under canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := PlanSweep(o, []int{4}, []int{8}, []float64{25}, 1e7); !errors.Is(err, context.Canceled) {
+		t.Errorf("PlanSweep under canceled ctx: %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,17 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry's Prometheus text exposition —
+// the one /metrics implementation wrhtd and wrhtsim -promaddr share.
+// "?reset=1" switches to a snapshot-and-reset delta scrape.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.URL.Query().Get("reset") == "1" {
+			r.ExposeAndReset(w)
+			return
+		}
+		r.Expose(w)
+	})
+}

@@ -32,6 +32,7 @@ type simSpec struct {
 	hosts      int
 	noValidate bool
 	overlap    bool
+	observer   SimObserver
 }
 
 // SimOption configures Simulate.
@@ -69,6 +70,17 @@ func WithoutValidation() SimOption {
 // two steps' circuits are rwa-disjoint. Optical schedules only.
 func WithOverlap() SimOption {
 	return func(ss *simSpec) { ss.overlap = true }
+}
+
+// SimObserver receives per-step and per-group engine events during a
+// run (internal/fabric's Observer interface; obs.NewFabricObserver
+// builds one that feeds a Perfetto tracer and a metric registry).
+type SimObserver = fabric.Observer
+
+// WithObserver attaches an observer to the run, e.g. to capture the
+// simulated-time step timeline of a single Simulate call.
+func WithObserver(ob SimObserver) SimOption {
+	return func(ss *simSpec) { ss.observer = ob }
 }
 
 // Simulate times a collective on a backend, unifying what used to be
@@ -118,6 +130,7 @@ func Simulate(backend Backend, c any, dBytes float64, opts ...SimOption) (SimRes
 	eng := fabric.Engine{Fabric: f, Opts: fabric.Options{
 		ValidateWavelengths: backend == Optical && !ss.noValidate,
 		Overlap:             ss.overlap,
+		Observer:            ss.observer,
 	}}
 	switch s := c.(type) {
 	case *Schedule:
